@@ -1,0 +1,136 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+
+namespace factcheck {
+namespace bench {
+
+std::vector<double> BudgetFractions() {
+  return {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.60, 0.80, 1.00};
+}
+
+double RemainingBiasVariance(const ModularFairnessWorkload& w,
+                             const std::vector<int>& cleaned) {
+  std::vector<bool> is_cleaned(w.problem.size(), false);
+  for (int i : cleaned) is_cleaned[i] = true;
+  double acc = 0.0;
+  for (int i = 0; i < w.problem.size(); ++i) {
+    if (is_cleaned[i]) continue;
+    double a = w.bias.Coefficient(i);
+    acc += a * a * w.problem.object(i).dist.Variance();
+  }
+  return acc;
+}
+
+void RunModularFairness(const std::string& dataset_name,
+                        const ModularFairnessWorkload& w,
+                        TablePrinter& table, bool include_random) {
+  std::vector<double> costs = w.problem.Costs();
+  std::vector<double> variances = w.problem.Variances();
+  int n = w.problem.size();
+  std::vector<double> weights(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double a = w.bias.Coefficient(i);
+    weights[i] = a * a * variances[i];
+  }
+  ClaimQualityFunction quality(&w.context, QualityMeasure::kBias,
+                               w.reference);
+  Rng rng(2019);
+  for (double frac : BudgetFractions()) {
+    double budget = w.problem.TotalCost() * frac;
+    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+      table.AddCell(dataset_name)
+          .AddCell(frac)
+          .AddCell(algo)
+          .AddCell(RemainingBiasVariance(w, set));
+      table.EndRow();
+    };
+    if (include_random) {
+      // Random is averaged over 100 runs (footnote 2 of the paper).
+      double avg = 0.0;
+      const int kRuns = 100;
+      for (int r = 0; r < kRuns; ++r) {
+        avg += RemainingBiasVariance(
+            w, RandomSelect(costs, budget, rng).cleaned);
+      }
+      table.AddCell(dataset_name)
+          .AddCell(frac)
+          .AddCell("Random")
+          .AddCell(avg / kRuns);
+      table.EndRow();
+    }
+    emit("GreedyNaiveCostBlind",
+         GreedyNaiveCostBlind(quality, w.problem, budget).cleaned);
+    emit("GreedyNaive", GreedyNaive(quality, w.problem, budget).cleaned);
+    emit("GreedyMinVar",
+         GreedyMinVarLinearIndependent(w.bias, variances, costs, budget)
+             .cleaned);
+    // Optimum: pseudo-polynomial knapsack DP (Lemma 3.2).
+    KnapsackSolution dp =
+        MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10.0),
+                      static_cast<int>(budget * 10.0));
+    emit("Optimum", dp.selected);
+  }
+}
+
+void RunQualitySweep(const std::string& dataset_name, double gamma,
+                     const QualityWorkload& w, TablePrinter& table) {
+  ClaimEvEvaluator evaluator(&w.problem, &w.context, w.measure, w.reference,
+                             w.direction);
+  ClaimQualityFunction quality(&w.context, w.measure, w.reference,
+                               w.direction);
+  SetObjective ev = [&](const std::vector<int>& t) {
+    return evaluator.EV(t);
+  };
+  for (double frac : BudgetFractions()) {
+    double budget = w.problem.TotalCost() * frac;
+    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+      table.AddCell(dataset_name)
+          .AddCell(gamma)
+          .AddCell(frac)
+          .AddCell(algo)
+          .AddCell(evaluator.EV(set));
+      table.EndRow();
+    };
+    emit("GreedyNaive", GreedyNaive(quality, w.problem, budget).cleaned);
+    emit("GreedyMinVar", evaluator.GreedyMinVar(budget).cleaned);
+    emit("Best", BestMinVar(ev, w.problem.Costs(), budget).cleaned);
+  }
+}
+
+QualityWorkload MakeSyntheticQualityWorkload(const CleaningProblem& problem,
+                                             int width, int original_start,
+                                             double gamma,
+                                             QualityMeasure measure,
+                                             int max_perturbations) {
+  QualityWorkload w{problem,
+                    NonOverlappingWindowSumPerturbations(
+                        problem.size(), width, original_start, 1.5,
+                        max_perturbations),
+                    measure, gamma};
+  return w;
+}
+
+double MedianPerturbationValue(const CleaningProblem& problem,
+                               const PerturbationSet& context) {
+  std::vector<double> u = problem.CurrentValues();
+  std::vector<double> sums;
+  for (const Claim& q : context.perturbations) sums.push_back(q.Evaluate(u));
+  std::sort(sums.begin(), sums.end());
+  return sums[sums.size() / 2];
+}
+
+EvPair EvAtBudget(const QualityWorkload& w, double budget_fraction) {
+  ClaimEvEvaluator evaluator(&w.problem, &w.context, w.measure, w.reference,
+                             w.direction);
+  ClaimQualityFunction quality(&w.context, w.measure, w.reference,
+                               w.direction);
+  double budget = w.problem.TotalCost() * budget_fraction;
+  EvPair pair;
+  pair.naive = evaluator.EV(GreedyNaive(quality, w.problem, budget).cleaned);
+  pair.minvar = evaluator.EV(evaluator.GreedyMinVar(budget).cleaned);
+  return pair;
+}
+
+}  // namespace bench
+}  // namespace factcheck

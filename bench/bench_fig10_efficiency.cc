@@ -1,0 +1,94 @@
+// Figure 10: efficiency of the incremental GreedyMinVar.
+//   (a) n = 10,000 values, 2,500 window-sum perturbations covering all
+//       values; running time as the budget grows from 1% to 30%.
+//   (b) growing n at a fixed absolute budget of 5,000 (roughly 1,000
+//       cleanings); running time in log10 seconds.
+//
+// Absolute numbers are machine-dependent; the paper's shapes — roughly
+// linear growth in budget, and superlinear-but-tractable growth in n — are
+// what these series reproduce.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "util/stopwatch.h"
+
+using namespace factcheck;
+using namespace factcheck::bench;
+
+namespace {
+
+// URx problem of size n with non-overlapping width-4 window perturbations
+// covering every value (n/4 claims, the paper's 2,500 at n = 10,000).
+struct BigWorkload {
+  CleaningProblem problem;
+  PerturbationSet context;
+  double reference;
+};
+
+BigWorkload MakeBig(int n) {
+  BigWorkload w{data::MakeSynthetic(data::SyntheticFamily::kUniformRandom,
+                                    2019, {.size = n}),
+                PerturbationSet{}, 0.0};
+  const int width = 4;
+  w.context.original = MakeWindowSumClaim(0, width);
+  std::vector<double> distances;
+  for (int start = width; start + width <= n; start += width) {
+    w.context.perturbations.push_back(MakeWindowSumClaim(start, width));
+    distances.push_back(start / static_cast<double>(width));
+  }
+  w.context.sensibilities = ExponentialSensibilities(distances, 1.001);
+  w.reference = 100.0;  // Gamma = 100 as in Fig 10's caption
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 10a: GreedyMinVar running time vs budget, n=10000\n");
+  {
+    BigWorkload w = MakeBig(10000);
+    TablePrinter table({"n", "budget_fraction", "num_cleaned",
+                        "seconds"});
+    for (double frac : {0.01, 0.05, 0.10, 0.20, 0.30}) {
+      double budget = w.problem.TotalCost() * frac;
+      // A fresh evaluator per point: the run time includes building the
+      // term caches and initial benefits, as a fact-checker would.
+      Stopwatch sw;
+      ClaimEvEvaluator evaluator(&w.problem, &w.context,
+                                 QualityMeasure::kDuplicity, w.reference);
+      Selection sel = evaluator.GreedyMinVar(budget);
+      double secs = sw.ElapsedSeconds();
+      table.AddCell(10000)
+          .AddCell(frac)
+          .AddCell(static_cast<int>(sel.cleaned.size()))
+          .AddCell(secs);
+      table.EndRow();
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\n# Figure 10b: GreedyMinVar running time vs n, budget=5000\n");
+  {
+    TablePrinter table({"n", "budget", "num_cleaned", "seconds",
+                        "log10_seconds"});
+    for (int n : {5000, 10000, 50000, 100000, 250000, 500000}) {
+      BigWorkload w = MakeBig(n);
+      Stopwatch sw;
+      ClaimEvEvaluator evaluator(&w.problem, &w.context,
+                                 QualityMeasure::kDuplicity, w.reference);
+      Selection sel = evaluator.GreedyMinVar(5000.0);
+      double secs = sw.ElapsedSeconds();
+      table.AddCell(n)
+          .AddCell(5000.0)
+          .AddCell(static_cast<int>(sel.cleaned.size()))
+          .AddCell(secs)
+          .AddCell(std::log10(secs > 0 ? secs : 1e-9));
+      table.EndRow();
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) of the computational kernels:
+// normal quantization, support convolution / EV terms, knapsack DP and
+// FPTAS, Cholesky / Schur complement, and one incremental greedy step.
+
+#include <benchmark/benchmark.h>
+
+#include "claims/ev_fast.h"
+#include "claims/perturbation.h"
+#include "core/ev.h"
+#include "core/greedy.h"
+#include "data/cdc.h"
+#include "data/synthetic.h"
+#include "dist/mvn.h"
+#include "dist/normal.h"
+#include "knapsack/knapsack.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+void BM_QuantizeNormal(benchmark::State& state) {
+  int points = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuantizeNormal(100.0, 15.0, points));
+  }
+}
+BENCHMARK(BM_QuantizeNormal)->Arg(4)->Arg(6)->Arg(16);
+
+void BM_ClaimEvFull(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7, {.size = n});
+  PerturbationSet context =
+      NonOverlappingWindowSumPerturbations(n, 4, n / 2, 1.5);
+  ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
+                             120.0);
+  std::vector<int> cleaned;
+  for (int i = 0; i < n; i += 7) cleaned.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.EV(cleaned));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ClaimEvFull)->Arg(40)->Arg(200)->Arg(1000)->Complexity();
+
+void BM_ClaimEvOverlapping(benchmark::State& state) {
+  // Covariance terms active: sliding windows.
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7, {.size = 24});
+  PerturbationSet context = SlidingWindowSumPerturbations(24, 4, 0, 1.5);
+  ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
+                             120.0);
+  std::vector<int> cleaned = {1, 5, 9, 13};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.EV(cleaned));
+  }
+}
+BENCHMARK(BM_ClaimEvOverlapping);
+
+void BM_BruteForceEvEnumeration(benchmark::State& state) {
+  // The exponential baseline the Theorem-3.8 evaluator replaces.
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7,
+      {.size = 8, .min_support = 3, .max_support = 3});
+  LambdaQueryFunction f({0, 1, 2, 3, 4, 5, 6, 7},
+                        [](const std::vector<double>& x) {
+                          double s = 0;
+                          for (double v : x) s += v;
+                          return s < 400 ? 1.0 : 0.0;
+                        });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedPosteriorVariance(f, problem, {0, 4}));
+  }
+}
+BENCHMARK(BM_BruteForceEvEnumeration);
+
+void BM_MaxKnapsackDp(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<double> values(n);
+  std::vector<int> costs(n);
+  for (int i = 0; i < n; ++i) {
+    values[i] = rng.Uniform(0, 50);
+    costs[i] = rng.UniformInt(1, 20);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxKnapsackDp(values, costs, 10 * n));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MaxKnapsackDp)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_MaxKnapsackFptas(benchmark::State& state) {
+  int n = 64;
+  double eps = 1.0 / static_cast<double>(state.range(0));
+  Rng rng(11);
+  std::vector<double> values(n), costs(n);
+  for (int i = 0; i < n; ++i) {
+    values[i] = rng.Uniform(0, 50);
+    costs[i] = rng.Uniform(0.5, 20);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxKnapsackFptas(values, costs, 200.0, eps));
+  }
+}
+BENCHMARK(BM_MaxKnapsackFptas)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_SchurComplement(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Vector stddevs(n, 2.0);
+  Matrix cov = GeometricDecayCovariance(stddevs, 0.7);
+  std::vector<int> a_idx, b_idx;
+  for (int i = 0; i < n; ++i) {
+    (i % 3 == 0 ? a_idx : b_idx).push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchurComplement(cov, a_idx, b_idx));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SchurComplement)->Arg(17)->Arg(64)->Arg(128)->Complexity();
+
+void BM_IncrementalGreedyStep(benchmark::State& state) {
+  int n = 4000;
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 13, {.size = n});
+  PerturbationSet context =
+      NonOverlappingWindowSumPerturbations(n, 4, n / 2, 1.5);
+  ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
+                             120.0);
+  // Amortized per-cleaning cost of a ~40-cleaning run.
+  for (auto _ : state) {
+    Selection sel = evaluator.GreedyMinVar(200.0);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+BENCHMARK(BM_IncrementalGreedyStep);
+
+void BM_CdcFairnessGreedy(benchmark::State& state) {
+  CleaningProblem problem = data::MakeCdcFirearms(2019);
+  PerturbationSet context = WindowComparisonPerturbations(
+      data::kCdcYears, 4, 0, 1.5, true);
+  double reference = context.original.Evaluate(problem.CurrentValues());
+  LinearQueryFunction bias = BiasLinearFunction(context, reference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMinVarLinearIndependent(
+        bias, problem.Variances(), problem.Costs(),
+        problem.TotalCost() * 0.3));
+  }
+}
+BENCHMARK(BM_CdcFairnessGreedy);
+
+}  // namespace
+}  // namespace factcheck
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Giuliani's adoption claim (Example 4): "adoptions went up 65 to 70
+// percent" between 1990-1995 and 1996-2001.  We model it as a window
+// aggregate comparison over the Adoptions dataset, assess the claim's
+// *fairness* (bias across perturbations), and show how much cleaning
+// budget each algorithm needs to pin the fairness down.
+//
+// This example also demonstrates the relational path: the claim is written
+// as an aggregate query over a (year, adoptions) table and compiled into a
+// linear claim.
+
+#include <cstdio>
+
+#include "claims/quality.h"
+#include "core/greedy.h"
+#include "data/adoptions.h"
+#include "knapsack/knapsack.h"
+#include "relational/query.h"
+#include "util/random.h"
+
+using namespace factcheck;
+
+namespace {
+
+double RemainingVariance(const LinearQueryFunction& bias,
+                         const std::vector<double>& variances,
+                         const std::vector<int>& cleaned, int n) {
+  std::vector<bool> is_cleaned(n, false);
+  for (int i : cleaned) is_cleaned[i] = true;
+  double acc = 0;
+  for (int i = 0; i < n; ++i) {
+    if (is_cleaned[i]) continue;
+    double a = bias.Coefficient(i);
+    acc += a * a * variances[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  UncertainTable table = data::MakeAdoptionsTable(/*seed=*/2019);
+  CleaningProblem problem = table.ToCleaningProblem();
+
+  // The claim as a relational aggregate query, then perturbed by shifting
+  // the comparison windows through time (18 feasible shifts).
+  AggregateQuery query;
+  query.AddTerm(+1.0, {Condition::IntBetween("year", 1993, 1996)});
+  query.AddTerm(-1.0, {Condition::IntBetween("year", 1989, 1992)});
+  PerturbationSet context = ShiftedWindowPerturbations(
+      query, table, "year", -26, 26, /*lambda=*/1.5);
+  double reference = context.original.Evaluate(problem.CurrentValues());
+  std::printf("claim: adoptions rose by %.0f between the windows\n",
+              reference);
+  std::printf("perturbations: %d (window shifts), sensibility decay 1.5\n\n",
+              context.size());
+
+  LinearQueryFunction bias = BiasLinearFunction(context, reference);
+  std::vector<double> variances = problem.Variances();
+  std::vector<double> costs = problem.Costs();
+  int n = problem.size();
+
+  std::printf("%-10s %-14s %-14s %-14s %-14s\n", "budget", "Random",
+              "GreedyNaive", "GreedyMinVar", "Optimum");
+  Rng rng(7);
+  for (double frac : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    double budget = problem.TotalCost() * frac;
+    // Random baseline (averaged over 50 runs).
+    double random_var = 0;
+    for (int r = 0; r < 50; ++r) {
+      Selection sel = RandomSelect(costs, budget, rng);
+      random_var += RemainingVariance(bias, variances, sel.cleaned, n);
+    }
+    random_var /= 50;
+    ClaimQualityFunction quality(&context, QualityMeasure::kBias, reference);
+    Selection naive = GreedyNaive(quality, problem, budget);
+    Selection minvar =
+        GreedyMinVarLinearIndependent(bias, variances, costs, budget);
+    // Optimum: pseudo-polynomial knapsack DP on scaled costs.
+    std::vector<double> weights(n);
+    for (int i = 0; i < n; ++i) {
+      double a = bias.Coefficient(i);
+      weights[i] = a * a * variances[i];
+    }
+    KnapsackSolution dp = MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10),
+                                        static_cast<int>(budget * 10));
+    std::printf("%-10.2f %-14.1f %-14.1f %-14.1f %-14.1f\n", frac,
+                random_var,
+                RemainingVariance(bias, variances, naive.cleaned, n),
+                RemainingVariance(bias, variances, minvar.cleaned, n),
+                RemainingVariance(bias, variances, dp.selected, n));
+  }
+  std::printf(
+      "\nGreedyMinVar should be nearly indistinguishable from Optimum and "
+      "well below GreedyNaive/Random (Fig 1 of the paper).\n");
+  return 0;
+}

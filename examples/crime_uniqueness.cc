@@ -1,0 +1,82 @@
+// Uniqueness checking under a cleaning budget (the Example 1 storyline):
+// "in the last two years, injuries by firearms were as low as Gamma".
+// Uniqueness = how many other 2-year periods were at least as low.  The
+// example walks a fact-checker's budget up and reports what each algorithm
+// lets them conclude (expected variance in the duplicity count, and the
+// in-action posterior after hidden true values are revealed).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "claims/ev_fast.h"
+#include "claims/explain.h"
+#include "core/greedy.h"
+#include "data/cdc.h"
+#include "montecarlo/simulator.h"
+
+using namespace factcheck;
+
+int main() {
+  CleaningProblem problem = data::MakeCdcFirearms(/*seed=*/42);
+  int n = problem.size();
+
+  // Original claim: the most recent 2-year window; 7 earlier
+  // non-overlapping windows as perturbations.
+  PerturbationSet context = NonOverlappingWindowSumPerturbations(
+      n, /*width=*/2, /*original_start=*/n - 2, /*lambda=*/1.5, 8);
+  // "as low as Gamma", with the contested Gamma at the median two-year
+  // total so that the uniqueness count is genuinely uncertain.
+  std::vector<double> sums;
+  for (const Claim& q : context.perturbations) {
+    sums.push_back(q.Evaluate(problem.CurrentValues()));
+  }
+  std::sort(sums.begin(), sums.end());
+  double reference = sums[sums.size() / 2];
+  const StrengthDirection direction = StrengthDirection::kLowerIsStronger;
+  std::printf("claim: the last two years saw as few as %.0f injuries\n",
+              reference);
+  std::printf("perturbations: %d two-year windows\n\n", context.size());
+
+  ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
+                             reference, direction);
+  QualityMoments prior = evaluator.Moments();
+  std::printf("prior duplicity: mean %.2f, stddev %.2f (out of %d)\n\n",
+              prior.mean, std::sqrt(prior.variance), context.size());
+
+  // Hidden truth for the in-action portion.
+  Rng rng(7);
+  InActionScenario scenario = MakeScenario(problem, rng);
+  ClaimQualityFunction dup(&context, QualityMeasure::kDuplicity, reference,
+                           direction);
+  double true_dup = dup.Evaluate(scenario.truth);
+  std::printf("hidden true duplicity: %.0f\n\n", true_dup);
+
+  std::printf("%-8s %-22s %-22s\n", "budget", "GreedyNaive (EV | est)",
+              "GreedyMinVar (EV | est)");
+  for (double frac : {0.1, 0.2, 0.4, 0.6}) {
+    double budget = problem.TotalCost() * frac;
+    Selection naive = GreedyNaive(dup, problem, budget);
+    Selection minvar = evaluator.GreedyMinVar(budget);
+    QualityMoments naive_est = EstimateAfterCleaning(
+        scenario, context, QualityMeasure::kDuplicity, reference,
+        naive.cleaned, direction);
+    QualityMoments minvar_est = EstimateAfterCleaning(
+        scenario, context, QualityMeasure::kDuplicity, reference,
+        minvar.cleaned, direction);
+    std::printf("%-8.2f %6.3f | %.2f+-%.2f    %6.3f | %.2f+-%.2f\n", frac,
+                evaluator.EV(naive.cleaned), naive_est.mean,
+                std::sqrt(naive_est.variance),
+                evaluator.EV(minvar.cleaned), minvar_est.mean,
+                std::sqrt(minvar_est.variance));
+  }
+  std::printf(
+      "\nGreedyMinVar pins the duplicity estimate near its true value with "
+      "less budget (Figs 2/8 of the paper).\n\n");
+
+  // Show the fact-checker *why* the 40%-budget plan picks what it picks.
+  Selection plan = evaluator.GreedyMinVar(problem.TotalCost() * 0.4);
+  std::printf("%s", ExplainSelection(problem, evaluator, plan)
+                        .ToText()
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "claims/claim.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+Claim MakeWindowComparisonClaim(int earlier_start, int later_start,
+                                int width) {
+  FC_CHECK_GE(earlier_start, 0);
+  FC_CHECK_GE(later_start, 0);
+  FC_CHECK_GT(width, 0);
+  std::vector<int> refs;
+  std::vector<double> coeffs;
+  for (int i = 0; i < width; ++i) {
+    refs.push_back(later_start + i);
+    coeffs.push_back(1.0);
+    refs.push_back(earlier_start + i);
+    coeffs.push_back(-1.0);
+  }
+  Claim c;
+  c.query = LinearQueryFunction(std::move(refs), std::move(coeffs));
+  c.description = "window[" + std::to_string(later_start) + ".." +
+                  std::to_string(later_start + width - 1) + "] - window[" +
+                  std::to_string(earlier_start) + ".." +
+                  std::to_string(earlier_start + width - 1) + "]";
+  return c;
+}
+
+Claim MakeWindowSumClaim(int start, int width) {
+  FC_CHECK_GE(start, 0);
+  FC_CHECK_GT(width, 0);
+  std::vector<int> refs;
+  std::vector<double> coeffs(width, 1.0);
+  for (int i = 0; i < width; ++i) refs.push_back(start + i);
+  Claim c;
+  c.query = LinearQueryFunction(std::move(refs), std::move(coeffs));
+  c.description = "sum[" + std::to_string(start) + ".." +
+                  std::to_string(start + width - 1) + "]";
+  return c;
+}
+
+Claim MakeWeightedAggregateClaim(const std::vector<int>& plus,
+                                 double plus_coeff,
+                                 const std::vector<int>& minus,
+                                 double minus_coeff,
+                                 const std::string& description) {
+  std::vector<int> refs;
+  std::vector<double> coeffs;
+  for (int i : plus) {
+    refs.push_back(i);
+    coeffs.push_back(plus_coeff);
+  }
+  for (int i : minus) {
+    refs.push_back(i);
+    coeffs.push_back(minus_coeff);
+  }
+  Claim c;
+  c.query = LinearQueryFunction(std::move(refs), std::move(coeffs));
+  c.description = description;
+  return c;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,54 @@
+// Claim functions (Section 2.2): claims are queries over the database.
+//
+// All claim shapes evaluated in the paper are *linear*: window aggregate
+// comparisons (Example 4), window sums compared against a constant
+// ("injuries as low as Gamma"), and cross-category aggregates.  A claim is
+// therefore represented by a LinearQueryFunction plus a description; the
+// non-linearity of fact-checking enters through the quality measures
+// (claims/quality.h), not through the claims themselves.
+
+#ifndef FACTCHECK_CLAIMS_CLAIM_H_
+#define FACTCHECK_CLAIMS_CLAIM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_function.h"
+
+namespace factcheck {
+
+// One claim: a linear query over object values.
+struct Claim {
+  LinearQueryFunction query{{}, {}};
+  std::string description;
+
+  double Evaluate(const std::vector<double>& x) const {
+    return query.Evaluate(x);
+  }
+  const std::vector<int>& References() const { return query.References(); }
+};
+
+// Window aggregate comparison claim (Example 4):
+//   q(x) = sum_{i = later .. later+w-1} x_i - sum_{i = earlier .. earlier+w-1} x_i,
+// i.e., "the later window went up by q over the earlier window".  Object
+// indices are positions in a time series.
+Claim MakeWindowComparisonClaim(int earlier_start, int later_start, int width);
+
+// Window sum claim: q(x) = sum_{i = start .. start+w-1} x_i, used by
+// threshold claims "the total over this window is as low/high as Gamma".
+Claim MakeWindowSumClaim(int start, int width);
+
+// Weighted aggregate claim over arbitrary object sets:
+//   q(x) = sum_k plus_coeff * x_{plus[k]} + sum_k minus_coeff * x_{minus[k]}.
+// Used by the CDC-causes ratio claims ("transportation injuries exceed 30%
+// of all other causes": plus = transportation years, coeff 1; minus = other
+// causes, coeff -0.3).
+Claim MakeWeightedAggregateClaim(const std::vector<int>& plus,
+                                 double plus_coeff,
+                                 const std::vector<int>& minus,
+                                 double minus_coeff,
+                                 const std::string& description);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CLAIMS_CLAIM_H_

@@ -1,0 +1,63 @@
+// Counterargument engine (Sections 2.2 and 4.3).
+//
+// A counterargument to a claim q* is a perturbation whose result is at
+// least `margin` weaker than the original's stated value.  For "as low as"
+// claims weaker means an even lower perturbation result; for "as high as"
+// claims, higher; the direction is a parameter.  The in-action experiments
+// reveal hidden true values one cleaning at a time and record the budget
+// spent before a counter surfaces.
+
+#ifndef FACTCHECK_CLAIMS_COUNTER_H_
+#define FACTCHECK_CLAIMS_COUNTER_H_
+
+#include "claims/perturbation.h"
+
+namespace factcheck {
+
+// Which perturbation results refute the original claim.
+enum class CounterDirection {
+  kLowerRefutes,   // a perturbation result <= original - margin is a counter
+  kHigherRefutes,  // a perturbation result >= original + margin is a counter
+};
+
+// True if some perturbation evaluated on `x` refutes the original claim's
+// stated value.
+bool HasCounterargument(const PerturbationSet& context,
+                        const std::vector<double>& x, double original_value,
+                        double margin, CounterDirection direction);
+
+// Index of the strongest counter perturbation on `x`, or -1 if none.
+int StrongestCounter(const PerturbationSet& context,
+                     const std::vector<double>& x, double original_value,
+                     double margin, CounterDirection direction);
+
+// Result of sequential cleaning in search of a counter.
+struct CounterSearchResult {
+  bool found = false;
+  double cost_used = 0.0;
+  int num_cleaned = 0;
+  int counter_claim = -1;  // perturbation index that refuted the claim
+};
+
+// Cleans objects in the given order (revealing entries of `truth`),
+// stopping as soon as a counterargument appears or the budget runs out.
+// `original_value` stays fixed at the claim's stated value.
+CounterSearchResult CleanUntilCounter(const PerturbationSet& context,
+                                      const std::vector<double>& current,
+                                      const std::vector<double>& truth,
+                                      const std::vector<double>& costs,
+                                      const std::vector<int>& order,
+                                      double original_value, double margin,
+                                      CounterDirection direction,
+                                      double budget);
+
+// Completes a (possibly partial) cleaning order with the missing objects
+// ranked by `fallback_score` descending.  MaxPr greedies stop once further
+// cleaning lowers the surprise probability; a counter search should still
+// be able to continue past that point.
+std::vector<int> CompleteOrder(const std::vector<int>& order,
+                               const std::vector<double>& fallback_score);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CLAIMS_COUNTER_H_

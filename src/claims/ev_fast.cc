@@ -1,0 +1,412 @@
+#include "claims/ev_fast.h"
+
+#include "dist/convolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
+                                   const PerturbationSet* context,
+                                   QualityMeasure measure, double reference,
+                                   StrengthDirection direction)
+    : problem_(problem),
+      context_(context),
+      measure_(measure),
+      reference_(reference),
+      direction_(direction) {
+  FC_CHECK(problem_ != nullptr);
+  FC_CHECK(context_ != nullptr);
+  int m = context_->size();
+  int n = problem_->size();
+  claim_components_.resize(m);
+  claim_intercepts_.resize(m);
+  object_claims_.assign(n, {});
+  object_pairs_.assign(n, {});
+  for (int k = 0; k < m; ++k) {
+    const LinearQueryFunction& q = context_->perturbations[k].query;
+    claim_intercepts_[k] = q.intercept();
+    const auto& refs = q.References();
+    const auto& coeffs = q.coefficients();
+    for (size_t j = 0; j < refs.size(); ++j) {
+      FC_CHECK_LT(refs[j], n);
+      claim_components_[k].push_back({refs[j], coeffs[j]});
+      object_claims_[refs[j]].push_back(k);
+    }
+  }
+  // Overlapping pairs, discovered through shared objects.
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < n; ++i) {
+    const auto& ks = object_claims_[i];
+    for (size_t a = 0; a < ks.size(); ++a) {
+      for (size_t b = a + 1; b < ks.size(); ++b) {
+        int k1 = std::min(ks[a], ks[b]);
+        int k2 = std::max(ks[a], ks[b]);
+        seen.insert({k1, k2});
+      }
+    }
+  }
+  for (const auto& [k1, k2] : seen) {
+    Pair pair;
+    pair.k1 = k1;
+    pair.k2 = k2;
+    const LinearQueryFunction& q1 = context_->perturbations[k1].query;
+    const LinearQueryFunction& q2 = context_->perturbations[k2].query;
+    for (const Component& c : claim_components_[k1]) {
+      double c2 = q2.Coefficient(c.object);
+      if (c2 != 0.0) {
+        pair.shared.push_back({c.object, c.coeff, c2});
+      } else {
+        pair.exclusive1.push_back(c);
+      }
+    }
+    for (const Component& c : claim_components_[k2]) {
+      if (q1.Coefficient(c.object) == 0.0) pair.exclusive2.push_back(c);
+    }
+    int pair_idx = static_cast<int>(pairs_.size());
+    std::set<int> members;
+    for (const auto& c : pair.shared) members.insert(c.object);
+    for (const auto& c : pair.exclusive1) members.insert(c.object);
+    for (const auto& c : pair.exclusive2) members.insert(c.object);
+    for (int obj : members) object_pairs_[obj].push_back(pair_idx);
+    pair_members_.emplace_back(members.begin(), members.end());
+    pairs_.push_back(std::move(pair));
+  }
+  evar_cache_.resize(m);
+  ecov_cache_.resize(pairs_.size());
+}
+
+namespace {
+
+// Bitmask of which members are cleaned; -1 when the term is too wide to
+// cache (> 30 members).
+int64_t CleanedMask(const std::vector<int>& members,
+                    const std::vector<bool>& is_cleaned) {
+  if (members.size() > 30) return -1;
+  int64_t mask = 0;
+  for (size_t j = 0; j < members.size(); ++j) {
+    if (is_cleaned[members[j]]) mask |= int64_t{1} << j;
+  }
+  return mask;
+}
+
+}  // namespace
+
+double ClaimEvEvaluator::Transform(int k, double q) const {
+  return QualityTransform(measure_, q, reference_,
+                          context_->sensibilities[k], direction_);
+}
+
+ClaimEvEvaluator::Dist1D ClaimEvEvaluator::Convolve1D(
+    const std::vector<Component>& components,
+    const std::vector<bool>& is_cleaned, bool want_cleaned) const {
+  std::vector<WeightedTerm> terms;
+  terms.reserve(components.size());
+  for (const Component& comp : components) {
+    if (is_cleaned[comp.object] != want_cleaned) continue;
+    terms.push_back({&problem_->object(comp.object).dist, comp.coeff});
+  }
+  SumDistribution sum = ConvolveSum(terms);
+  Dist1D out;
+  out.reserve(sum.size());
+  for (const SumAtom& a : sum) out.push_back({a.value, a.prob});
+  return out;
+}
+
+ClaimEvEvaluator::Dist2D ClaimEvEvaluator::Convolve2D(
+    const std::vector<Component2>& components,
+    const std::vector<bool>& is_cleaned, bool want_cleaned) const {
+  std::vector<WeightedTerm2> terms;
+  terms.reserve(components.size());
+  for (const Component2& comp : components) {
+    if (is_cleaned[comp.object] != want_cleaned) continue;
+    terms.push_back({&problem_->object(comp.object).dist, comp.coeff_a,
+                     comp.coeff_b});
+  }
+  SumDistribution2 sum = ConvolveSum2(terms);
+  Dist2D out;
+  out.reserve(sum.size());
+  for (const SumAtom2& a : sum) out.push_back({a.a, a.b, a.prob});
+  return out;
+}
+
+double ClaimEvEvaluator::EVarTerm(int k,
+                                  const std::vector<bool>& is_cleaned) const {
+  const auto& comps = claim_components_[k];
+  if (comps.size() <= 30) {
+    int64_t mask = 0;
+    for (size_t j = 0; j < comps.size(); ++j) {
+      if (is_cleaned[comps[j].object]) mask |= int64_t{1} << j;
+    }
+    auto& cache = evar_cache_[k];
+    auto it = cache.find(static_cast<uint32_t>(mask));
+    if (it != cache.end()) return it->second;
+    double value = EVarTermUncached(k, is_cleaned);
+    cache.emplace(static_cast<uint32_t>(mask), value);
+    return value;
+  }
+  return EVarTermUncached(k, is_cleaned);
+}
+
+double ClaimEvEvaluator::EVarTermUncached(
+    int k, const std::vector<bool>& is_cleaned) const {
+  const auto& comps = claim_components_[k];
+  Dist1D uncleaned = Convolve1D(comps, is_cleaned, false);
+  if (uncleaned.size() <= 1) return 0.0;  // fully cleaned => no variance
+  Dist1D cleaned = Convolve1D(comps, is_cleaned, true);
+  double base = claim_intercepts_[k];
+  double ev = 0.0;
+  for (const Atom& c : cleaned) {
+    double m1 = 0.0, m2 = 0.0;
+    for (const Atom& s : uncleaned) {
+      double g = Transform(k, base + c.value + s.value);
+      m1 += s.prob * g;
+      m2 += s.prob * g * g;
+    }
+    double var = m2 - m1 * m1;
+    if (var > 0.0) ev += c.prob * var;
+  }
+  return ev;
+}
+
+double ClaimEvEvaluator::MeanTerm(int k,
+                                  const std::vector<bool>& is_cleaned) const {
+  const auto& comps = claim_components_[k];
+  Dist1D uncleaned = Convolve1D(comps, is_cleaned, false);
+  Dist1D cleaned = Convolve1D(comps, is_cleaned, true);
+  double base = claim_intercepts_[k];
+  double mean = 0.0;
+  for (const Atom& c : cleaned) {
+    for (const Atom& s : uncleaned) {
+      mean += c.prob * s.prob * Transform(k, base + c.value + s.value);
+    }
+  }
+  return mean;
+}
+
+double ClaimEvEvaluator::ECovTerm(int pair_idx,
+                                  const std::vector<bool>& is_cleaned) const {
+  const auto& members = pair_members_[pair_idx];
+  int64_t mask = CleanedMask(members, is_cleaned);
+  if (mask >= 0) {
+    auto& cache = ecov_cache_[pair_idx];
+    auto it = cache.find(static_cast<uint32_t>(mask));
+    if (it != cache.end()) return it->second;
+    double value = ECovTermUncached(pair_idx, is_cleaned);
+    cache.emplace(static_cast<uint32_t>(mask), value);
+    return value;
+  }
+  return ECovTermUncached(pair_idx, is_cleaned);
+}
+
+double ClaimEvEvaluator::ECovTermUncached(
+    int pair_idx, const std::vector<bool>& is_cleaned) const {
+  const Pair& pair = pairs_[pair_idx];
+  // No uncleaned shared object => conditional independence => zero.
+  Dist2D shared_uncleaned = Convolve2D(pair.shared, is_cleaned, false);
+  if (shared_uncleaned.size() <= 1) return 0.0;
+
+  // Joint cleaned contribution across the union of both claims' refs.
+  std::vector<Component2> all;
+  all.reserve(pair.shared.size() + pair.exclusive1.size() +
+              pair.exclusive2.size());
+  for (const Component2& c : pair.shared) all.push_back(c);
+  for (const Component& c : pair.exclusive1) {
+    all.push_back({c.object, c.coeff, 0.0});
+  }
+  for (const Component& c : pair.exclusive2) {
+    all.push_back({c.object, 0.0, c.coeff});
+  }
+  Dist2D cleaned_joint = Convolve2D(all, is_cleaned, true);
+  Dist1D excl1 = Convolve1D(pair.exclusive1, is_cleaned, false);
+  Dist1D excl2 = Convolve1D(pair.exclusive2, is_cleaned, false);
+
+  double base1 = claim_intercepts_[pair.k1];
+  double base2 = claim_intercepts_[pair.k2];
+  double ecov = 0.0;
+  for (const Atom2& c : cleaned_joint) {
+    double e12 = 0.0, e1 = 0.0, e2 = 0.0;
+    for (const Atom2& d : shared_uncleaned) {
+      double h1 = 0.0;
+      for (const Atom& a : excl1) {
+        h1 += a.prob * Transform(pair.k1, base1 + c.a + d.a + a.value);
+      }
+      double h2 = 0.0;
+      for (const Atom& a : excl2) {
+        h2 += a.prob * Transform(pair.k2, base2 + c.b + d.b + a.value);
+      }
+      e12 += d.prob * h1 * h2;
+      e1 += d.prob * h1;
+      e2 += d.prob * h2;
+    }
+    ecov += c.prob * (e12 - e1 * e2);
+  }
+  return ecov;
+}
+
+double ClaimEvEvaluator::EV(const std::vector<int>& cleaned) const {
+  std::vector<bool> is_cleaned(problem_->size(), false);
+  for (int i : cleaned) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, problem_->size());
+    is_cleaned[i] = true;
+  }
+  double ev = 0.0;
+  for (int k = 0; k < context_->size(); ++k) ev += EVarTerm(k, is_cleaned);
+  for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
+    ev += 2.0 * ECovTerm(p, is_cleaned);
+  }
+  return ev;
+}
+
+QualityMoments ClaimEvEvaluator::Moments() const {
+  std::vector<bool> is_cleaned(problem_->size(), false);
+  QualityMoments moments;
+  for (int k = 0; k < context_->size(); ++k) {
+    moments.mean += MeanTerm(k, is_cleaned);
+    moments.variance += EVarTerm(k, is_cleaned);
+  }
+  for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
+    moments.variance += 2.0 * ECovTerm(p, is_cleaned);
+  }
+  if (moments.variance < 0.0) moments.variance = 0.0;
+  return moments;
+}
+
+double ClaimEvEvaluator::Benefit(int i, std::vector<bool>& is_cleaned,
+                                 const std::vector<double>& evar_terms,
+                                 const std::vector<double>& ecov_terms) const {
+  FC_CHECK(!is_cleaned[i]);
+  double before = 0.0, after = 0.0;
+  is_cleaned[i] = true;
+  for (int k : object_claims_[i]) {
+    before += evar_terms[k];
+    after += EVarTerm(k, is_cleaned);
+  }
+  for (int p : object_pairs_[i]) {
+    before += 2.0 * ecov_terms[p];
+    after += 2.0 * ECovTerm(p, is_cleaned);
+  }
+  is_cleaned[i] = false;
+  return before - after;
+}
+
+int ClaimEvEvaluator::NumClaimsReferencing(int object) const {
+  FC_CHECK_GE(object, 0);
+  FC_CHECK_LT(object, problem_->size());
+  return static_cast<int>(object_claims_[object].size());
+}
+
+int ClaimEvEvaluator::MaxClaimDegree() const {
+  size_t degree = 0;
+  for (const auto& claims : object_claims_) {
+    degree = std::max(degree, claims.size());
+  }
+  return static_cast<int>(degree);
+}
+
+Selection ClaimEvEvaluator::GreedyMinVar(double budget) const {
+  return GreedyMinVar(budget, GreedyOptions{});
+}
+
+Selection ClaimEvEvaluator::GreedyMinVar(double budget,
+                                         const GreedyOptions& options) const {
+  int n = problem_->size();
+  std::vector<bool> is_cleaned(n, false);
+  std::vector<double> evar_terms(context_->size());
+  for (int k = 0; k < context_->size(); ++k) {
+    evar_terms[k] = EVarTerm(k, is_cleaned);
+  }
+  std::vector<double> ecov_terms(pairs_.size());
+  for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
+    ecov_terms[p] = ECovTerm(p, is_cleaned);
+  }
+  double ev0 = 0.0;
+  for (double t : evar_terms) ev0 += t;
+  for (double t : ecov_terms) ev0 += 2.0 * t;
+
+  // Heap of (score, version, object); stale versions are skipped on pop.
+  struct Entry {
+    double score;
+    int version;
+    int object;
+    bool operator<(const Entry& other) const { return score < other.score; }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<int> version(n, 0);
+  std::vector<double> benefit(n, 0.0);
+  std::vector<double> initial_benefit(n, 0.0);
+  const std::vector<double> costs = problem_->Costs();
+  for (int i = 0; i < n; ++i) {
+    if (object_claims_[i].empty() && object_pairs_[i].empty()) continue;
+    benefit[i] = Benefit(i, is_cleaned, evar_terms, ecov_terms);
+    initial_benefit[i] = benefit[i];
+    double score = options.cost_aware ? benefit[i] / costs[i] : benefit[i];
+    heap.push({score, 0, i});
+  }
+
+  Selection sel;
+  double ev_current = ev0;
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    int i = top.object;
+    if (top.version != version[i] || is_cleaned[i]) continue;
+    // Remaining budget only shrinks, so an unaffordable object stays
+    // unaffordable and can be dropped for good.
+    if (sel.cost + costs[i] > budget) continue;
+    // Select i.
+    is_cleaned[i] = true;
+    sel.cleaned.push_back(i);
+    sel.cost += costs[i];
+    ev_current -= benefit[i];
+    // Refresh the terms i participates in, then the benefits of every
+    // object sharing one of those terms (locality of Theorem 3.8).
+    std::set<int> dirty_objects;
+    for (int k : object_claims_[i]) {
+      evar_terms[k] = EVarTerm(k, is_cleaned);
+      for (const Component& c : claim_components_[k]) {
+        dirty_objects.insert(c.object);
+      }
+    }
+    for (int p : object_pairs_[i]) {
+      ecov_terms[p] = ECovTerm(p, is_cleaned);
+      const Pair& pair = pairs_[p];
+      for (const auto& c : pair.shared) dirty_objects.insert(c.object);
+      for (const auto& c : pair.exclusive1) dirty_objects.insert(c.object);
+      for (const auto& c : pair.exclusive2) dirty_objects.insert(c.object);
+    }
+    for (int obj : dirty_objects) {
+      if (is_cleaned[obj]) continue;
+      benefit[obj] = Benefit(obj, is_cleaned, evar_terms, ecov_terms);
+      ++version[obj];
+      double score =
+          options.cost_aware ? benefit[obj] / costs[obj] : benefit[obj];
+      heap.push({score, version[obj], obj});
+    }
+  }
+
+  if (options.final_check && !sel.cleaned.empty()) {
+    // Algorithm 1 lines 5-8 via cached initial benefits:
+    // EV({l}) = EV(empty) - initial_benefit[l].
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (is_cleaned[i] || costs[i] > budget) continue;
+      if (best < 0 || initial_benefit[i] > initial_benefit[best]) best = i;
+    }
+    if (best >= 0 && ev0 - initial_benefit[best] < ev_current) {
+      sel.cleaned = {best};
+      sel.cost = costs[best];
+    }
+  }
+  sel.order = sel.cleaned;
+  std::sort(sel.cleaned.begin(), sel.cleaned.end());
+  return sel;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,161 @@
+// Structured expected-variance evaluation for claim-quality measures
+// (Theorem 3.8) and the incremental GreedyMinVar built on it.
+//
+// For a quality measure f(X) = sum_k g_k(q_k(X)) over linear claims with
+// mutually independent X, the MinVar objective decomposes as
+//
+//   EV(T) = sum_k E_T[Var(g_k | X_T)]
+//         + 2 sum_{k < k'} E_T[Cov(g_k, g_k' | X_T)],
+//
+// where only the objects referenced by a claim (pair) matter, and a pair
+// contributes only while the claims share an *uncleaned* object.  Each term
+// is computed exactly by convolving the per-object scaled supports into
+// sum distributions (1-D per claim; 2-D over the objects shared by a
+// pair), giving the O(m^2 V^{3W} W + n) bound of Theorem 3.8 instead of
+// enumeration over the full joint support.
+//
+// The evaluator also powers a scalable greedy: cleaning object i only
+// changes the terms of claims/pairs referencing i, so per-object benefits
+// are maintained incrementally and selection runs near-linearly in the
+// number of cleanings (the Fig 10 efficiency experiments).
+
+#ifndef FACTCHECK_CLAIMS_EV_FAST_H_
+#define FACTCHECK_CLAIMS_EV_FAST_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "claims/quality.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+
+namespace factcheck {
+
+class ClaimEvEvaluator {
+ public:
+  // `problem` and `context` must outlive the evaluator.  `reference` is
+  // q*(u) evaluated on the current values (or the claim's stated Gamma).
+  ClaimEvEvaluator(const CleaningProblem* problem,
+                   const PerturbationSet* context, QualityMeasure measure,
+                   double reference,
+                   StrengthDirection direction =
+                       StrengthDirection::kHigherIsStronger);
+
+  // EV(T): exact expected posterior variance of the measure.
+  double EV(const std::vector<int>& cleaned) const;
+
+  // Var[f(X)] = EV(empty).
+  double PriorVariance() const { return EV({}); }
+
+  // Mean and variance of the measure under the problem's current
+  // distributions (cleaned objects should already be point masses).
+  QualityMoments Moments() const;
+
+  // Adaptive greedy (Algorithm 1) with incremental benefit maintenance.
+  Selection GreedyMinVar(double budget) const;
+  Selection GreedyMinVar(double budget, const GreedyOptions& options) const;
+
+  // Number of claim pairs with overlapping references (covariance terms).
+  int num_overlapping_pairs() const { return static_cast<int>(pairs_.size()); }
+
+  // The maximum claim degree L of Theorem 3.8's refined bound: the largest
+  // number of claims sharing any single object.
+  int MaxClaimDegree() const;
+
+  // How many perturbations reference the given object.
+  int NumClaimsReferencing(int object) const;
+
+ private:
+  struct Atom {
+    double value;
+    double prob;
+  };
+  using Dist1D = std::vector<Atom>;
+  struct Atom2 {
+    double a;
+    double b;
+    double prob;
+  };
+  using Dist2D = std::vector<Atom2>;
+
+  // One scaled component of a claim's sum: coeff * X_{object}.
+  struct Component {
+    int object;
+    double coeff;
+  };
+
+  double Transform(int k, double q) const;
+
+  // Distribution of sum(coeff_i X_i) over `components`, restricted to those
+  // whose cleaned-flag equals `want_cleaned`.
+  Dist1D Convolve1D(const std::vector<Component>& components,
+                    const std::vector<bool>& is_cleaned,
+                    bool want_cleaned) const;
+
+  // Joint distribution of (sum a-coeffs, sum b-coeffs) over the given
+  // two-coefficient components with the matching cleaned-flag.
+  struct Component2 {
+    int object;
+    double coeff_a;
+    double coeff_b;
+  };
+  Dist2D Convolve2D(const std::vector<Component2>& components,
+                    const std::vector<bool>& is_cleaned,
+                    bool want_cleaned) const;
+
+  // E_T[Var(g_k | X_T)] for claim k, memoized on the cleaned-subset mask
+  // of the claim's references (a claim term has at most 2^W distinct
+  // values, so repeated EV queries — e.g. from the ISSC algorithm — hit
+  // the cache).  The underlying problem must not change after
+  // construction.
+  double EVarTerm(int k, const std::vector<bool>& is_cleaned) const;
+  double EVarTermUncached(int k, const std::vector<bool>& is_cleaned) const;
+  // E[g_k] under the current (partially cleaned) distributions.
+  double MeanTerm(int k, const std::vector<bool>& is_cleaned) const;
+  // E_T[Cov(g_k1, g_k2 | X_T)] for an overlapping pair (memoized like
+  // EVarTerm, on the mask over the union of the pair's references).
+  double ECovTerm(int pair_idx, const std::vector<bool>& is_cleaned) const;
+  double ECovTermUncached(int pair_idx,
+                          const std::vector<bool>& is_cleaned) const;
+
+  // Benefit of cleaning object i on top of `is_cleaned` (which must not
+  // already contain i), given the cached per-claim/pair term values.
+  double Benefit(int i, std::vector<bool>& is_cleaned,
+                 const std::vector<double>& evar_terms,
+                 const std::vector<double>& ecov_terms) const;
+
+  const CleaningProblem* problem_;
+  const PerturbationSet* context_;
+  QualityMeasure measure_;
+  double reference_;
+  StrengthDirection direction_;
+
+  // Per-claim linear structure.
+  std::vector<std::vector<Component>> claim_components_;
+  std::vector<double> claim_intercepts_;
+
+  // Overlapping pairs and their shared/exclusive component split.
+  struct Pair {
+    int k1;
+    int k2;
+    std::vector<Component2> shared;      // referenced by both claims
+    std::vector<Component> exclusive1;   // only claim k1
+    std::vector<Component> exclusive2;   // only claim k2
+  };
+  std::vector<Pair> pairs_;
+
+  // Incidence: object -> claims / pairs whose terms depend on it.
+  std::vector<std::vector<int>> object_claims_;
+  std::vector<std::vector<int>> object_pairs_;
+
+  // Memoization: term value keyed by the cleaned-subset bitmask over the
+  // term's member objects (only for terms with <= 30 members).
+  std::vector<std::vector<int>> pair_members_;  // sorted union refs per pair
+  mutable std::vector<std::unordered_map<uint32_t, double>> evar_cache_;
+  mutable std::vector<std::unordered_map<uint32_t, double>> ecov_cache_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CLAIMS_EV_FAST_H_

@@ -1,0 +1,64 @@
+#include "claims/explain.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+std::string CleaningPlanExplanation::ToText() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cleaning plan: %zu values, total cost %.6g\n"
+                "uncertainty: %.6g -> %.6g (%.1f%% removed)\n",
+                steps.size(), total_cost, prior_variance, final_variance,
+                prior_variance > 0
+                    ? 100.0 * (1.0 - final_variance / prior_variance)
+                    : 0.0);
+  out += buf;
+  for (size_t s = 0; s < steps.size(); ++s) {
+    const PlanStep& step = steps[s];
+    std::snprintf(buf, sizeof(buf),
+                  "%2zu. %-24s cost %8.6g  removes %10.6g  "
+                  "(EV -> %.6g, feeds %d claim%s)\n",
+                  s + 1, step.label.c_str(), step.cost,
+                  step.marginal_benefit, step.ev_after, step.claims_touched,
+                  step.claims_touched == 1 ? "" : "s");
+    out += buf;
+  }
+  return out;
+}
+
+CleaningPlanExplanation ExplainSelection(const CleaningProblem& problem,
+                                         const ClaimEvEvaluator& evaluator,
+                                         const Selection& selection) {
+  CleaningPlanExplanation explanation;
+  explanation.prior_variance = evaluator.PriorVariance();
+  explanation.total_cost = selection.cost;
+  const std::vector<int>& order =
+      selection.order.empty() ? selection.cleaned : selection.order;
+  std::vector<int> prefix;
+  double prev_ev = explanation.prior_variance;
+  for (int i : order) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, problem.size());
+    prefix.push_back(i);
+    double ev = evaluator.EV(prefix);
+    PlanStep step;
+    step.object = i;
+    step.label = problem.object(i).label.empty()
+                     ? "object " + std::to_string(i)
+                     : problem.object(i).label;
+    step.cost = problem.object(i).cost;
+    step.marginal_benefit = prev_ev - ev;
+    step.ev_after = ev;
+    step.claims_touched = evaluator.NumClaimsReferencing(i);
+    explanation.steps.push_back(std::move(step));
+    prev_ev = ev;
+  }
+  explanation.final_variance = prev_ev;
+  return explanation;
+}
+
+}  // namespace factcheck

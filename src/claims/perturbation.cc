@@ -1,0 +1,121 @@
+#include "claims/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+std::vector<int> PerturbationSet::AllReferences() const {
+  std::vector<int> refs = original.References();
+  for (const Claim& q : perturbations) {
+    refs.insert(refs.end(), q.References().begin(), q.References().end());
+  }
+  std::sort(refs.begin(), refs.end());
+  refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+  return refs;
+}
+
+std::vector<double> ExponentialSensibilities(
+    const std::vector<double>& distances, double lambda) {
+  FC_CHECK_GT(lambda, 0.0);
+  FC_CHECK(!distances.empty());
+  std::vector<double> s(distances.size());
+  double total = 0.0;
+  for (size_t k = 0; k < distances.size(); ++k) {
+    FC_CHECK_GE(distances[k], 0.0);
+    s[k] = std::pow(lambda, -distances[k]);
+    total += s[k];
+  }
+  for (double& v : s) v /= total;
+  return s;
+}
+
+PerturbationSet WindowComparisonPerturbations(int n, int width,
+                                              int original_earlier_start,
+                                              double lambda,
+                                              bool include_original) {
+  FC_CHECK_GT(width, 0);
+  FC_CHECK_GE(original_earlier_start, 0);
+  FC_CHECK_LE(original_earlier_start + 2 * width, n);
+  PerturbationSet set;
+  set.original = MakeWindowComparisonClaim(original_earlier_start,
+                                           original_earlier_start + width,
+                                           width);
+  std::vector<double> distances;
+  for (int start = 0; start + 2 * width <= n; ++start) {
+    if (start == original_earlier_start && !include_original) continue;
+    set.perturbations.push_back(
+        MakeWindowComparisonClaim(start, start + width, width));
+    distances.push_back(std::abs(start - original_earlier_start));
+  }
+  FC_CHECK(!set.perturbations.empty());
+  set.sensibilities = ExponentialSensibilities(distances, lambda);
+  return set;
+}
+
+PerturbationSet NonOverlappingWindowSumPerturbations(int n, int width,
+                                                     int original_start,
+                                                     double lambda,
+                                                     int max_perturbations) {
+  FC_CHECK_GT(width, 0);
+  FC_CHECK_GE(original_start, 0);
+  FC_CHECK_LE(original_start + width, n);
+  PerturbationSet set;
+  set.original = MakeWindowSumClaim(original_start, width);
+  std::vector<double> distances;
+  // Walk outward from the original in non-overlapping steps so that the
+  // most sensible perturbations are generated even when capped.
+  std::vector<int> starts;
+  for (int step = 1;; ++step) {
+    int before = original_start - step * width;
+    int after = original_start + step * width;
+    bool any = false;
+    if (before >= 0) {
+      starts.push_back(before);
+      any = true;
+    }
+    if (after + width <= n) {
+      starts.push_back(after);
+      any = true;
+    }
+    if (!any) break;
+    if (max_perturbations > 0 &&
+        static_cast<int>(starts.size()) >= max_perturbations) {
+      break;
+    }
+  }
+  if (max_perturbations > 0 &&
+      static_cast<int>(starts.size()) > max_perturbations) {
+    starts.resize(max_perturbations);
+  }
+  for (int start : starts) {
+    set.perturbations.push_back(MakeWindowSumClaim(start, width));
+    distances.push_back(std::abs(start - original_start) /
+                        static_cast<double>(width));
+  }
+  FC_CHECK(!set.perturbations.empty());
+  set.sensibilities = ExponentialSensibilities(distances, lambda);
+  return set;
+}
+
+PerturbationSet SlidingWindowSumPerturbations(int n, int width,
+                                              int original_start,
+                                              double lambda) {
+  FC_CHECK_GT(width, 0);
+  FC_CHECK_LE(original_start + width, n);
+  PerturbationSet set;
+  set.original = MakeWindowSumClaim(original_start, width);
+  std::vector<double> distances;
+  for (int start = 0; start + width <= n; ++start) {
+    if (start == original_start) continue;
+    set.perturbations.push_back(MakeWindowSumClaim(start, width));
+    distances.push_back(std::abs(start - original_start));
+  }
+  FC_CHECK(!set.perturbations.empty());
+  set.sensibilities = ExponentialSensibilities(distances, lambda);
+  return set;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,62 @@
+// Perturbation sets and sensibilities (Section 2.2).
+//
+// Fact-checking a claim q* considers m perturbations q_1..q_m, each with a
+// sensibility s_k >= 0, sum_k s_k = 1, measuring relevance to the original.
+// The paper's workloads use exponential decay over the temporal distance
+// between a perturbation and the original claim.
+
+#ifndef FACTCHECK_CLAIMS_PERTURBATION_H_
+#define FACTCHECK_CLAIMS_PERTURBATION_H_
+
+#include <vector>
+
+#include "claims/claim.h"
+
+namespace factcheck {
+
+// The original claim and its perturbation context.
+struct PerturbationSet {
+  Claim original;
+  std::vector<Claim> perturbations;    // q_1..q_m
+  std::vector<double> sensibilities;   // s_1..s_m, normalized to sum 1
+
+  int size() const { return static_cast<int>(perturbations.size()); }
+
+  // Sorted union of all object indices referenced by the original claim or
+  // any perturbation.
+  std::vector<int> AllReferences() const;
+};
+
+// Normalized exponential-decay sensibilities: s_k proportional to
+// lambda^{-distance_k} (lambda > 1 concentrates mass near distance 0).
+std::vector<double> ExponentialSensibilities(
+    const std::vector<double>& distances, double lambda);
+
+// Perturbations of a window comparison claim over a series of length n:
+// every placement of two back-to-back width-w windows, i.e., comparisons
+// ending at each feasible year (Section 4.1 considers all such shifts).
+// Distance = |shift| in years between the perturbation's endpoint and the
+// original's.  Excludes the original placement itself when
+// `include_original` is false.
+PerturbationSet WindowComparisonPerturbations(int n, int width,
+                                              int original_earlier_start,
+                                              double lambda,
+                                              bool include_original = false);
+
+// Perturbations of a window-sum claim: width-w sums at every non-
+// overlapping placement (stride = width), the setting of Sections 4.2/4.3.
+// The original window (at `original_start`) is excluded from the
+// perturbation list.  `max_perturbations` <= 0 means "all placements".
+PerturbationSet NonOverlappingWindowSumPerturbations(
+    int n, int width, int original_start, double lambda,
+    int max_perturbations = -1);
+
+// Perturbations at every placement (stride 1), used when overlap between
+// perturbations is wanted to exercise the covariance machinery.
+PerturbationSet SlidingWindowSumPerturbations(int n, int width,
+                                              int original_start,
+                                              double lambda);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CLAIMS_PERTURBATION_H_

@@ -1,0 +1,80 @@
+#include "claims/quality.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+double QualityTransform(QualityMeasure measure, double q, double reference,
+                        double sensibility, StrengthDirection direction) {
+  double delta = direction == StrengthDirection::kHigherIsStronger
+                     ? q - reference
+                     : reference - q;
+  switch (measure) {
+    case QualityMeasure::kBias:
+      return sensibility * delta;
+    case QualityMeasure::kDuplicity:
+      return delta >= 0.0 ? 1.0 : 0.0;
+    case QualityMeasure::kFragility: {
+      double neg = std::min(delta, 0.0);
+      return sensibility * neg * neg;
+    }
+  }
+  FC_CHECK(false);
+  return 0.0;
+}
+
+ClaimQualityFunction::ClaimQualityFunction(const PerturbationSet* context,
+                                           QualityMeasure measure,
+                                           double reference,
+                                           StrengthDirection direction)
+    : context_(context),
+      measure_(measure),
+      reference_(reference),
+      direction_(direction) {
+  FC_CHECK(context_ != nullptr);
+  FC_CHECK_EQ(context_->perturbations.size(),
+              context_->sensibilities.size());
+  // References: the union over perturbations (the original claim enters
+  // only through the constant `reference`).
+  for (const Claim& q : context_->perturbations) {
+    refs_.insert(refs_.end(), q.References().begin(), q.References().end());
+  }
+  std::sort(refs_.begin(), refs_.end());
+  refs_.erase(std::unique(refs_.begin(), refs_.end()), refs_.end());
+}
+
+double ClaimQualityFunction::Evaluate(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (int k = 0; k < context_->size(); ++k) {
+    acc += QualityTransform(measure_, context_->perturbations[k].Evaluate(x),
+                            reference_, context_->sensibilities[k],
+                            direction_);
+  }
+  return acc;
+}
+
+LinearQueryFunction BiasLinearFunction(const PerturbationSet& context,
+                                       double reference) {
+  std::map<int, double> weights;
+  double intercept = 0.0;
+  for (int k = 0; k < context.size(); ++k) {
+    double s = context.sensibilities[k];
+    const LinearQueryFunction& q = context.perturbations[k].query;
+    const auto& refs = q.References();
+    const auto& coeffs = q.coefficients();
+    for (size_t j = 0; j < refs.size(); ++j) weights[refs[j]] += s * coeffs[j];
+    intercept += s * (q.intercept() - reference);
+  }
+  std::vector<int> refs;
+  std::vector<double> coeffs;
+  for (const auto& [i, w] : weights) {
+    refs.push_back(i);
+    coeffs.push_back(w);
+  }
+  return LinearQueryFunction(std::move(refs), std::move(coeffs), intercept);
+}
+
+}  // namespace factcheck

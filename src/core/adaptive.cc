@@ -1,0 +1,110 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/maxpr.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+// Pr[coeff * X < threshold] for a discrete X.
+double ScaledProbBelow(const DiscreteDistribution& dist, double coeff,
+                       double threshold) {
+  if (coeff > 0.0) return dist.CdfBelow(threshold / coeff);
+  if (coeff < 0.0) return 1.0 - dist.CdfAtOrBelow(threshold / coeff);
+  return threshold > 0.0 ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
+                                      const LinearQueryFunction& f,
+                                      double tau, double budget,
+                                      const std::vector<double>& truth) {
+  FC_CHECK_EQ(static_cast<int>(truth.size()), problem.size());
+  FC_CHECK_GE(tau, 0.0);
+  std::vector<double> x = problem.CurrentValues();
+  const std::vector<double> costs = problem.Costs();
+  double target = f.Evaluate(x) - tau;
+
+  AdaptiveRunResult result;
+  std::vector<bool> cleaned(problem.size(), false);
+  while (true) {
+    result.final_value = f.Evaluate(x);
+    if (result.final_value < target) {
+      result.succeeded = true;
+      return result;
+    }
+    // One-step look-ahead: probability that revealing i alone succeeds.
+    int best = -1;
+    double best_score = -1.0;
+    bool best_by_prob = false;
+    for (int i : f.References()) {
+      if (cleaned[i] || result.cost_used + costs[i] > budget) continue;
+      const DiscreteDistribution& dist = problem.object(i).dist;
+      if (dist.is_point_mass()) continue;
+      double a = f.Coefficient(i);
+      double rest = result.final_value - a * x[i];
+      double prob = ScaledProbBelow(dist, a, target - rest);
+      if (prob > 0.0) {
+        double score = prob / costs[i];
+        if (!best_by_prob || score > best_score) {
+          best = i;
+          best_score = score;
+          best_by_prob = true;
+        }
+      } else if (!best_by_prob) {
+        // No single reveal can succeed; explore by variance density so a
+        // later combination still can.
+        double score = a * a * dist.Variance() / costs[i];
+        if (score > best_score) {
+          best = i;
+          best_score = score;
+        }
+      }
+    }
+    if (best < 0) return result;  // out of budget or candidates
+    cleaned[best] = true;
+    x[best] = truth[best];
+    result.cost_used += costs[best];
+    ++result.num_cleaned;
+    result.order.push_back(best);
+  }
+}
+
+AdaptiveRunResult UpfrontMaxPrPolicy(const CleaningProblem& problem,
+                                     const LinearQueryFunction& f,
+                                     double tau, double budget,
+                                     const std::vector<double>& truth) {
+  FC_CHECK_EQ(static_cast<int>(truth.size()), problem.size());
+  int n = problem.size();
+  std::vector<double> current = problem.CurrentValues();
+  std::vector<double> means = problem.Means();
+  std::vector<double> stddevs(n);
+  for (int i = 0; i < n; ++i) {
+    stddevs[i] = std::sqrt(problem.object(i).dist.Variance());
+  }
+  Selection plan = GreedyMaxPrNormal(f, means, stddevs, current,
+                                     problem.Costs(), budget, tau);
+  std::vector<double> x = current;
+  double target = f.Evaluate(x) - tau;
+  AdaptiveRunResult result;
+  const std::vector<double> costs = problem.Costs();
+  for (int i : plan.order) {
+    x[i] = truth[i];
+    result.cost_used += costs[i];
+    ++result.num_cleaned;
+    result.order.push_back(i);
+    result.final_value = f.Evaluate(x);
+    if (result.final_value < target) {
+      result.succeeded = true;
+      return result;
+    }
+  }
+  result.final_value = f.Evaluate(x);
+  return result;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,48 @@
+// Adaptive cleaning policies (Section 6, future work): "instead of making
+// all choices upfront, an algorithm can adapt its data cleaning actions to
+// the outcome of its earlier actions, which is particularly useful to
+// MaxPr."
+//
+// The adaptive MaxPr policy cleans one object at a time: after each
+// revelation it re-evaluates, for every remaining affordable object, the
+// probability that revealing that object alone pushes the (linear) query
+// below the target, and picks the best probability-per-cost.  It stops as
+// soon as the realized query value crosses the target (surprise achieved)
+// or the budget runs out.
+
+#ifndef FACTCHECK_CORE_ADAPTIVE_H_
+#define FACTCHECK_CORE_ADAPTIVE_H_
+
+#include "core/problem.h"
+#include "core/query_function.h"
+
+namespace factcheck {
+
+struct AdaptiveRunResult {
+  bool succeeded = false;      // f dropped below f(u) - tau
+  double cost_used = 0.0;
+  int num_cleaned = 0;
+  std::vector<int> order;      // objects cleaned, in order
+  double final_value = 0.0;    // f on the final (partially revealed) data
+};
+
+// Runs the adaptive policy against a hidden `truth` vector (one entry per
+// object).  `f` must be linear; the target is f(current) - tau, fixed at
+// the start.  Each step's one-step success probability is computed exactly
+// from the candidate's discrete error distribution.
+AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
+                                      const LinearQueryFunction& f,
+                                      double tau, double budget,
+                                      const std::vector<double>& truth);
+
+// Non-adaptive baseline with the same interface: commits upfront to the
+// GreedyMaxPr-style set (closed normal form), then reveals it in pick
+// order, stopping early on success.  Used by the adaptivity ablation.
+AdaptiveRunResult UpfrontMaxPrPolicy(const CleaningProblem& problem,
+                                     const LinearQueryFunction& f,
+                                     double tau, double budget,
+                                     const std::vector<double>& truth);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_ADAPTIVE_H_

@@ -1,0 +1,46 @@
+#include "core/brute_force.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+Selection BruteForce(const std::vector<double>& costs, double budget,
+                     const SetObjective& objective, double sign) {
+  int n = static_cast<int>(costs.size());
+  FC_CHECK_LE(n, 25);
+  Selection best;
+  double best_value = objective({});
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    double cost = 0.0;
+    std::vector<int> subset;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        cost += costs[i];
+        subset.push_back(i);
+      }
+    }
+    if (cost > budget) continue;
+    double value = objective(subset);
+    if (sign * value > sign * best_value) {
+      best_value = value;
+      best.cleaned = std::move(subset);
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Selection BruteForceMinimize(const std::vector<double>& costs, double budget,
+                             const SetObjective& objective) {
+  return BruteForce(costs, budget, objective, -1.0);
+}
+
+Selection BruteForceMaximize(const std::vector<double>& costs, double budget,
+                             const SetObjective& objective) {
+  return BruteForce(costs, budget, objective, +1.0);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,21 @@
+// Exhaustive subset search ("OPT" in Section 4.5): the yardstick used when
+// no efficient algorithm with guarantees exists (e.g., correlated errors).
+// Exponential in n; guarded to small instances.
+
+#ifndef FACTCHECK_CORE_BRUTE_FORCE_H_
+#define FACTCHECK_CORE_BRUTE_FORCE_H_
+
+#include "core/greedy.h"
+
+namespace factcheck {
+
+// Enumerates every feasible subset (sum of costs <= budget) and returns the
+// one minimizing / maximizing the objective.  n must be <= 25.
+Selection BruteForceMinimize(const std::vector<double>& costs, double budget,
+                             const SetObjective& objective);
+Selection BruteForceMaximize(const std::vector<double>& costs, double budget,
+                             const SetObjective& objective);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_BRUTE_FORCE_H_

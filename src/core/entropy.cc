@@ -1,0 +1,79 @@
+#include "core/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/ev.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+// Entropy of a value -> probability histogram.
+double HistogramEntropy(const std::map<double, double>& histogram) {
+  double acc = 0.0;
+  for (const auto& [value, prob] : histogram) {
+    if (prob > 0.0) acc -= prob * std::log(prob);
+  }
+  return acc;
+}
+
+std::vector<int> SortedUnique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+double QueryEntropy(const QueryFunction& f, const CleaningProblem& problem) {
+  std::map<double, double> histogram;
+  ForEachAssignment(problem, f.References(),
+                    [&](const std::vector<double>& x, double p) {
+                      histogram[f.Evaluate(x)] += p;
+                    });
+  return HistogramEntropy(histogram);
+}
+
+double ExpectedPosteriorEntropy(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                const std::vector<int>& cleaned) {
+  const std::vector<int>& refs = f.References();
+  std::vector<int> t;
+  for (int i : SortedUnique(cleaned)) {
+    if (std::binary_search(refs.begin(), refs.end(), i)) t.push_back(i);
+  }
+  std::vector<int> rest;
+  std::set_difference(refs.begin(), refs.end(), t.begin(), t.end(),
+                      std::back_inserter(rest));
+  if (rest.empty()) return 0.0;
+
+  // Outer enumeration over the cleaned values; inner histogram over the
+  // remainder.  ForEachAssignment's full-vector visitor makes the nesting
+  // awkward, so enumerate via a temporary problem whose cleaned objects
+  // are pinned per outer assignment.
+  double eh = 0.0;
+  ForEachAssignment(problem, t, [&](const std::vector<double>& x_outer,
+                                    double p_outer) {
+    CleaningProblem pinned = problem;
+    for (int i : t) pinned.Clean(i, x_outer[i]);
+    std::map<double, double> histogram;
+    ForEachAssignment(pinned, rest,
+                      [&](const std::vector<double>& x, double p) {
+                        histogram[f.Evaluate(x)] += p;
+                      });
+    eh += p_outer * HistogramEntropy(histogram);
+  });
+  return eh;
+}
+
+Selection GreedyMinEntropy(const QueryFunction& f,
+                           const CleaningProblem& problem, double budget) {
+  return AdaptiveGreedyMinimize(
+      problem.Costs(), budget, [&](const std::vector<int>& t) {
+        return ExpectedPosteriorEntropy(f, problem, t);
+      });
+}
+
+}  // namespace factcheck

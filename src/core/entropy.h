@@ -1,0 +1,36 @@
+// Entropy-based uncertainty objective, for comparison with the paper's
+// expected-variance objective.
+//
+// Related work (Cheng et al.'s PWS-quality) scores query answers by
+// entropy.  The paper argues variance suits numeric fact-checking results
+// better: entropy ignores the *magnitude* of the spread.  This module
+// implements the expected posterior entropy EH(T) so the ablation bench
+// can quantify that argument — selecting by entropy can leave much more
+// variance behind at equal budget.
+
+#ifndef FACTCHECK_CORE_ENTROPY_H_
+#define FACTCHECK_CORE_ENTROPY_H_
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+
+namespace factcheck {
+
+// Shannon entropy (nats) of f(X)'s value distribution under the problem's
+// current (independent) distributions; exact support enumeration.
+double QueryEntropy(const QueryFunction& f, const CleaningProblem& problem);
+
+// EH(T): expected posterior entropy of f after cleaning T (the entropy
+// analogue of Eq. 1).
+double ExpectedPosteriorEntropy(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                const std::vector<int>& cleaned);
+
+// Adaptive greedy minimizing EH(T) — the PWS-quality-style selector.
+Selection GreedyMinEntropy(const QueryFunction& f,
+                           const CleaningProblem& problem, double budget);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_ENTROPY_H_

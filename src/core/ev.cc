@@ -1,0 +1,126 @@
+#include "core/ev.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+// Sorted intersection / difference over small index sets.
+std::vector<int> SortedUnique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<int> Intersect(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<int> Difference(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// Odometer over the supports of `idx`, with the visitor receiving a full
+// value vector and joint probability.  `x` is scratch space seeded with the
+// problem's current values.
+void Enumerate(const CleaningProblem& problem, const std::vector<int>& idx,
+               std::vector<double>& x,
+               const std::function<void(const std::vector<double>&, double)>&
+                   visit) {
+  int k = static_cast<int>(idx.size());
+  std::vector<int> level(k, 0);
+  while (true) {
+    double prob = 1.0;
+    for (int j = 0; j < k; ++j) {
+      const auto& d = problem.object(idx[j]).dist;
+      x[idx[j]] = d.value(level[j]);
+      prob *= d.prob(level[j]);
+    }
+    visit(x, prob);
+    // Advance odometer.
+    int j = k - 1;
+    while (j >= 0) {
+      if (++level[j] < problem.object(idx[j]).dist.support_size()) break;
+      level[j] = 0;
+      --j;
+    }
+    if (j < 0) break;
+  }
+}
+
+}  // namespace
+
+void ForEachAssignment(
+    const CleaningProblem& problem, const std::vector<int>& idx,
+    const std::function<void(const std::vector<double>&, double)>& visit) {
+  std::vector<double> x = problem.CurrentValues();
+  Enumerate(problem, SortedUnique(idx), x, visit);
+}
+
+double ExpectedValue(const QueryFunction& f, const CleaningProblem& problem) {
+  double acc = 0.0;
+  ForEachAssignment(problem, f.References(),
+                    [&](const std::vector<double>& x, double p) {
+                      acc += p * f.Evaluate(x);
+                    });
+  return acc;
+}
+
+double PriorVariance(const QueryFunction& f, const CleaningProblem& problem) {
+  double m1 = 0.0, m2 = 0.0;
+  ForEachAssignment(problem, f.References(),
+                    [&](const std::vector<double>& x, double p) {
+                      double v = f.Evaluate(x);
+                      m1 += p * v;
+                      m2 += p * v * v;
+                    });
+  double var = m2 - m1 * m1;
+  return var > 0.0 ? var : 0.0;
+}
+
+double ExpectedPosteriorVariance(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 const std::vector<int>& cleaned) {
+  const std::vector<int>& refs = f.References();
+  std::vector<int> t = Intersect(SortedUnique(cleaned), refs);
+  std::vector<int> rest = Difference(refs, t);
+  if (rest.empty()) return 0.0;  // everything f touches is clean
+
+  std::vector<double> x = problem.CurrentValues();
+  double ev = 0.0;
+  Enumerate(problem, t, x, [&](const std::vector<double>&, double p_outer) {
+    // Inner pass: conditional variance over the uncleaned references, with
+    // x currently holding the outer assignment on `t`.
+    double m1 = 0.0, m2 = 0.0;
+    Enumerate(problem, rest, x,
+              [&](const std::vector<double>& xv, double p_inner) {
+                double v = f.Evaluate(xv);
+                m1 += p_inner * v;
+                m2 += p_inner * v * v;
+              });
+    double var = m2 - m1 * m1;
+    if (var > 0.0) ev += p_outer * var;
+  });
+  return ev;
+}
+
+double MarginalVarianceReduction(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 const std::vector<int>& cleaned, int i) {
+  std::vector<int> with = cleaned;
+  with.push_back(i);
+  return ExpectedPosteriorVariance(f, problem, cleaned) -
+         ExpectedPosteriorVariance(f, problem, with);
+}
+
+}  // namespace factcheck

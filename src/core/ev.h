@@ -1,0 +1,51 @@
+// Exact evaluation of the MinVar objective EV(T) by support enumeration.
+//
+//   EV(T) = sum_{v in V_T} Pr[X_T = v] * Var[f(X) | X_T = v]   (Eq. 1)
+//
+// Under mutual independence, only the objects referenced by f matter, so
+// enumeration is over V_{refs}, giving exact values whenever |refs| is
+// small (the setting of Theorem 3.8).  These evaluators are the ground
+// truth for tests, the backend of OPT/brute force, and the default engine
+// for GreedyMinVar on general query functions; claims/ev_fast provides the
+// structured, scalable evaluator for claim-quality measures.
+
+#ifndef FACTCHECK_CORE_EV_H_
+#define FACTCHECK_CORE_EV_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/query_function.h"
+
+namespace factcheck {
+
+// Iterates over joint realizations of the objects `idx` (independent), and
+// calls visit(values, prob) with a full-length value vector in which the
+// non-enumerated coordinates hold the problem's current values.
+void ForEachAssignment(
+    const CleaningProblem& problem, const std::vector<int>& idx,
+    const std::function<void(const std::vector<double>&, double)>& visit);
+
+// E[f(X)] over the independent joint distribution.
+double ExpectedValue(const QueryFunction& f, const CleaningProblem& problem);
+
+// Var[f(X)] over the independent joint distribution (= EV(empty set)).
+double PriorVariance(const QueryFunction& f, const CleaningProblem& problem);
+
+// EV(T): the expected posterior variance of f after cleaning the objects in
+// `cleaned` (indices into the problem; duplicates and unreferenced objects
+// are tolerated).  Exponential in |refs|, exact.
+double ExpectedPosteriorVariance(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 const std::vector<int>& cleaned);
+
+// Convenience: the per-object EV drop EV(T) - EV(T + {i}), i.e., the
+// adaptive greedy benefit of cleaning i given T.
+double MarginalVarianceReduction(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 const std::vector<int>& cleaned, int i);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_EV_H_

@@ -1,0 +1,225 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+void FinishSelection(Selection& sel) {
+  sel.order = sel.cleaned;
+  std::sort(sel.cleaned.begin(), sel.cleaned.end());
+}
+
+std::vector<double> ReferencedVariances(const QueryFunction& f,
+                                        const CleaningProblem& problem) {
+  std::vector<double> benefits(problem.size(), 0.0);
+  for (int i : f.References()) benefits[i] = problem.object(i).dist.Variance();
+  return benefits;
+}
+
+}  // namespace
+
+Selection RandomSelect(const std::vector<double>& costs, double budget,
+                       Rng& rng) {
+  int n = static_cast<int>(costs.size());
+  std::vector<int> order = rng.SampleWithoutReplacement(n, n);
+  Selection sel;
+  for (int i : order) {
+    if (sel.cost + costs[i] <= budget) {
+      sel.cleaned.push_back(i);
+      sel.cost += costs[i];
+    }
+  }
+  FinishSelection(sel);
+  return sel;
+}
+
+Selection StaticGreedy(const std::vector<double>& benefits,
+                       const std::vector<double>& costs, double budget,
+                       const GreedyOptions& options) {
+  FC_CHECK_EQ(benefits.size(), costs.size());
+  int n = static_cast<int>(costs.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.cost_aware) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return benefits[a] * costs[b] > benefits[b] * costs[a];
+    });
+  } else {
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return benefits[a] > benefits[b]; });
+  }
+  Selection sel;
+  double benefit_sum = 0.0;
+  std::vector<bool> taken(n, false);
+  for (int i : order) {
+    if (benefits[i] <= 0.0) continue;  // cleaning can't help
+    if (sel.cost + costs[i] <= budget) {
+      sel.cleaned.push_back(i);
+      sel.cost += costs[i];
+      benefit_sum += benefits[i];
+      taken[i] = true;
+    }
+  }
+  if (options.final_check) {
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (taken[i] || costs[i] > budget) continue;
+      if (best < 0 || benefits[i] > benefits[best]) best = i;
+    }
+    if (best >= 0 && benefits[best] > benefit_sum) {
+      sel.cleaned = {best};
+      sel.cost = costs[best];
+    }
+  }
+  FinishSelection(sel);
+  return sel;
+}
+
+namespace {
+
+// Shared engine for the adaptive variants; `sign` is +1 for maximize and
+// -1 for minimize; stops early in maximize mode once nothing improves.
+Selection AdaptiveGreedy(const std::vector<double>& costs, double budget,
+                         const SetObjective& objective, double sign,
+                         bool stop_when_no_gain,
+                         const GreedyOptions& options) {
+  int n = static_cast<int>(costs.size());
+  Selection sel;
+  std::vector<bool> taken(n, false);
+  double current = objective({});
+  while (true) {
+    int best = -1;
+    double best_score = 0.0;  // benefit / cost of best candidate
+    double best_value = 0.0;  // objective after adding best
+    for (int i = 0; i < n; ++i) {
+      if (taken[i] || sel.cost + costs[i] > budget) continue;
+      std::vector<int> candidate = sel.cleaned;
+      candidate.push_back(i);
+      double value = objective(candidate);
+      double benefit = sign * (value - current);
+      double score =
+          options.cost_aware ? benefit / costs[i] : benefit;
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+        best_value = value;
+      }
+    }
+    if (best < 0) break;  // nothing affordable remains
+    if (stop_when_no_gain && sign * (best_value - current) <= 0.0) break;
+    taken[best] = true;
+    sel.cleaned.push_back(best);
+    sel.cost += costs[best];
+    current = best_value;
+  }
+  if (options.final_check && !sel.cleaned.empty()) {
+    // Lines 5-8 of Algorithm 1, interpreted on the objective directly: if
+    // some affordable single object alone beats the accumulated set, take
+    // it instead.
+    int best = -1;
+    double best_value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (taken[i] || costs[i] > budget) continue;
+      double value = objective({i});
+      if (best < 0 || sign * value > sign * best_value) {
+        best = i;
+        best_value = value;
+      }
+    }
+    if (best >= 0 && sign * best_value > sign * current) {
+      sel.cleaned = {best};
+      sel.cost = costs[best];
+    }
+  }
+  FinishSelection(sel);
+  return sel;
+}
+
+}  // namespace
+
+Selection AdaptiveGreedyMinimize(const std::vector<double>& costs,
+                                 double budget, const SetObjective& objective,
+                                 const GreedyOptions& options) {
+  return AdaptiveGreedy(costs, budget, objective, /*sign=*/-1.0,
+                        /*stop_when_no_gain=*/false, options);
+}
+
+Selection AdaptiveGreedyMaximize(const std::vector<double>& costs,
+                                 double budget, const SetObjective& objective,
+                                 const GreedyOptions& options) {
+  return AdaptiveGreedy(costs, budget, objective, /*sign=*/+1.0,
+                        /*stop_when_no_gain=*/true, options);
+}
+
+Selection GreedyNaive(const QueryFunction& f, const CleaningProblem& problem,
+                      double budget) {
+  return StaticGreedy(ReferencedVariances(f, problem), problem.Costs(),
+                      budget);
+}
+
+Selection GreedyNaiveCostBlind(const QueryFunction& f,
+                               const CleaningProblem& problem, double budget) {
+  GreedyOptions options;
+  options.cost_aware = false;
+  return StaticGreedy(ReferencedVariances(f, problem), problem.Costs(),
+                      budget, options);
+}
+
+Selection GreedyMinVar(const QueryFunction& f, const CleaningProblem& problem,
+                       double budget) {
+  return AdaptiveGreedyMinimize(
+      problem.Costs(), budget, [&](const std::vector<int>& t) {
+        return ExpectedPosteriorVariance(f, problem, t);
+      });
+}
+
+Selection GreedyMaxPr(const QueryFunction& f, const CleaningProblem& problem,
+                      double budget, double tau) {
+  return AdaptiveGreedyMaximize(
+      problem.Costs(), budget, [&](const std::vector<int>& t) {
+        return SurpriseProbabilityExact(f, problem, t, tau);
+      });
+}
+
+Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
+                            const std::vector<double>& means,
+                            const std::vector<double>& stddevs,
+                            const std::vector<double>& current,
+                            const std::vector<double>& costs, double budget,
+                            double tau) {
+  return AdaptiveGreedyMaximize(
+      costs, budget, [&](const std::vector<int>& t) {
+        return SurpriseProbabilityNormal(f, means, stddevs, current, t, tau);
+      });
+}
+
+Selection GreedyDep(const LinearQueryFunction& f,
+                    const MultivariateNormal& model,
+                    const std::vector<double>& costs, double budget) {
+  std::vector<double> a = f.DenseWeights(model.dim());
+  return AdaptiveGreedyMinimize(
+      costs, budget, [&](const std::vector<int>& t) {
+        return model.ExpectedConditionalVariance(a, t);
+      });
+}
+
+Selection GreedyMinVarLinearIndependent(const LinearQueryFunction& f,
+                                        const std::vector<double>& variances,
+                                        const std::vector<double>& costs,
+                                        double budget) {
+  // Modular case (Lemma 3.1): benefit of i is exactly a_i^2 Var[X_i].
+  int n = static_cast<int>(costs.size());
+  std::vector<double> benefits(n, 0.0);
+  const auto& refs = f.References();
+  const auto& coeffs = f.coefficients();
+  for (size_t k = 0; k < refs.size(); ++k) {
+    benefits[refs[k]] = coeffs[k] * coeffs[k] * variances[refs[k]];
+  }
+  return StaticGreedy(benefits, costs, budget);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,110 @@
+// The greedy selection family of Section 3.1 (Algorithm 1) and baselines.
+//
+// Algorithm 1 is parameterized by a benefit estimator beta.  Instantiations:
+//   * Random              — uniform random order (baseline)
+//   * GreedyNaiveCostBlind — beta = Var[X_i], ignores costs
+//   * GreedyNaive          — beta = Var[X_i], picks by beta / cost
+//   * GreedyMinVar         — adaptive beta = EV(T) - EV(T + {i})
+//   * GreedyMaxPr          — adaptive beta = Pr(T + {i}) - Pr(T)
+//   * GreedyDep            — GreedyMinVar with a covariance-aware EV
+// All variants implement the final single-item check (lines 5-8) that
+// upgrades density greedy to a 2-approximation on modular objectives.
+
+#ifndef FACTCHECK_CORE_GREEDY_H_
+#define FACTCHECK_CORE_GREEDY_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/ev.h"
+#include "core/maxpr.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "dist/mvn.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+// The outcome of a selection algorithm.
+struct Selection {
+  std::vector<int> cleaned;  // object indices, ascending
+  std::vector<int> order;    // same indices in the order they were picked
+  double cost = 0.0;         // sum of their cleaning costs
+};
+
+// Maps a candidate cleaning set T to the objective value (e.g. EV(T)).
+using SetObjective = std::function<double(const std::vector<int>&)>;
+
+struct GreedyOptions {
+  // Run the Algorithm-1 lines 5-8 single-item check.
+  bool final_check = true;
+  // Divide benefits by cost when ranking (beta(o)/c_o); the cost-blind
+  // baseline disables this.
+  bool cost_aware = true;
+};
+
+// Uniformly random selection (skips objects that no longer fit).
+Selection RandomSelect(const std::vector<double>& costs, double budget,
+                       Rng& rng);
+
+// Non-adaptive greedy over fixed per-object benefits.
+Selection StaticGreedy(const std::vector<double>& benefits,
+                       const std::vector<double>& costs, double budget,
+                       const GreedyOptions& options = {});
+
+// Adaptive greedy that re-estimates marginal benefits after every pick.
+// `objective` is evaluated O(n^2) times.  Minimize: picks by
+// (obj(T) - obj(T+{i})) / c_i, stops when the budget is exhausted; the
+// final check swaps to the best single item if it alone beats T.
+Selection AdaptiveGreedyMinimize(const std::vector<double>& costs,
+                                 double budget, const SetObjective& objective,
+                                 const GreedyOptions& options = {});
+
+// Maximize: picks by (obj(T+{i}) - obj(T)) / c_i and stops early once no
+// candidate improves the objective (the paper's "refuses to clean more"
+// behaviour visible in Fig 12b).
+Selection AdaptiveGreedyMaximize(const std::vector<double>& costs,
+                                 double budget, const SetObjective& objective,
+                                 const GreedyOptions& options = {});
+
+// --- Named instantiations -------------------------------------------------
+
+// GreedyNaive / GreedyNaiveCostBlind: benefit Var[X_i] for objects the
+// query references, 0 otherwise.
+Selection GreedyNaive(const QueryFunction& f, const CleaningProblem& problem,
+                      double budget);
+Selection GreedyNaiveCostBlind(const QueryFunction& f,
+                               const CleaningProblem& problem, double budget);
+
+// GreedyMinVar over the exact enumeration EV (general f, independent X).
+Selection GreedyMinVar(const QueryFunction& f, const CleaningProblem& problem,
+                       double budget);
+
+// GreedyMaxPr over exact enumeration (general f, independent discrete X).
+Selection GreedyMaxPr(const QueryFunction& f, const CleaningProblem& problem,
+                      double budget, double tau);
+
+// GreedyMaxPr in the normal closed form (affine f, independent normals).
+Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
+                            const std::vector<double>& means,
+                            const std::vector<double>& stddevs,
+                            const std::vector<double>& current,
+                            const std::vector<double>& costs, double budget,
+                            double tau);
+
+// GreedyDep: adaptive MinVar greedy that knows the full covariance matrix
+// (linear f); EV is the Schur-complement conditional variance.
+Selection GreedyDep(const LinearQueryFunction& f,
+                    const MultivariateNormal& model,
+                    const std::vector<double>& costs, double budget);
+
+// Covariance-unaware MinVar greedy for linear f under an MVN whose off-
+// diagonal entries it cannot see (treats values as independent).
+Selection GreedyMinVarLinearIndependent(const LinearQueryFunction& f,
+                                        const std::vector<double>& variances,
+                                        const std::vector<double>& costs,
+                                        double budget);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_GREEDY_H_

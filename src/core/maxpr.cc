@@ -1,0 +1,66 @@
+#include "core/maxpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ev.h"
+#include "dist/normal.h"
+#include "util/check.h"
+
+namespace factcheck {
+
+double SurpriseProbabilityExact(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                const std::vector<int>& cleaned, double tau) {
+  FC_CHECK_GE(tau, 0.0);
+  if (cleaned.empty()) return 0.0;
+  const std::vector<int>& refs = f.References();
+  std::vector<int> t;
+  for (int i : cleaned) {
+    if (std::binary_search(refs.begin(), refs.end(), i)) t.push_back(i);
+  }
+  if (t.empty()) return 0.0;
+  double threshold = f.Evaluate(problem.CurrentValues()) - tau;
+  double prob = 0.0;
+  ForEachAssignment(problem, t, [&](const std::vector<double>& x, double p) {
+    if (f.Evaluate(x) < threshold) prob += p;
+  });
+  return prob;
+}
+
+double SurpriseProbabilityNormal(const LinearQueryFunction& f,
+                                 const std::vector<double>& means,
+                                 const std::vector<double>& stddevs,
+                                 const std::vector<double>& current,
+                                 const std::vector<int>& cleaned, double tau) {
+  FC_CHECK_GE(tau, 0.0);
+  FC_CHECK_EQ(means.size(), stddevs.size());
+  FC_CHECK_EQ(means.size(), current.size());
+  if (cleaned.empty()) return 0.0;
+  double shift = 0.0;     // E[f(X) - f(u) | rest = u]
+  double variance = 0.0;  // Var[f(X) - f(u) | rest = u]
+  for (int i : cleaned) {
+    double a = f.Coefficient(i);
+    if (a == 0.0) continue;
+    shift += a * (means[i] - current[i]);
+    variance += a * a * stddevs[i] * stddevs[i];
+  }
+  if (variance <= 0.0) return shift < -tau ? 1.0 : 0.0;
+  return StdNormalCdf((-tau - shift) / std::sqrt(variance));
+}
+
+std::vector<double> MaxPrModularWeights(const LinearQueryFunction& f,
+                                        const std::vector<double>& stddevs,
+                                        int n) {
+  FC_CHECK_EQ(static_cast<int>(stddevs.size()), n);
+  std::vector<double> w(n, 0.0);
+  const auto& refs = f.References();
+  const auto& coeffs = f.coefficients();
+  for (size_t k = 0; k < refs.size(); ++k) {
+    FC_CHECK_LT(refs[k], n);
+    w[refs[k]] = coeffs[k] * coeffs[k] * stddevs[refs[k]] * stddevs[refs[k]];
+  }
+  return w;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,48 @@
+// Evaluation of the MaxPr objective (Eq. 2):
+//
+//   Pr[ f(X) < f(u) - tau | X_{O \ T} = u_{O \ T} ]
+//
+// i.e., the chance that cleaning the objects in T drops the query result by
+// more than tau while every uncleaned object keeps its current value.  Two
+// engines: exact enumeration over the discrete supports of T (any f), and
+// the closed normal form for affine f under (possibly shifted) independent
+// normal errors (Lemma 3.3 / Theorem 3.9).
+
+#ifndef FACTCHECK_CORE_MAXPR_H_
+#define FACTCHECK_CORE_MAXPR_H_
+
+#include <vector>
+
+#include "core/problem.h"
+#include "core/query_function.h"
+
+namespace factcheck {
+
+// Exact: enumerate the supports of cleaned & referenced objects with all
+// other coordinates pinned at the current values.  Returns 0 for T empty.
+double SurpriseProbabilityExact(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                const std::vector<int>& cleaned, double tau);
+
+// Closed form for affine f and independent normals X_i ~ N(mean_i,
+// stddev_i^2): conditioned on the rest staying at u, f(X) - f(u) is normal
+// with mean sum_{i in T} a_i (mean_i - u_i) and variance
+// sum_{i in T} a_i^2 stddev_i^2; the result is Phi((-tau - mean)/sd).
+// When every mean_i == u_i this reduces to Phi(-tau / sd), which is
+// maximized by maximizing sum a_i^2 sigma_i^2 — the modular objective of
+// Lemma 3.1.
+double SurpriseProbabilityNormal(const LinearQueryFunction& f,
+                                 const std::vector<double>& means,
+                                 const std::vector<double>& stddevs,
+                                 const std::vector<double>& current,
+                                 const std::vector<int>& cleaned, double tau);
+
+// The modular MaxPr weights w_i = a_i^2 sigma_i^2 of Lemma 3.1 (dense,
+// length n).
+std::vector<double> MaxPrModularWeights(const LinearQueryFunction& f,
+                                        const std::vector<double>& stddevs,
+                                        int n);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_MAXPR_H_

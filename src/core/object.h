@@ -1,0 +1,24 @@
+// The uncertain-object model of Section 2.1.
+
+#ifndef FACTCHECK_CORE_OBJECT_H_
+#define FACTCHECK_CORE_OBJECT_H_
+
+#include <string>
+
+#include "dist/discrete.h"
+
+namespace factcheck {
+
+// One database value o_i: a current (possibly wrong) value u_i, a known
+// distribution for the true value X_i, and the cost c_i of cleaning it
+// (i.e., of revealing a draw from X_i).
+struct UncertainObject {
+  std::string label;            // human-readable, e.g. "firearms/2007"
+  double current_value = 0.0;   // u_i
+  DiscreteDistribution dist;    // X_i
+  double cost = 1.0;            // c_i > 0
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_OBJECT_H_

@@ -1,0 +1,85 @@
+#include "core/partial.h"
+
+#include <queue>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+void PartialClean(CleaningProblem& problem, int i, double revealed,
+                  double retention) {
+  FC_CHECK_GE(retention, 0.0);
+  FC_CHECK_LT(retention, 1.0);
+  if (retention == 0.0) {
+    problem.Clean(i, revealed);
+    return;
+  }
+  const DiscreteDistribution& old = problem.object(i).dist;
+  std::vector<double> values(old.support_size());
+  std::vector<double> probs(old.support_size());
+  for (int k = 0; k < old.support_size(); ++k) {
+    values[k] = revealed + retention * (old.value(k) - revealed);
+    probs[k] = old.prob(k);
+  }
+  problem.set_current_value(i, revealed);
+  problem.ReplaceDistribution(
+      i, DiscreteDistribution(std::move(values), std::move(probs)));
+}
+
+std::vector<double> PartialMinVarWeights(const LinearQueryFunction& f,
+                                         const std::vector<double>& variances,
+                                         int n, double retention) {
+  FC_CHECK_GE(retention, 0.0);
+  FC_CHECK_LT(retention, 1.0);
+  std::vector<double> w(n, 0.0);
+  const auto& refs = f.References();
+  const auto& coeffs = f.coefficients();
+  double removal = 1.0 - retention * retention;
+  for (size_t k = 0; k < refs.size(); ++k) {
+    FC_CHECK_LT(refs[k], n);
+    w[refs[k]] = removal * coeffs[k] * coeffs[k] * variances[refs[k]];
+  }
+  return w;
+}
+
+PartialSelection GreedyMinVarPartial(const LinearQueryFunction& f,
+                                     const std::vector<double>& variances,
+                                     const std::vector<double>& costs,
+                                     double budget, double retention) {
+  FC_CHECK_EQ(variances.size(), costs.size());
+  int n = static_cast<int>(costs.size());
+  std::vector<double> benefit =
+      PartialMinVarWeights(f, variances, n, retention);
+  double decay = retention * retention;
+
+  struct Entry {
+    double score;
+    int object;
+    double benefit;
+    bool operator<(const Entry& other) const { return score < other.score; }
+  };
+  std::priority_queue<Entry> heap;
+  for (int i = 0; i < n; ++i) {
+    if (benefit[i] > 0.0) heap.push({benefit[i] / costs[i], i, benefit[i]});
+  }
+  PartialSelection sel;
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (sel.cost + costs[top.object] > budget) continue;  // never fits again
+    sel.actions.push_back(top.object);
+    sel.cost += costs[top.object];
+    sel.removed_variance += top.benefit;
+    // Re-cleaning the same object removes rho^2 of what the previous pass
+    // removed; with rho = 0 the benefit drops to zero and the object is
+    // effectively retired.
+    double next_benefit = top.benefit * decay;
+    if (next_benefit > 1e-15) {
+      heap.push({next_benefit / costs[top.object], top.object,
+                 next_benefit});
+    }
+  }
+  return sel;
+}
+
+}  // namespace factcheck

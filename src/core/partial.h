@@ -1,0 +1,50 @@
+// Partial cleaning (Section 6, future work): "settings where cleaning an
+// individual value only reduces the uncertainty thereof, but does not
+// completely eliminate it."
+//
+// Model: a cleaning action on object i reveals an estimate r and contracts
+// the error distribution around it by a retention factor rho in [0, 1):
+// X_i' = r + rho * (X_i - r), so Var[X_i'] = rho^2 Var[X_i].  rho = 0 is
+// the paper's full-cleaning model.  Repeated cleanings of the same object
+// compound geometrically, which yields the sequential greedy below.
+
+#ifndef FACTCHECK_CORE_PARTIAL_H_
+#define FACTCHECK_CORE_PARTIAL_H_
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+
+namespace factcheck {
+
+// Contracts object i's distribution around `revealed` by `retention`.
+void PartialClean(CleaningProblem& problem, int i, double revealed,
+                  double retention);
+
+// Modular MinVar weights under partial cleaning (affine f, independent X):
+// one cleaning of i removes (1 - rho^2) a_i^2 Var[X_i] of the query
+// variance, by the same argument as Lemma 3.1.
+std::vector<double> PartialMinVarWeights(const LinearQueryFunction& f,
+                                         const std::vector<double>& variances,
+                                         int n, double retention);
+
+// A sequence of (possibly repeated) cleaning actions.
+struct PartialSelection {
+  std::vector<int> actions;  // object cleaned at each step, in order
+  double cost = 0.0;
+  double removed_variance = 0.0;  // total a_i^2 Var removed from f
+};
+
+// Sequential greedy for partial cleaning: each step picks the action with
+// the best marginal variance removal per unit cost; re-cleaning the same
+// object is allowed and its benefit decays by rho^2 per pass.  With
+// retention 0 this reduces to the Lemma-3.1 modular greedy (each object
+// cleaned at most once).
+PartialSelection GreedyMinVarPartial(const LinearQueryFunction& f,
+                                     const std::vector<double>& variances,
+                                     const std::vector<double>& costs,
+                                     double budget, double retention);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_PARTIAL_H_

@@ -1,0 +1,72 @@
+#include "core/problem.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+CleaningProblem::CleaningProblem(std::vector<UncertainObject> objects)
+    : objects_(std::move(objects)) {
+  for (const auto& o : objects_) {
+    FC_CHECK_GT(o.cost, 0.0);
+    FC_CHECK_GE(o.dist.support_size(), 1);
+  }
+}
+
+const UncertainObject& CleaningProblem::object(int i) const {
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, size());
+  return objects_[i];
+}
+
+std::vector<double> CleaningProblem::CurrentValues() const {
+  std::vector<double> u(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) u[i] = objects_[i].current_value;
+  return u;
+}
+
+std::vector<double> CleaningProblem::Means() const {
+  std::vector<double> m(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) m[i] = objects_[i].dist.Mean();
+  return m;
+}
+
+std::vector<double> CleaningProblem::Variances() const {
+  std::vector<double> v(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    v[i] = objects_[i].dist.Variance();
+  }
+  return v;
+}
+
+std::vector<double> CleaningProblem::Costs() const {
+  std::vector<double> c(objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) c[i] = objects_[i].cost;
+  return c;
+}
+
+double CleaningProblem::TotalCost() const {
+  double acc = 0.0;
+  for (const auto& o : objects_) acc += o.cost;
+  return acc;
+}
+
+void CleaningProblem::set_current_value(int i, double v) {
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, size());
+  objects_[i].current_value = v;
+}
+
+void CleaningProblem::Clean(int i, double v) {
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, size());
+  objects_[i].current_value = v;
+  objects_[i].dist = DiscreteDistribution::PointMass(v);
+}
+
+void CleaningProblem::ReplaceDistribution(int i, DiscreteDistribution dist) {
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, size());
+  objects_[i].dist = std::move(dist);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,51 @@
+// CleaningProblem: the shared instance description consumed by every
+// selection algorithm — n uncertain objects with independent error
+// distributions (the correlated case is handled by dist/mvn plus the
+// dependency-aware algorithms in core/greedy).
+
+#ifndef FACTCHECK_CORE_PROBLEM_H_
+#define FACTCHECK_CORE_PROBLEM_H_
+
+#include <vector>
+
+#include "core/object.h"
+
+namespace factcheck {
+
+// An instance of the data-cleaning selection problem (without the budget,
+// which varies per experiment).
+class CleaningProblem {
+ public:
+  CleaningProblem() = default;
+  explicit CleaningProblem(std::vector<UncertainObject> objects);
+
+  int size() const { return static_cast<int>(objects_.size()); }
+  const UncertainObject& object(int i) const;
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+  // Column views used throughout the algorithms.
+  std::vector<double> CurrentValues() const;  // u
+  std::vector<double> Means() const;          // E[X_i]
+  std::vector<double> Variances() const;      // Var[X_i]
+  std::vector<double> Costs() const;          // c_i
+  double TotalCost() const;
+
+  // Replaces the current value of object i (used by in-action simulations
+  // where cleaning reveals a hidden truth).
+  void set_current_value(int i, double v);
+
+  // Collapses object i's distribution to a point mass at `v` — the state of
+  // the world after o_i has been cleaned and its true value observed.
+  void Clean(int i, double v);
+
+  // Swaps in a new error distribution for object i (partial cleaning,
+  // re-quantization).
+  void ReplaceDistribution(int i, DiscreteDistribution dist);
+
+ private:
+  std::vector<UncertainObject> objects_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_PROBLEM_H_

@@ -1,0 +1,75 @@
+// Query functions f over object values (Section 2.1).
+//
+// MinVar and MaxPr are defined over an arbitrary real-valued f(X).  The
+// interface exposes which objects f references so evaluators can restrict
+// support enumeration to the relevant coordinates.
+
+#ifndef FACTCHECK_CORE_QUERY_FUNCTION_H_
+#define FACTCHECK_CORE_QUERY_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace factcheck {
+
+// Interface: a real function of the full value vector x (length n).
+class QueryFunction {
+ public:
+  virtual ~QueryFunction() = default;
+
+  // f(x).  `x` has one entry per object in the problem.
+  virtual double Evaluate(const std::vector<double>& x) const = 0;
+
+  // Sorted ascending list of object indices f actually depends on.
+  virtual const std::vector<int>& References() const = 0;
+};
+
+// Affine function f(x) = b + sum_i a_i x_i with sparse coefficients.
+class LinearQueryFunction : public QueryFunction {
+ public:
+  // `refs` and `coeffs` are parallel; refs need not be sorted on input.
+  LinearQueryFunction(std::vector<int> refs, std::vector<double> coeffs,
+                      double intercept = 0.0);
+
+  // Dense construction: every nonzero weight becomes a reference.
+  static LinearQueryFunction FromDense(const std::vector<double>& weights,
+                                       double intercept = 0.0);
+
+  double Evaluate(const std::vector<double>& x) const override;
+  const std::vector<int>& References() const override { return refs_; }
+
+  // Coefficient on object i (0 if unreferenced).
+  double Coefficient(int i) const;
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  double intercept() const { return intercept_; }
+
+  // Dense weight vector of length n.
+  std::vector<double> DenseWeights(int n) const;
+
+ private:
+  std::vector<int> refs_;       // sorted ascending
+  std::vector<double> coeffs_;  // parallel to refs_
+  double intercept_;
+};
+
+// Arbitrary function defined by a callable; used for indicator/quadratic
+// query functions and in tests.
+class LambdaQueryFunction : public QueryFunction {
+ public:
+  LambdaQueryFunction(std::vector<int> refs,
+                      std::function<double(const std::vector<double>&)> fn);
+
+  double Evaluate(const std::vector<double>& x) const override {
+    return fn_(x);
+  }
+  const std::vector<int>& References() const override { return refs_; }
+
+ private:
+  std::vector<int> refs_;
+  std::function<double(const std::vector<double>&)> fn_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_QUERY_FUNCTION_H_

@@ -1,0 +1,83 @@
+// The fully general uncertainty model of Section 2.1: a *joint*
+// distribution of X = (X_1, ..., X_n) given explicitly as a finite set of
+// scenarios (full value assignments with probabilities).  Unlike
+// CleaningProblem (independent components) or MultivariateNormal (Gaussian
+// correlation), a ScenarioSet represents arbitrary discrete correlation,
+// and supports the exact EV(T) and MaxPr objectives of Eq. (1)/(2) by
+// conditioning on the cleaned coordinates:
+//
+//   EV(T) = sum over distinct projections v of X_T of
+//           Pr[X_T = v] * Var[f(X) | X_T = v].
+//
+// This is the ground-truth engine behind the dependency experiments and
+// the discrete analogue of GreedyDep.
+
+#ifndef FACTCHECK_CORE_SCENARIO_H_
+#define FACTCHECK_CORE_SCENARIO_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+// One possible world.
+struct Scenario {
+  std::vector<double> values;  // one entry per object
+  double prob = 0.0;
+};
+
+class ScenarioSet {
+ public:
+  // Scenarios must share a dimension; probabilities are normalized.
+  explicit ScenarioSet(std::vector<Scenario> scenarios);
+
+  // The product distribution of an independent problem (exact; scenario
+  // count is the product of support sizes — keep problems small).
+  static ScenarioSet FromIndependent(const CleaningProblem& problem);
+
+  // Empirical joint from `count` samples of an arbitrary sampler (e.g., a
+  // MultivariateNormal) — each sample becomes a 1/count scenario.
+  static ScenarioSet FromSamples(
+      int count, Rng& rng,
+      const std::function<std::vector<double>(Rng&)>& sampler);
+
+  int dim() const { return dim_; }
+  int size() const { return static_cast<int>(scenarios_.size()); }
+  const Scenario& scenario(int s) const { return scenarios_[s]; }
+
+  // Moments of f(X) under the joint.
+  double Mean(const QueryFunction& f) const;
+  double Variance(const QueryFunction& f) const;
+
+  // EV(T) under the joint: scenarios are grouped by their (approximate)
+  // projection onto T; within each group the conditional variance of f is
+  // exact.
+  double ExpectedPosteriorVariance(const QueryFunction& f,
+                                   const std::vector<int>& cleaned) const;
+
+  // Pr[f(X) < threshold | X_{O \ T} = current_{O \ T}]: conditions the
+  // joint on the uncleaned coordinates matching `current` and measures the
+  // mass below the threshold.  Returns 0 if no scenario is consistent.
+  double SurpriseProbability(const QueryFunction& f,
+                             const std::vector<double>& current,
+                             const std::vector<int>& cleaned,
+                             double threshold) const;
+
+  // Adaptive greedy MinVar of f over this joint (the discrete GreedyDep).
+  Selection GreedyMinVar(const QueryFunction& f,
+                         const std::vector<double>& costs,
+                         double budget) const;
+
+ private:
+  int dim_ = 0;
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_SCENARIO_H_

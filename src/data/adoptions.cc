@@ -1,0 +1,63 @@
+#include "data/adoptions.h"
+
+#include "dist/normal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace data {
+namespace {
+
+// NYC adoptions per year, 1989-2014 (synthetic series at the historical
+// magnitude: climb through the early 1990s — the rise behind Giuliani's
+// claim — a late-1990s peak, then a long decline).
+const double kAdoptions[kAdoptionsYears] = {
+    1784, 1850, 2021, 2302, 2511, 2687, 3105, 3646, 3914, 3801,  // 1989-1998
+    3149, 2875, 2704, 2533, 2407, 2286, 2112, 1987, 1821, 1684,  // 1999-2008
+    1540, 1433, 1361, 1294, 1232, 1185,                          // 2009-2014
+};
+
+}  // namespace
+
+const std::vector<double>& AdoptionsSeries() {
+  static const std::vector<double>& series = *new std::vector<double>(
+      kAdoptions, kAdoptions + kAdoptionsYears);
+  return series;
+}
+
+CleaningProblem MakeAdoptions(uint64_t seed, int quantization_points) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  objects.reserve(kAdoptionsYears);
+  for (int i = 0; i < kAdoptionsYears; ++i) {
+    UncertainObject obj;
+    obj.label = "adoptions/" + std::to_string(kAdoptionsFirstYear + i);
+    obj.current_value = kAdoptions[i];
+    double sigma = rng.Uniform(1.0, 50.0);
+    obj.dist = QuantizeNormal(kAdoptions[i], sigma, quantization_points);
+    obj.cost = rng.Uniform(1.0, 100.0);
+    objects.push_back(std::move(obj));
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+UncertainTable MakeAdoptionsTable(uint64_t seed, int quantization_points) {
+  Rng rng(seed);
+  Table table(Schema({{"year", ColumnType::kInt},
+                      {"adoptions", ColumnType::kDouble}}));
+  for (int i = 0; i < kAdoptionsYears; ++i) {
+    table.AddRow({static_cast<int64_t>(kAdoptionsFirstYear + i),
+                  kAdoptions[i]});
+  }
+  UncertainTable uncertain(std::move(table), "adoptions");
+  for (int i = 0; i < kAdoptionsYears; ++i) {
+    double sigma = rng.Uniform(1.0, 50.0);
+    double cost = rng.Uniform(1.0, 100.0);
+    uncertain.SetUncertainty(
+        i, QuantizeNormal(kAdoptions[i], sigma, quantization_points), cost);
+  }
+  return uncertain;
+}
+
+}  // namespace data
+}  // namespace factcheck

@@ -1,0 +1,38 @@
+// The Adoptions dataset (Section 4): yearly NYC adoption counts 1989-2014
+// with the paper's synthetic error model.
+//
+// Substitution note (see DESIGN.md): the point values below are a
+// deterministic synthetic series at the real data's magnitude (thousands of
+// adoptions per year, peaking in the late 1990s); the paper itself supplies
+// no error model for the real counts and synthesizes sigma ~ U[1, 50] and
+// cost ~ U[1, 100], which we reproduce exactly (seeded).
+
+#ifndef FACTCHECK_DATA_ADOPTIONS_H_
+#define FACTCHECK_DATA_ADOPTIONS_H_
+
+#include "core/problem.h"
+#include "relational/uncertain_table.h"
+
+namespace factcheck {
+namespace data {
+
+inline constexpr int kAdoptionsFirstYear = 1989;
+inline constexpr int kAdoptionsLastYear = 2014;
+inline constexpr int kAdoptionsYears =
+    kAdoptionsLastYear - kAdoptionsFirstYear + 1;  // 26
+
+// Per-year adoption counts; X_i ~ N(u_i, sigma_i^2) quantized to
+// `quantization_points` atoms; sigma_i ~ U[1, 50]; cost_i ~ U[1, 100].
+CleaningProblem MakeAdoptions(uint64_t seed, int quantization_points = 6);
+
+// The same data as a relational table (year INT, adoptions DOUBLE) for the
+// query-compilation path.
+UncertainTable MakeAdoptionsTable(uint64_t seed, int quantization_points = 6);
+
+// The raw point values (index 0 = 1989).
+const std::vector<double>& AdoptionsSeries();
+
+}  // namespace data
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DATA_ADOPTIONS_H_

@@ -1,0 +1,53 @@
+// CDC-firearms and CDC-causes datasets (Section 4).
+//
+// The real datasets are CDC WISQARS nonfatal-injury *estimates* with
+// published standard errors (sampling ensures independent, approximately
+// normal errors).  Substitution (DESIGN.md): the portal is offline, so the
+// series here are seeded synthetic values at the realistic magnitudes with
+// coefficient-of-variation standard errors; the algorithms only consume
+// (u_i, sigma_i, c_i).  The paper's cost model is reproduced exactly:
+// cleaning older data is more expensive — the cost of a 2001 value is drawn
+// from [195, 200], 2002 from [190, 195], and so on, dropping 5 per year.
+
+#ifndef FACTCHECK_DATA_CDC_H_
+#define FACTCHECK_DATA_CDC_H_
+
+#include <string>
+
+#include "core/problem.h"
+#include "relational/uncertain_table.h"
+
+namespace factcheck {
+namespace data {
+
+inline constexpr int kCdcFirstYear = 2001;
+inline constexpr int kCdcLastYear = 2017;
+inline constexpr int kCdcYears = kCdcLastYear - kCdcFirstYear + 1;  // 17
+
+// Injury causes of CDC-causes, in object-layout order.
+inline constexpr int kCdcNumCauses = 4;
+const std::string& CdcCauseName(int cause);  // 0..3
+
+// CDC-firearms: 17 objects (nonfatal firearm injuries per year), normals
+// quantized to `quantization_points` (the paper uses 6).
+CleaningProblem MakeCdcFirearms(uint64_t seed, int quantization_points = 6);
+
+// Per-year standard deviations of the firearm series (same seed => same
+// values as MakeCdcFirearms), for the dependency-injection experiments.
+std::vector<double> CdcFirearmsStddevs(uint64_t seed);
+
+// CDC-causes: 68 objects = 4 causes x 17 years, object index
+// cause * kCdcYears + (year - kCdcFirstYear); quantized to
+// `quantization_points` (the paper uses 4).
+CleaningProblem MakeCdcCauses(uint64_t seed, int quantization_points = 4);
+
+// Relational form of CDC-causes: (cause STRING, year INT, injuries DOUBLE).
+UncertainTable MakeCdcCausesTable(uint64_t seed, int quantization_points = 4);
+
+// Object index helper for CDC-causes.
+int CdcCausesIndex(int cause, int year);
+
+}  // namespace data
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DATA_CDC_H_

@@ -1,0 +1,18 @@
+#include "data/dependency.h"
+
+#include "data/cdc.h"
+
+namespace factcheck {
+namespace data {
+
+DependentDataset MakeDependentCdcFirearms(uint64_t seed, double gamma,
+                                          int quantization_points) {
+  CleaningProblem problem = MakeCdcFirearms(seed, quantization_points);
+  std::vector<double> stddevs = CdcFirearmsStddevs(seed);
+  Matrix cov = GeometricDecayCovariance(stddevs, gamma);
+  MultivariateNormal model(problem.CurrentValues(), std::move(cov));
+  return DependentDataset{std::move(problem), std::move(model)};
+}
+
+}  // namespace data
+}  // namespace factcheck

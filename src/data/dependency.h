@@ -1,0 +1,27 @@
+// Dependency injection for the Fig-11 experiments: a multivariate-normal
+// version of CDC-firearms with Cov(X_i, X_j) = gamma^{|j-i|} sigma_i
+// sigma_j (years further apart are less correlated).
+
+#ifndef FACTCHECK_DATA_DEPENDENCY_H_
+#define FACTCHECK_DATA_DEPENDENCY_H_
+
+#include "core/problem.h"
+#include "dist/mvn.h"
+
+namespace factcheck {
+namespace data {
+
+struct DependentDataset {
+  CleaningProblem independent_view;  // what dependency-unaware algorithms see
+  MultivariateNormal model;          // the true correlated error model
+};
+
+// Builds the Fig-11 instance over CDC-firearms: same means/stddevs/costs as
+// MakeCdcFirearms(seed), plus the geometric-decay covariance at `gamma`.
+DependentDataset MakeDependentCdcFirearms(uint64_t seed, double gamma,
+                                          int quantization_points = 6);
+
+}  // namespace data
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DATA_DEPENDENCY_H_

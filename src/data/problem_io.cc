@@ -1,0 +1,131 @@
+#include "data/problem_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace factcheck {
+namespace data {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool ParseList(const std::string& s, std::vector<double>* out) {
+  for (const std::string& cell : Split(s, ';')) {
+    double v;
+    if (!ParseDouble(cell, &v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+std::string JoinList(const std::vector<double>& xs) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ";";
+    std::snprintf(buf, sizeof(buf), "%.17g", xs[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProblemToCsv(const CleaningProblem& problem) {
+  std::string out = "label,current,cost,support,probs\n";
+  char buf[128];
+  for (int i = 0; i < problem.size(); ++i) {
+    const UncertainObject& obj = problem.object(i);
+    out += obj.label;
+    std::snprintf(buf, sizeof(buf), ",%.17g,%.17g,", obj.current_value,
+                  obj.cost);
+    out += buf;
+    out += JoinList(obj.dist.values());
+    out += ",";
+    out += JoinList(obj.dist.probs());
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<CleaningProblem> ProblemFromCsv(const std::string& csv,
+                                              std::string* error) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    SetError(error, "empty input");
+    return std::nullopt;
+  }
+  std::vector<UncertainObject> objects;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != 5) {
+      SetError(error, "line " + std::to_string(line_no) + ": expected 5 "
+                          "cells, got " + std::to_string(cells.size()));
+      return std::nullopt;
+    }
+    UncertainObject obj;
+    obj.label = cells[0];
+    std::vector<double> values, probs;
+    if (!ParseDouble(cells[1], &obj.current_value) ||
+        !ParseDouble(cells[2], &obj.cost) || !ParseList(cells[3], &values) ||
+        !ParseList(cells[4], &probs)) {
+      SetError(error, "line " + std::to_string(line_no) + ": bad number");
+      return std::nullopt;
+    }
+    if (obj.cost <= 0.0) {
+      SetError(error,
+               "line " + std::to_string(line_no) + ": non-positive cost");
+      return std::nullopt;
+    }
+    if (values.size() != probs.size() || values.empty()) {
+      SetError(error, "line " + std::to_string(line_no) +
+                          ": support/probs length mismatch");
+      return std::nullopt;
+    }
+    for (double p : probs) {
+      if (p < 0.0) {
+        SetError(error, "line " + std::to_string(line_no) +
+                            ": negative probability");
+        return std::nullopt;
+      }
+    }
+    obj.dist = DiscreteDistribution(std::move(values), std::move(probs));
+    objects.push_back(std::move(obj));
+  }
+  if (objects.empty()) {
+    SetError(error, "no objects");
+    return std::nullopt;
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+}  // namespace data
+}  // namespace factcheck

@@ -1,0 +1,30 @@
+// Serialization of CleaningProblem instances to/from CSV, so cleaning-
+// selection workloads can be stored, versioned, and exchanged.
+//
+// Format (one row per object):
+//   label,current,cost,support,probs
+// where `support` and `probs` are ';'-joined numeric lists of equal length.
+
+#ifndef FACTCHECK_DATA_PROBLEM_IO_H_
+#define FACTCHECK_DATA_PROBLEM_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/problem.h"
+
+namespace factcheck {
+namespace data {
+
+// Serializes every object with full distribution support.
+std::string ProblemToCsv(const CleaningProblem& problem);
+
+// Parses the format above; returns nullopt with a diagnostic on malformed
+// rows (bad numbers, mismatched support/prob lengths, non-positive cost).
+std::optional<CleaningProblem> ProblemFromCsv(const std::string& csv,
+                                              std::string* error = nullptr);
+
+}  // namespace data
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DATA_PROBLEM_IO_H_

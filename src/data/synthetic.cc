@@ -1,0 +1,103 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "dist/normal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace data {
+namespace {
+
+DiscreteDistribution MakeUniformRandomValue(Rng& rng, int support) {
+  // Values uniform without replacement from the integers [1, 100].
+  std::vector<int> picks = rng.SampleWithoutReplacement(100, support);
+  std::vector<double> values(support), weights(support);
+  for (int k = 0; k < support; ++k) {
+    values[k] = picks[k] + 1.0;
+    weights[k] = rng.Uniform(0.0, 1.0) + 1e-12;
+  }
+  return DiscreteDistribution(std::move(values), std::move(weights));
+}
+
+DiscreteDistribution MakeLogNormalValue(Rng& rng, int support) {
+  double sigma = rng.Uniform(1e-6, 1.0);
+  if (support == 1) {
+    // Point mass at the median of the log-normal.
+    return DiscreteDistribution::PointMass(1.0);
+  }
+  return QuantizeLogNormalPaperStyle(0.0, sigma, support);
+}
+
+DiscreteDistribution MakeMultimodalValue(Rng& rng, int support) {
+  std::vector<int> picks = rng.SampleWithoutReplacement(100, support);
+  std::vector<double> values(support), weights(support);
+  for (int k = 0; k < support; ++k) {
+    values[k] = picks[k] + 1.0;
+    // Probability weight from (0, 0.1] or [0.9, 1]: low/high mixture.
+    weights[k] = rng.Bernoulli(0.5) ? rng.Uniform(1e-3, 0.1)
+                                    : rng.Uniform(0.9, 1.0);
+  }
+  return DiscreteDistribution(std::move(values), std::move(weights));
+}
+
+}  // namespace
+
+SyntheticFamily ParseSyntheticFamily(const std::string& name) {
+  if (name == "URx") return SyntheticFamily::kUniformRandom;
+  if (name == "LNx") return SyntheticFamily::kLogNormal;
+  if (name == "SMx") return SyntheticFamily::kStructuredMultimodal;
+  FC_CHECK(false);
+  return SyntheticFamily::kUniformRandom;
+}
+
+std::string SyntheticFamilyName(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kUniformRandom:
+      return "URx";
+    case SyntheticFamily::kLogNormal:
+      return "LNx";
+    case SyntheticFamily::kStructuredMultimodal:
+      return "SMx";
+  }
+  FC_CHECK(false);
+  return "";
+}
+
+CleaningProblem MakeSynthetic(SyntheticFamily family, uint64_t seed,
+                              const SyntheticOptions& options) {
+  FC_CHECK_GE(options.min_support, 1);
+  FC_CHECK_GE(options.max_support, options.min_support);
+  FC_CHECK_GT(options.size, 0);
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  objects.reserve(options.size);
+  for (int i = 0; i < options.size; ++i) {
+    int support = rng.UniformInt(options.min_support, options.max_support);
+    UncertainObject obj;
+    obj.label = SyntheticFamilyName(family) + "/" + std::to_string(i);
+    switch (family) {
+      case SyntheticFamily::kUniformRandom:
+        obj.dist = MakeUniformRandomValue(rng, support);
+        break;
+      case SyntheticFamily::kLogNormal:
+        obj.dist = MakeLogNormalValue(rng, support);
+        break;
+      case SyntheticFamily::kStructuredMultimodal:
+        obj.dist = MakeMultimodalValue(rng, support);
+        break;
+    }
+    obj.current_value = obj.dist.Mean();
+    if (options.extreme_costs) {
+      obj.cost = rng.Bernoulli(0.5) ? options.cost_lo : options.cost_hi;
+    } else {
+      obj.cost = rng.Uniform(options.cost_lo, options.cost_hi);
+    }
+    objects.push_back(std::move(obj));
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+}  // namespace data
+}  // namespace factcheck

@@ -1,0 +1,75 @@
+// Knapsack solvers backing the modular-objective cases (Section 3.2).
+//
+// Lemma 3.1 reduces MinVar (pairwise-uncorrelated X, affine f) and MaxPr
+// (independent centered normals, affine f) to knapsack instances with
+// weights w_i = a_i^2 Var[X_i] and w_i = a_i^2 sigma_i^2.  This module
+// provides the exact pseudo-polynomial DP (Lemmas 3.2/3.3), the classic
+// greedy with the "single best item" fix-up (2-approximation), and a value
+// -scaling FPTAS ((1+eps)-approximation in O(n^3/eps)).
+
+#ifndef FACTCHECK_KNAPSACK_KNAPSACK_H_
+#define FACTCHECK_KNAPSACK_KNAPSACK_H_
+
+#include <vector>
+
+namespace factcheck {
+
+// One selectable item.
+struct KnapsackItem {
+  double value = 0.0;  // benefit of selecting; must be >= 0
+  double cost = 0.0;   // resource consumed; must be > 0 for DP variants
+};
+
+// A solution to a (max or min) knapsack instance.
+struct KnapsackSolution {
+  std::vector<int> selected;  // indices into the item vector, ascending
+  double total_value = 0.0;
+  double total_cost = 0.0;
+};
+
+// --- Maximum knapsack: maximize sum(value) s.t. sum(cost) <= capacity. ---
+
+// Exact O(n * capacity) dynamic program over integer costs.
+KnapsackSolution MaxKnapsackDp(const std::vector<double>& values,
+                               const std::vector<int>& costs, int capacity);
+
+// Density-ordered greedy with the final single-item check (Algorithm 1,
+// lines 5-8): guarantees value >= OPT / 2.
+KnapsackSolution MaxKnapsackGreedy(const std::vector<double>& values,
+                                   const std::vector<double>& costs,
+                                   double capacity);
+
+// (1 - eps)-approximation via value scaling; runs in O(n^3 / eps).
+KnapsackSolution MaxKnapsackFptas(const std::vector<double>& values,
+                                  const std::vector<double>& costs,
+                                  double capacity, double eps);
+
+// Exact solver for *real-valued* costs: depth-first branch and bound with
+// the Dantzig fractional upper bound.  Exponential worst case; fast in
+// practice for the n <= ~40 instances of the paper's real datasets, where
+// the DP's cost rounding would be a source of slack.
+KnapsackSolution MaxKnapsackBranchAndBound(const std::vector<double>& values,
+                                           const std::vector<double>& costs,
+                                           double capacity);
+
+// --- Minimum knapsack: minimize sum(value) s.t. sum(cost) >= demand. ---
+// Solved exactly by taking the complement of a max-knapsack solution with
+// capacity total_cost - demand (the complement mapping of Lemma 3.6).
+
+KnapsackSolution MinKnapsackDp(const std::vector<double>& values,
+                               const std::vector<int>& costs, int demand);
+
+// Covering greedy (+ final polish): orders by value/cost ascending, adds
+// until the demand is met, then drops redundant items greedily.
+KnapsackSolution MinKnapsackGreedy(const std::vector<double>& values,
+                                   const std::vector<double>& costs,
+                                   double demand);
+
+// Scales real costs to integers at the given resolution (costs * scale,
+// rounded to nearest, minimum 1), for feeding the DP variants.
+std::vector<int> ScaleCostsToInt(const std::vector<double>& costs,
+                                 double scale);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_KNAPSACK_KNAPSACK_H_

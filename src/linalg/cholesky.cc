@@ -1,0 +1,94 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace factcheck {
+
+std::optional<Matrix> Cholesky(const Matrix& a) {
+  FC_CHECK_EQ(a.rows(), a.cols());
+  FC_CHECK(a.IsSymmetric(1e-7));
+  int n = a.rows();
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  int n = l.rows();
+  FC_CHECK_EQ(n, static_cast<int>(b.size()));
+  // Forward: L y = b.
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Backward: L' x = y.
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b) {
+  FC_CHECK_EQ(l.rows(), b.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (int j = 0; j < b.cols(); ++j) {
+    for (int i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector sol = CholeskySolve(l, col);
+    for (int i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+std::optional<Matrix> SpdInverse(const Matrix& a) {
+  auto l = Cholesky(a);
+  if (!l.has_value()) return std::nullopt;
+  return CholeskySolveMatrix(*l, Matrix::Identity(a.rows()));
+}
+
+Matrix SchurComplement(const Matrix& m, const std::vector<int>& a_idx,
+                       const std::vector<int>& b_idx) {
+  Matrix m_bb = m.Select(b_idx, b_idx);
+  if (a_idx.empty()) return m_bb;
+  Matrix m_aa = m.Select(a_idx, a_idx);
+  Matrix m_ab = m.Select(a_idx, b_idx);
+  Matrix m_ba = m.Select(b_idx, a_idx);
+  auto l = Cholesky(m_aa);
+  if (!l.has_value()) {
+    // Regularize a semi-definite block: tiny jitter on the diagonal keeps
+    // the conditional covariance well defined for the degenerate cases the
+    // dependency-injection experiments can produce at gamma -> 1.
+    Matrix jittered = m_aa;
+    for (int i = 0; i < jittered.rows(); ++i) jittered(i, i) += 1e-9;
+    l = Cholesky(jittered);
+    FC_CHECK(l.has_value());
+  }
+  Matrix solved = CholeskySolveMatrix(*l, m_ab);  // m_aa^{-1} m_ab
+  return MatSub(m_bb, MatMul(m_ba, solved));
+}
+
+std::optional<double> LogDet(const Matrix& a) {
+  auto l = Cholesky(a);
+  if (!l.has_value()) return std::nullopt;
+  double acc = 0.0;
+  for (int i = 0; i < a.rows(); ++i) acc += std::log((*l)(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,42 @@
+// Cholesky factorization and derived solvers for symmetric positive
+// (semi-)definite matrices, plus the Schur complement used for
+// multivariate-normal conditional covariances.
+
+#ifndef FACTCHECK_LINALG_CHOLESKY_H_
+#define FACTCHECK_LINALG_CHOLESKY_H_
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace factcheck {
+
+// Lower-triangular Cholesky factor L with A = L * L'.  Returns nullopt if A
+// is not (numerically) positive definite.  A must be symmetric.
+std::optional<Matrix> Cholesky(const Matrix& a);
+
+// Solves A x = b via an existing Cholesky factor L (forward + back
+// substitution).
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+// Solves A X = B column-by-column via an existing Cholesky factor L.
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b);
+
+// Inverse of a symmetric positive definite matrix via Cholesky.
+std::optional<Matrix> SpdInverse(const Matrix& a);
+
+// Schur complement  S = A_bb - A_ba A_aa^{-1} A_ab  of the block indexed by
+// `a_idx` inside symmetric PSD matrix `m`; `b_idx` indexes the complement
+// block.  When `m` is the covariance of a multivariate normal, S is exactly
+// the covariance of X_b conditioned on X_a (independent of the observed
+// values), which is what the MinVar objective needs under correlated errors.
+// If `a_idx` is empty, returns m restricted to `b_idx`.
+Matrix SchurComplement(const Matrix& m, const std::vector<int>& a_idx,
+                       const std::vector<int>& b_idx);
+
+// log det(A) for symmetric positive definite A; nullopt when not PD.
+std::optional<double> LogDet(const Matrix& a);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_LINALG_CHOLESKY_H_

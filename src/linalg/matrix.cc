@@ -1,0 +1,135 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace factcheck {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  int n = static_cast<int>(diag.size());
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Select(const std::vector<int>& row_idx,
+                      const std::vector<int>& col_idx) const {
+  Matrix out(static_cast<int>(row_idx.size()), static_cast<int>(col_idx.size()));
+  for (size_t i = 0; i < row_idx.size(); ++i) {
+    for (size_t j = 0; j < col_idx.size(); ++j) {
+      out(static_cast<int>(i), static_cast<int>(j)) =
+          (*this)(row_idx[i], col_idx[j]);
+    }
+  }
+  return out;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  FC_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  FC_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
+  Vector y(a.rows(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix MatAdd(const Matrix& a, const Matrix& b) {
+  FC_CHECK_EQ(a.rows(), b.rows());
+  FC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) + b(i, j);
+  }
+  return c;
+}
+
+Matrix MatSub(const Matrix& a, const Matrix& b) {
+  FC_CHECK_EQ(a.rows(), b.rows());
+  FC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) - b(i, j);
+  }
+  return c;
+}
+
+double Dot(const Vector& x, const Vector& y) {
+  FC_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double QuadraticForm(const Vector& x, const Matrix& a, const Vector& y) {
+  FC_CHECK_EQ(a.rows(), static_cast<int>(x.size()));
+  FC_CHECK_EQ(a.cols(), static_cast<int>(y.size()));
+  double acc = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    if (x[i] == 0.0) continue;
+    double row = 0.0;
+    for (int j = 0; j < a.cols(); ++j) row += a(i, j) * y[j];
+    acc += x[i] * row;
+  }
+  return acc;
+}
+
+Vector VecAdd(const Vector& x, const Vector& y) {
+  FC_CHECK_EQ(x.size(), y.size());
+  Vector z(x.size());
+  for (size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+Vector VecSub(const Vector& x, const Vector& y) {
+  FC_CHECK_EQ(x.size(), y.size());
+  Vector z(x.size());
+  for (size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  return z;
+}
+
+Vector VecScale(const Vector& x, double s) {
+  Vector z(x.size());
+  for (size_t i = 0; i < x.size(); ++i) z[i] = x[i] * s;
+  return z;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,88 @@
+// Small dense linear-algebra substrate.
+//
+// The multivariate-normal machinery (conditional covariances for correlated
+// error models, Theorem 3.9, Fig 11) needs dense symmetric matrices,
+// Cholesky factorization, and Schur complements.  Problem sizes are modest
+// (tens to a few hundred objects), so a straightforward row-major
+// implementation without external BLAS is both sufficient and dependency-free.
+
+#ifndef FACTCHECK_LINALG_MATRIX_H_
+#define FACTCHECK_LINALG_MATRIX_H_
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+using Vector = std::vector<double>;
+
+// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    FC_CHECK_GE(rows, 0);
+    FC_CHECK_GE(cols, 0);
+  }
+
+  static Matrix Identity(int n);
+
+  // Builds a diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& diag);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    FC_CHECK_GE(r, 0);
+    FC_CHECK_LT(r, rows_);
+    FC_CHECK_GE(c, 0);
+    FC_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    FC_CHECK_GE(r, 0);
+    FC_CHECK_LT(r, rows_);
+    FC_CHECK_GE(c, 0);
+    FC_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+
+  // Row/column submatrix selection: result(i, j) = (*this)(rows[i], cols[j]).
+  Matrix Select(const std::vector<int>& row_idx,
+                const std::vector<int>& col_idx) const;
+
+  bool IsSymmetric(double tol = 1e-9) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// y = A * x.
+Vector MatVec(const Matrix& a, const Vector& x);
+
+// a + b and a - b (same shape).
+Matrix MatAdd(const Matrix& a, const Matrix& b);
+Matrix MatSub(const Matrix& a, const Matrix& b);
+
+// Dot product and quadratic form x' A y.
+double Dot(const Vector& x, const Vector& y);
+double QuadraticForm(const Vector& x, const Matrix& a, const Vector& y);
+
+// Elementwise vector helpers.
+Vector VecAdd(const Vector& x, const Vector& y);
+Vector VecSub(const Vector& x, const Vector& y);
+Vector VecScale(const Vector& x, double s);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_LINALG_MATRIX_H_

@@ -1,0 +1,33 @@
+#include "montecarlo/mc_greedy.h"
+
+namespace factcheck {
+
+Selection GreedyMinVarMonteCarlo(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 double budget, int outer, int inner,
+                                 Rng& rng) {
+  uint64_t run_seed = rng.engine()();
+  return AdaptiveGreedyMinimize(
+      problem.Costs(), budget, [&, run_seed](const std::vector<int>& t) {
+        // Common random numbers: every evaluation replays the same
+        // substream, so the greedy compares candidates on correlated
+        // estimates instead of independent noise.
+        Rng eval_rng(run_seed);
+        return MonteCarloEV(f, problem, t, outer, inner, eval_rng);
+      });
+}
+
+Selection GreedyMaxPrMonteCarlo(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                double budget, double tau, int samples,
+                                Rng& rng) {
+  uint64_t run_seed = rng.engine()();
+  return AdaptiveGreedyMaximize(
+      problem.Costs(), budget, [&, run_seed](const std::vector<int>& t) {
+        Rng eval_rng(run_seed);
+        return MonteCarloSurpriseProbability(f, problem, t, tau, samples,
+                                             eval_rng);
+      });
+}
+
+}  // namespace factcheck

@@ -1,0 +1,32 @@
+// Monte Carlo instantiations of GreedyMinVar / GreedyMaxPr (Section 3.1:
+// "one possibility is to estimate delta_i using Monte Carlo methods").
+// These are the fallback when exact enumeration of the benefit is
+// intractable — wide references, huge supports, or black-box query
+// functions.
+
+#ifndef FACTCHECK_MONTECARLO_MC_GREEDY_H_
+#define FACTCHECK_MONTECARLO_MC_GREEDY_H_
+
+#include "core/greedy.h"
+#include "montecarlo/sampler.h"
+
+namespace factcheck {
+
+// Adaptive greedy on the Monte Carlo EV estimate.  `outer`/`inner` are the
+// sample counts of MonteCarloEV per objective evaluation; the same seeded
+// substream is replayed for every evaluation within one run (common random
+// numbers), which keeps the greedy's comparisons low-variance.
+Selection GreedyMinVarMonteCarlo(const QueryFunction& f,
+                                 const CleaningProblem& problem,
+                                 double budget, int outer, int inner,
+                                 Rng& rng);
+
+// Adaptive greedy on the Monte Carlo surprise-probability estimate.
+Selection GreedyMaxPrMonteCarlo(const QueryFunction& f,
+                                const CleaningProblem& problem,
+                                double budget, double tau, int samples,
+                                Rng& rng);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_MONTECARLO_MC_GREEDY_H_

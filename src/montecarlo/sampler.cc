@@ -1,0 +1,76 @@
+#include "montecarlo/sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+double SampleFrom(const DiscreteDistribution& dist, Rng& rng) {
+  if (dist.is_point_mass()) return dist.value(0);
+  return dist.value(rng.Categorical(dist.probs()));
+}
+
+}  // namespace
+
+std::vector<double> SampleValues(const CleaningProblem& problem, Rng& rng) {
+  std::vector<double> x(problem.size());
+  for (int i = 0; i < problem.size(); ++i) {
+    x[i] = SampleFrom(problem.object(i).dist, rng);
+  }
+  return x;
+}
+
+double MonteCarloEV(const QueryFunction& f, const CleaningProblem& problem,
+                    const std::vector<int>& cleaned, int outer, int inner,
+                    Rng& rng) {
+  FC_CHECK_GE(outer, 1);
+  FC_CHECK_GE(inner, 2);
+  const std::vector<int>& refs = f.References();
+  std::vector<bool> is_cleaned(problem.size(), false);
+  for (int i : cleaned) is_cleaned[i] = true;
+  std::vector<int> rest;
+  for (int i : refs) {
+    if (!is_cleaned[i]) rest.push_back(i);
+  }
+  if (rest.empty()) return 0.0;
+
+  std::vector<double> x = problem.CurrentValues();
+  double total = 0.0;
+  for (int o = 0; o < outer; ++o) {
+    for (int i : refs) {
+      if (is_cleaned[i]) x[i] = SampleFrom(problem.object(i).dist, rng);
+    }
+    double m1 = 0.0, m2 = 0.0;
+    for (int s = 0; s < inner; ++s) {
+      for (int i : rest) x[i] = SampleFrom(problem.object(i).dist, rng);
+      double v = f.Evaluate(x);
+      m1 += v;
+      m2 += v * v;
+    }
+    m1 /= inner;
+    // Unbiased conditional-variance estimate.
+    double var = (m2 - inner * m1 * m1) / (inner - 1);
+    total += std::max(0.0, var);
+  }
+  return total / outer;
+}
+
+double MonteCarloSurpriseProbability(const QueryFunction& f,
+                                     const CleaningProblem& problem,
+                                     const std::vector<int>& cleaned,
+                                     double tau, int samples, Rng& rng) {
+  FC_CHECK_GE(samples, 1);
+  if (cleaned.empty()) return 0.0;
+  std::vector<double> x = problem.CurrentValues();
+  double threshold = f.Evaluate(x) - tau;
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    for (int i : cleaned) x[i] = SampleFrom(problem.object(i).dist, rng);
+    if (f.Evaluate(x) < threshold) ++hits;
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,34 @@
+// Monte Carlo estimators.
+//
+// For query functions whose reference sets are too wide for exact
+// enumeration, EV(T) and the MaxPr objective are estimated by sampling
+// (Section 3.1 suggests exactly this fallback for GreedyMinVar /
+// GreedyMaxPr benefit estimation).
+
+#ifndef FACTCHECK_MONTECARLO_SAMPLER_H_
+#define FACTCHECK_MONTECARLO_SAMPLER_H_
+
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+// One joint draw of all object values (independent components).
+std::vector<double> SampleValues(const CleaningProblem& problem, Rng& rng);
+
+// MC estimate of EV(T): `outer` draws of the cleaned values, each with
+// `inner` draws of the uncleaned remainder (unbiased sample variance).
+double MonteCarloEV(const QueryFunction& f, const CleaningProblem& problem,
+                    const std::vector<int>& cleaned, int outer, int inner,
+                    Rng& rng);
+
+// MC estimate of Pr[f(X) < f(u) - tau | rest = u] after cleaning T.
+double MonteCarloSurpriseProbability(const QueryFunction& f,
+                                     const CleaningProblem& problem,
+                                     const std::vector<int>& cleaned,
+                                     double tau, int samples, Rng& rng);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_MONTECARLO_SAMPLER_H_

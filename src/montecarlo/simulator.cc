@@ -1,0 +1,87 @@
+#include "montecarlo/simulator.h"
+
+#include "montecarlo/sampler.h"
+#include "util/check.h"
+
+namespace factcheck {
+
+InActionScenario MakeScenario(const CleaningProblem& problem, Rng& rng) {
+  InActionScenario scenario{problem, SampleValues(problem, rng)};
+  return scenario;
+}
+
+CleaningProblem RevealTruth(const CleaningProblem& problem,
+                            const std::vector<int>& cleaned,
+                            const std::vector<double>& truth) {
+  FC_CHECK_EQ(static_cast<int>(truth.size()), problem.size());
+  CleaningProblem revealed = problem;
+  for (int i : cleaned) revealed.Clean(i, truth[i]);
+  return revealed;
+}
+
+QualityMoments EstimateAfterCleaning(const InActionScenario& scenario,
+                                     const PerturbationSet& context,
+                                     QualityMeasure measure, double reference,
+                                     const std::vector<int>& cleaned,
+                                     StrengthDirection direction) {
+  CleaningProblem revealed =
+      RevealTruth(scenario.problem, cleaned, scenario.truth);
+  ClaimEvEvaluator evaluator(&revealed, &context, measure, reference,
+                             direction);
+  return evaluator.Moments();
+}
+
+std::vector<TrajectoryPoint> SequentialMinVarTrajectory(
+    const InActionScenario& scenario, const PerturbationSet& context,
+    QualityMeasure measure, double reference, StrengthDirection direction,
+    double budget) {
+  CleaningProblem working = scenario.problem;
+  const std::vector<double> costs = working.Costs();
+  std::vector<bool> cleaned(working.size(), false);
+  std::vector<TrajectoryPoint> trajectory;
+  {
+    ClaimEvEvaluator prior(&working, &context, measure, reference,
+                           direction);
+    QualityMoments moments = prior.Moments();
+    trajectory.push_back({-1, 0.0, moments.variance, moments.mean});
+  }
+  double spent = 0.0;
+  while (true) {
+    // Marginal benefits on the *current* state of knowledge.
+    ClaimEvEvaluator evaluator(&working, &context, measure, reference,
+                               direction);
+    double base = evaluator.PriorVariance();
+    int best = -1;
+    double best_score = 0.0;
+    for (int i = 0; i < working.size(); ++i) {
+      if (cleaned[i] || spent + costs[i] > budget) continue;
+      if (working.object(i).dist.is_point_mass()) continue;
+      double benefit = base - evaluator.EV({i});
+      double score = benefit / costs[i];
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    if (best < 0) break;
+    cleaned[best] = true;
+    spent += costs[best];
+    working.Clean(best, scenario.truth[best]);
+    ClaimEvEvaluator after(&working, &context, measure, reference,
+                           direction);
+    QualityMoments moments = after.Moments();
+    trajectory.push_back({best, spent, moments.variance, moments.mean});
+  }
+  return trajectory;
+}
+
+CleaningProblem RedrawCurrentValues(const CleaningProblem& problem, Rng& rng) {
+  CleaningProblem redrawn = problem;
+  std::vector<double> draw = SampleValues(problem, rng);
+  for (int i = 0; i < redrawn.size(); ++i) {
+    redrawn.set_current_value(i, draw[i]);
+  }
+  return redrawn;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,62 @@
+// "Effectiveness in action" simulation (Section 4.3): establish hidden true
+// values, let an algorithm choose what to clean, reveal those values, and
+// measure what the fact-checker then knows about claim quality.
+
+#ifndef FACTCHECK_MONTECARLO_SIMULATOR_H_
+#define FACTCHECK_MONTECARLO_SIMULATOR_H_
+
+#include "claims/ev_fast.h"
+#include "core/problem.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+// A concrete world: the prior problem plus one hidden draw of every value.
+struct InActionScenario {
+  CleaningProblem problem;
+  std::vector<double> truth;
+};
+
+// Draws the hidden truth from the problem's distributions.
+InActionScenario MakeScenario(const CleaningProblem& problem, Rng& rng);
+
+// Copy of `problem` where every object in `cleaned` has been cleaned to its
+// true value (point mass + current value updated).
+CleaningProblem RevealTruth(const CleaningProblem& problem,
+                            const std::vector<int>& cleaned,
+                            const std::vector<double>& truth);
+
+// Posterior mean/stddev of a quality measure after cleaning `cleaned` in
+// the scenario (Figs 8/9 plot these against the budget).  `reference` is
+// the original claim's stated value, fixed throughout.
+QualityMoments EstimateAfterCleaning(const InActionScenario& scenario,
+                                     const PerturbationSet& context,
+                                     QualityMeasure measure, double reference,
+                                     const std::vector<int>& cleaned,
+                                     StrengthDirection direction =
+                                         StrengthDirection::kHigherIsStronger);
+
+// Copy of `problem` with current values re-drawn from the distributions —
+// breaks the "centered at current values" premise of Theorem 3.9 (Fig 12).
+CleaningProblem RedrawCurrentValues(const CleaningProblem& problem, Rng& rng);
+
+// One step of a sequential in-action run.
+struct TrajectoryPoint {
+  int object = -1;                 // object cleaned at this step
+  double cost_so_far = 0.0;
+  double posterior_variance = 0.0; // of the quality measure
+  double estimate_mean = 0.0;
+};
+
+// Sequential (adaptive) MinVar in action: clean one object at a time,
+// re-deriving marginal benefits from the *updated* problem after every
+// revelation (Section 6's adaptivity, applied to MinVar).  Returns the
+// trajectory including a step-0 entry for the prior.
+std::vector<TrajectoryPoint> SequentialMinVarTrajectory(
+    const InActionScenario& scenario, const PerturbationSet& context,
+    QualityMeasure measure, double reference, StrengthDirection direction,
+    double budget);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_MONTECARLO_SIMULATOR_H_

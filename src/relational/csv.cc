@@ -1,0 +1,152 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  cells.push_back(current);
+  return cells;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<Table> TableFromCsv(const std::string& csv,
+                                  const std::vector<ColumnType>& types,
+                                  std::string* error) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line.empty()) {
+    SetError(error, "missing header row");
+    return std::nullopt;
+  }
+  std::vector<std::string> names = SplitLine(line);
+  if (names.size() != types.size()) {
+    SetError(error, "header has " + std::to_string(names.size()) +
+                        " columns, expected " + std::to_string(types.size()));
+    return std::nullopt;
+  }
+  std::vector<Column> columns;
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c].empty()) {
+      SetError(error, "empty column name at position " + std::to_string(c));
+      return std::nullopt;
+    }
+    columns.push_back({names[c], types[c]});
+  }
+  Table table{Schema(std::move(columns))};
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != types.size()) {
+      SetError(error, "line " + std::to_string(line_no) + " has " +
+                          std::to_string(cells.size()) + " cells");
+      return std::nullopt;
+    }
+    std::vector<Cell> row;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      switch (types[c]) {
+        case ColumnType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(cells[c].c_str(), &end);
+          if (end == cells[c].c_str() || *end != '\0') {
+            SetError(error, "line " + std::to_string(line_no) +
+                                ": bad double '" + cells[c] + "'");
+            return std::nullopt;
+          }
+          row.emplace_back(v);
+          break;
+        }
+        case ColumnType::kInt: {
+          char* end = nullptr;
+          long long v = std::strtoll(cells[c].c_str(), &end, 10);
+          if (end == cells[c].c_str() || *end != '\0') {
+            SetError(error, "line " + std::to_string(line_no) +
+                                ": bad int '" + cells[c] + "'");
+            return std::nullopt;
+          }
+          row.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case ColumnType::kString:
+          row.emplace_back(cells[c]);
+          break;
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c) out += ",";
+    out += schema.column(c).name;
+  }
+  out += "\n";
+  char buf[64];
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c) out += ",";
+      switch (schema.column(c).type) {
+        case ColumnType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.17g", table.GetDouble(r, c));
+          out += buf;
+          break;
+        case ColumnType::kInt:
+          out += std::to_string(table.GetInt(r, c));
+          break;
+        case ColumnType::kString:
+          out += table.GetString(r, c);
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<Table> TableFromCsvFile(const std::string& path,
+                                      const std::vector<ColumnType>& types,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TableFromCsv(buffer.str(), types, error);
+}
+
+bool TableToCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << TableToCsv(table);
+  return static_cast<bool>(out);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,36 @@
+// CSV import/export for the relational layer, so users can fact-check
+// their own series without writing loader code.
+//
+// Dialect: comma-separated, first row is the header, no quoting or
+// escaping (values must not contain commas), '\n' or '\r\n' line endings.
+// Column types are declared by the caller, matching the header order.
+
+#ifndef FACTCHECK_RELATIONAL_CSV_H_
+#define FACTCHECK_RELATIONAL_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "relational/table.h"
+
+namespace factcheck {
+
+// Parses CSV text into a table with the given column types.  Returns
+// nullopt (with a diagnostic in *error if provided) on malformed input:
+// wrong column count, unparsable numeric cell, or empty header.
+std::optional<Table> TableFromCsv(const std::string& csv,
+                                  const std::vector<ColumnType>& types,
+                                  std::string* error = nullptr);
+
+// Serializes a table; inverse of TableFromCsv for round-trippable data.
+std::string TableToCsv(const Table& table);
+
+// File variants.
+std::optional<Table> TableFromCsvFile(const std::string& path,
+                                      const std::vector<ColumnType>& types,
+                                      std::string* error = nullptr);
+bool TableToCsvFile(const Table& table, const std::string& path);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_RELATIONAL_CSV_H_

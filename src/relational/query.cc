@@ -1,0 +1,192 @@
+#include "relational/query.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+Condition Condition::StringEq(const std::string& column,
+                              const std::string& value) {
+  Condition c;
+  c.column = column;
+  c.op = Op::kEq;
+  c.str = value;
+  return c;
+}
+
+Condition Condition::IntEq(const std::string& column, int64_t value) {
+  Condition c;
+  c.column = column;
+  c.op = Op::kEq;
+  c.lo = value;
+  return c;
+}
+
+Condition Condition::IntBetween(const std::string& column, int64_t lo,
+                                int64_t hi) {
+  FC_CHECK_LE(lo, hi);
+  Condition c;
+  c.column = column;
+  c.op = Op::kBetween;
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+bool Condition::Matches(const Table& table, int row) const {
+  int col = table.schema().Require(column);
+  switch (table.schema().column(col).type) {
+    case ColumnType::kString:
+      FC_CHECK(op == Op::kEq);
+      return table.GetString(row, col) == str;
+    case ColumnType::kInt: {
+      int64_t v = table.GetInt(row, col);
+      if (op == Op::kEq) return v == lo;
+      return lo <= v && v <= hi;
+    }
+    case ColumnType::kDouble:
+      // Selections must be over certain columns; the measure column is
+      // uncertain, and certain doubles are not supported as keys.
+      FC_CHECK(false);
+  }
+  return false;
+}
+
+AggregateQuery& AggregateQuery::AddTerm(double coeff,
+                                        std::vector<Condition> conditions) {
+  terms_.push_back({coeff, std::move(conditions)});
+  return *this;
+}
+
+Claim AggregateQuery::Compile(const UncertainTable& table,
+                              const std::string& description) const {
+  std::map<int, double> weights;  // row/object -> coefficient
+  for (const AggregateTerm& term : terms_) {
+    for (int row = 0; row < table.num_rows(); ++row) {
+      bool match = true;
+      for (const Condition& cond : term.conditions) {
+        if (!cond.Matches(table.table(), row)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) weights[row] += term.coeff;
+    }
+  }
+  FC_CHECK(!weights.empty());
+  std::vector<int> refs;
+  std::vector<double> coeffs;
+  for (const auto& [row, w] : weights) {
+    if (w == 0.0) continue;
+    refs.push_back(row);
+    coeffs.push_back(w);
+  }
+  FC_CHECK(!refs.empty());
+  Claim claim;
+  claim.query = LinearQueryFunction(std::move(refs), std::move(coeffs));
+  claim.description = description;
+  return claim;
+}
+
+AggregateQuery AggregateQuery::ShiftWindow(const std::string& column,
+                                           int64_t delta) const {
+  AggregateQuery shifted = *this;
+  for (AggregateTerm& term : shifted.terms_) {
+    for (Condition& cond : term.conditions) {
+      if (cond.column == column && cond.op == Condition::Op::kBetween) {
+        cond.lo += delta;
+        cond.hi += delta;
+      }
+    }
+  }
+  return shifted;
+}
+
+namespace {
+
+// Rows matched by each term, used to reject shifted windows that fall
+// partially outside the data (a truncated window is a different claim
+// shape, not a perturbation of the original).
+std::vector<int> TermMatchCounts(const AggregateQuery& query,
+                                 const UncertainTable& table) {
+  std::vector<int> counts;
+  for (const AggregateTerm& term : query.terms()) {
+    int count = 0;
+    for (int row = 0; row < table.num_rows(); ++row) {
+      bool match = true;
+      for (const Condition& cond : term.conditions) {
+        if (!cond.Matches(table.table(), row)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+    counts.push_back(count);
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<GroupClaim> GroupBySumClaims(
+    const UncertainTable& table, const std::string& group_column,
+    const std::vector<Condition>& conditions) {
+  int group_col = table.table().schema().Require(group_column);
+  FC_CHECK(table.table().schema().column(group_col).type ==
+           ColumnType::kString);
+  std::vector<GroupClaim> out;
+  std::map<std::string, size_t> group_index;
+  std::map<std::string, std::vector<int>> group_rows;
+  std::vector<std::string> group_order;
+  for (int row = 0; row < table.num_rows(); ++row) {
+    bool match = true;
+    for (const Condition& cond : conditions) {
+      if (!cond.Matches(table.table(), row)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    const std::string& group = table.table().GetString(row, group_col);
+    if (group_rows.find(group) == group_rows.end()) {
+      group_order.push_back(group);
+    }
+    group_rows[group].push_back(row);
+  }
+  for (const std::string& group : group_order) {
+    const std::vector<int>& rows = group_rows[group];
+    Claim claim;
+    claim.query = LinearQueryFunction(
+        rows, std::vector<double>(rows.size(), 1.0));
+    claim.description = "sum(" + group + ")";
+    out.push_back({group, std::move(claim)});
+  }
+  return out;
+}
+
+PerturbationSet ShiftedWindowPerturbations(const AggregateQuery& query,
+                                           const UncertainTable& table,
+                                           const std::string& column,
+                                           int64_t min_delta,
+                                           int64_t max_delta, double lambda) {
+  FC_CHECK_LE(min_delta, max_delta);
+  PerturbationSet set;
+  set.original = query.Compile(table, "original");
+  std::vector<int> original_counts = TermMatchCounts(query, table);
+  std::vector<double> distances;
+  for (int64_t delta = min_delta; delta <= max_delta; ++delta) {
+    if (delta == 0) continue;
+    AggregateQuery shifted = query.ShiftWindow(column, delta);
+    if (TermMatchCounts(shifted, table) != original_counts) continue;
+    set.perturbations.push_back(
+        shifted.Compile(table, "shift " + std::to_string(delta)));
+    distances.push_back(static_cast<double>(std::abs(delta)));
+  }
+  FC_CHECK(!set.perturbations.empty());
+  set.sensibilities = ExponentialSensibilities(distances, lambda);
+  return set;
+}
+
+}  // namespace factcheck

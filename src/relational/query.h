@@ -1,0 +1,96 @@
+// Aggregate-query AST over UncertainTable, compiled into linear claims.
+//
+// "Any SQL aggregation query over selections and joins is linear, provided
+// that selection and join conditions involve only attribute values that are
+// certain" (Section 3.4).  This module implements exactly that class:
+// weighted SUMs over conjunctive selections on the certain key columns.
+// Window-comparison and threshold claims, and their perturbations, are
+// expressible by shifting the selection predicates.
+
+#ifndef FACTCHECK_RELATIONAL_QUERY_H_
+#define FACTCHECK_RELATIONAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "claims/claim.h"
+#include "claims/perturbation.h"
+#include "relational/uncertain_table.h"
+
+namespace factcheck {
+
+// A predicate on a certain (non-measure) column.
+struct Condition {
+  enum class Op { kEq, kBetween };
+
+  std::string column;
+  Op op = Op::kEq;
+  // kEq on strings uses `str`; kEq on ints compares against `lo`;
+  // kBetween selects lo <= value <= hi (ints only).
+  std::string str;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static Condition StringEq(const std::string& column,
+                            const std::string& value);
+  static Condition IntEq(const std::string& column, int64_t value);
+  static Condition IntBetween(const std::string& column, int64_t lo,
+                              int64_t hi);
+
+  bool Matches(const Table& table, int row) const;
+};
+
+// One SUM(...) term: coeff * SUM(measure) over rows matching all conditions.
+struct AggregateTerm {
+  double coeff = 1.0;
+  std::vector<Condition> conditions;
+};
+
+// A linear aggregate query: the sum of its terms.
+class AggregateQuery {
+ public:
+  AggregateQuery() = default;
+
+  AggregateQuery& AddTerm(double coeff, std::vector<Condition> conditions);
+
+  // Compiles to a linear claim over the table's row-objects.  Aborts if no
+  // term matches any row (an all-constant claim is a modeling error).
+  Claim Compile(const UncertainTable& table,
+                const std::string& description = "") const;
+
+  // Copy of the query with every kBetween condition on `column` shifted by
+  // `delta` (the standard temporal perturbation of Section 2.2).
+  AggregateQuery ShiftWindow(const std::string& column, int64_t delta) const;
+
+  const std::vector<AggregateTerm>& terms() const { return terms_; }
+
+ private:
+  std::vector<AggregateTerm> terms_;
+};
+
+// One claim per distinct value of a string group column: SUM(measure) over
+// the rows matching `conditions` within each group (SQL:
+// SELECT group, SUM(measure) ... GROUP BY group).  Groups appear in first-
+// occurrence order; groups with no matching rows are omitted.
+struct GroupClaim {
+  std::string group;
+  Claim claim;
+};
+std::vector<GroupClaim> GroupBySumClaims(
+    const UncertainTable& table, const std::string& group_column,
+    const std::vector<Condition>& conditions);
+
+// Builds the full perturbation context for a query by shifting the window
+// predicates on `column` through [min_delta, max_delta] (excluding 0, the
+// original); sensibilities decay exponentially with |delta| at rate lambda.
+// Shifts that change any term's matched-row count (truncated windows) are
+// skipped.
+PerturbationSet ShiftedWindowPerturbations(const AggregateQuery& query,
+                                           const UncertainTable& table,
+                                           const std::string& column,
+                                           int64_t min_delta,
+                                           int64_t max_delta, double lambda);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_RELATIONAL_QUERY_H_

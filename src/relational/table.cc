@@ -1,0 +1,73 @@
+#include "relational/table.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    FC_CHECK(!columns_[i].name.empty());
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      FC_CHECK(columns_[i].name != columns_[j].name);
+    }
+  }
+}
+
+const Column& Schema::column(int i) const {
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, num_columns());
+  return columns_[i];
+}
+
+int Schema::Find(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::Require(const std::string& name) const {
+  int i = Find(name);
+  FC_CHECK_GE(i, 0);
+  return i;
+}
+
+void Table::AddRow(std::vector<Cell> cells) {
+  FC_CHECK_EQ(static_cast<int>(cells.size()), schema_.num_columns());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    switch (schema_.column(c).type) {
+      case ColumnType::kDouble:
+        FC_CHECK(std::holds_alternative<double>(cells[c]));
+        break;
+      case ColumnType::kInt:
+        FC_CHECK(std::holds_alternative<int64_t>(cells[c]));
+        break;
+      case ColumnType::kString:
+        FC_CHECK(std::holds_alternative<std::string>(cells[c]));
+        break;
+    }
+  }
+  rows_.push_back(std::move(cells));
+}
+
+const Cell& Table::At(int row, int col) const {
+  FC_CHECK_GE(row, 0);
+  FC_CHECK_LT(row, num_rows());
+  FC_CHECK_GE(col, 0);
+  FC_CHECK_LT(col, schema_.num_columns());
+  return rows_[row][col];
+}
+
+double Table::GetDouble(int row, int col) const {
+  return std::get<double>(At(row, col));
+}
+
+int64_t Table::GetInt(int row, int col) const {
+  return std::get<int64_t>(At(row, col));
+}
+
+const std::string& Table::GetString(int row, int col) const {
+  return std::get<std::string>(At(row, col));
+}
+
+}  // namespace factcheck

@@ -1,0 +1,68 @@
+// Minimal typed relational substrate (Section 2.2 models claims as queries
+// over a database).  Tables hold rows of double/int/string cells; the
+// uncertain layer (uncertain_table.h) attaches error distributions and
+// cleaning costs to one numeric column, and the query layer (query.h)
+// compiles aggregate queries over selections into linear claims.
+
+#ifndef FACTCHECK_RELATIONAL_TABLE_H_
+#define FACTCHECK_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace factcheck {
+
+enum class ColumnType { kDouble, kInt, kString };
+
+using Cell = std::variant<double, int64_t, std::string>;
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+// Schema: ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const;
+
+  // Index of a column by name; -1 if absent.
+  int Find(const std::string& name) const;
+
+  // Index of a column by name; aborts if absent.
+  int Require(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// A row-major in-memory table.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  // Appends a row; cell types must match the schema.
+  void AddRow(std::vector<Cell> cells);
+
+  const Cell& At(int row, int col) const;
+  double GetDouble(int row, int col) const;
+  int64_t GetInt(int row, int col) const;
+  const std::string& GetString(int row, int col) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_RELATIONAL_TABLE_H_

@@ -1,0 +1,61 @@
+#include "relational/uncertain_table.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+UncertainTable::UncertainTable(Table table, const std::string& measure_column)
+    : table_(std::move(table)),
+      measure_col_(table_.schema().Require(measure_column)) {
+  FC_CHECK(table_.schema().column(measure_col_).type == ColumnType::kDouble);
+  dists_.resize(table_.num_rows());
+  costs_.assign(table_.num_rows(), 1.0);
+  has_model_.assign(table_.num_rows(), false);
+}
+
+void UncertainTable::SetUncertainty(int row, DiscreteDistribution dist,
+                                    double cost) {
+  FC_CHECK_GE(row, 0);
+  FC_CHECK_LT(row, num_rows());
+  FC_CHECK_GT(cost, 0.0);
+  dists_[row] = std::move(dist);
+  costs_[row] = cost;
+  has_model_[row] = true;
+}
+
+CleaningProblem UncertainTable::ToCleaningProblem() const {
+  std::vector<UncertainObject> objects;
+  objects.reserve(num_rows());
+  const Schema& schema = table_.schema();
+  for (int r = 0; r < num_rows(); ++r) {
+    FC_CHECK(has_model_[r]);
+    UncertainObject obj;
+    obj.current_value = table_.GetDouble(r, measure_col_);
+    obj.dist = dists_[r];
+    obj.cost = costs_[r];
+    // Label: key columns (everything but the measure), '/'-joined.
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c == measure_col_) continue;
+      if (!obj.label.empty()) obj.label += "/";
+      switch (schema.column(c).type) {
+        case ColumnType::kDouble:
+          obj.label += std::to_string(table_.GetDouble(r, c));
+          break;
+        case ColumnType::kInt:
+          obj.label += std::to_string(table_.GetInt(r, c));
+          break;
+        case ColumnType::kString:
+          obj.label += table_.GetString(r, c);
+          break;
+      }
+    }
+    objects.push_back(std::move(obj));
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+double UncertainTable::MeasureValue(int row) const {
+  return table_.GetDouble(row, measure_col_);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,45 @@
+// UncertainTable: a relational table whose designated measure column
+// carries per-row error distributions and cleaning costs — the bridge from
+// "claims are queries over a database" to the CleaningProblem object model.
+
+#ifndef FACTCHECK_RELATIONAL_UNCERTAIN_TABLE_H_
+#define FACTCHECK_RELATIONAL_UNCERTAIN_TABLE_H_
+
+#include <string>
+
+#include "core/problem.h"
+#include "relational/table.h"
+
+namespace factcheck {
+
+class UncertainTable {
+ public:
+  // `measure_column` must be a kDouble column of `table`.
+  UncertainTable(Table table, const std::string& measure_column);
+
+  const Table& table() const { return table_; }
+  int num_rows() const { return table_.num_rows(); }
+  int measure_column() const { return measure_col_; }
+
+  // Attaches the error model of one row.  Every row must be given a model
+  // (possibly a point mass) before ToCleaningProblem().
+  void SetUncertainty(int row, DiscreteDistribution dist, double cost);
+
+  // Maps row r to object r: current value = measure cell, plus the attached
+  // distribution and cost.  Labels combine the key columns' values.
+  CleaningProblem ToCleaningProblem() const;
+
+  // Current measure value of a row.
+  double MeasureValue(int row) const;
+
+ private:
+  Table table_;
+  int measure_col_;
+  std::vector<DiscreteDistribution> dists_;
+  std::vector<double> costs_;
+  std::vector<bool> has_model_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_RELATIONAL_UNCERTAIN_TABLE_H_

@@ -1,0 +1,24 @@
+#include "submodular/bicriteria.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+BicriteriaResult BicriteriaMinVar(const SetObjective& ev, int n, int k,
+                                  double alpha) {
+  FC_CHECK_GT(alpha, 0.0);
+  FC_CHECK_LT(alpha, 1.0);
+  FC_CHECK_GE(k, 0);
+  BicriteriaResult result;
+  result.allowed_size =
+      std::min(n, static_cast<int>(std::floor(k / (1.0 - alpha))));
+  std::vector<double> unit_costs(n, 1.0);
+  result.selection = AdaptiveGreedyMinimize(
+      unit_costs, static_cast<double>(result.allowed_size), ev);
+  return result;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,25 @@
+// Unit-cost bi-criteria relaxation (Section 3.3, last paragraph, following
+// Svitkina-Fleischer / Hayrapetyan et al.): for 0 < alpha < 1, return a set
+// T with |T| <= k / (1 - alpha) whose EV is within a 1/alpha factor of the
+// optimum achievable with k cleanings.  Practically: run the adaptive
+// greedy with the inflated cardinality budget.
+
+#ifndef FACTCHECK_SUBMODULAR_BICRITERIA_H_
+#define FACTCHECK_SUBMODULAR_BICRITERIA_H_
+
+#include "core/greedy.h"
+
+namespace factcheck {
+
+struct BicriteriaResult {
+  Selection selection;
+  int allowed_size = 0;  // the inflated cardinality cap k / (1 - alpha)
+};
+
+// `ev` is the MinVar objective; k the nominal unit-cost budget.
+BicriteriaResult BicriteriaMinVar(const SetObjective& ev, int n, int k,
+                                  double alpha);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SUBMODULAR_BICRITERIA_H_

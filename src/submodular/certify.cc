@@ -1,0 +1,165 @@
+#include "submodular/certify.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+std::vector<int> MaskToSet(uint32_t mask, int n) {
+  std::vector<int> s;
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1u << i)) s.push_back(i);
+  }
+  return s;
+}
+
+std::string SetToString(const std::vector<int>& s) {
+  std::string out = "{";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "}";
+}
+
+// Random subset of {0..n-1} of random size.
+std::vector<int> RandomSubset(int n, Rng& rng) {
+  int k = rng.UniformInt(0, n);
+  auto s = rng.SampleWithoutReplacement(n, k);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+using MonotoneCheck = bool (*)(double before, double after, double tol);
+
+std::optional<StructureViolation> CertifyMonotone(const SetFunction& f,
+                                                  double tol, Rng& rng,
+                                                  int samples,
+                                                  int max_exhaustive,
+                                                  bool non_increasing) {
+  int n = f.ground_size();
+  auto violates = [&](const std::vector<int>& a, int x)
+      -> std::optional<StructureViolation> {
+    std::vector<int> with = a;
+    with.push_back(x);
+    double before = f.Value(a);
+    double after = f.Value(with);
+    bool bad = non_increasing ? (after > before + tol)
+                              : (after < before - tol);
+    if (bad) {
+      StructureViolation v;
+      v.set_a = a;
+      v.element = x;
+      v.amount = after - before;
+      return v;
+    }
+    return std::nullopt;
+  };
+  if (n <= max_exhaustive) {
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<int> a = MaskToSet(mask, n);
+      for (int x = 0; x < n; ++x) {
+        if (mask & (1u << x)) continue;
+        if (auto v = violates(a, x)) return v;
+      }
+    }
+    return std::nullopt;
+  }
+  for (int s = 0; s < samples; ++s) {
+    std::vector<int> a = RandomSubset(n, rng);
+    if (static_cast<int>(a.size()) == n) a.pop_back();
+    std::vector<bool> in(n, false);
+    for (int i : a) in[i] = true;
+    int x;
+    do {
+      x = rng.UniformInt(0, n - 1);
+    } while (in[x]);
+    if (auto v = violates(a, x)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string StructureViolation::What() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "A=%s B=%s x=%d amount=%.9g",
+                SetToString(set_a).c_str(), SetToString(set_b).c_str(),
+                element, amount);
+  return buf;
+}
+
+std::optional<StructureViolation> CertifyNonIncreasing(const SetFunction& f,
+                                                       double tol, Rng& rng,
+                                                       int samples,
+                                                       int max_exhaustive) {
+  return CertifyMonotone(f, tol, rng, samples, max_exhaustive,
+                         /*non_increasing=*/true);
+}
+
+std::optional<StructureViolation> CertifyNonDecreasing(const SetFunction& f,
+                                                       double tol, Rng& rng,
+                                                       int samples,
+                                                       int max_exhaustive) {
+  return CertifyMonotone(f, tol, rng, samples, max_exhaustive,
+                         /*non_increasing=*/false);
+}
+
+std::optional<StructureViolation> CertifySubmodular(const SetFunction& f,
+                                                    double tol, Rng& rng,
+                                                    int samples,
+                                                    int max_exhaustive) {
+  int n = f.ground_size();
+  auto violates = [&](const std::vector<int>& a, const std::vector<int>& b,
+                      int x) -> std::optional<StructureViolation> {
+    double gain_a = f.Gain(a, x);
+    double gain_b = f.Gain(b, x);
+    if (gain_a < gain_b - tol) {
+      StructureViolation v;
+      v.set_a = a;
+      v.set_b = b;
+      v.element = x;
+      v.amount = gain_b - gain_a;
+      return v;
+    }
+    return std::nullopt;
+  };
+  if (n <= max_exhaustive) {
+    for (uint32_t b_mask = 0; b_mask < (1u << n); ++b_mask) {
+      std::vector<int> b = MaskToSet(b_mask, n);
+      // Enumerate strict submasks a of b.
+      for (uint32_t a_mask = b_mask;;
+           a_mask = (a_mask - 1) & b_mask) {
+        std::vector<int> a = MaskToSet(a_mask, n);
+        for (int x = 0; x < n; ++x) {
+          if (b_mask & (1u << x)) continue;
+          if (auto v = violates(a, b, x)) return v;
+        }
+        if (a_mask == 0) break;
+      }
+    }
+    return std::nullopt;
+  }
+  for (int s = 0; s < samples; ++s) {
+    std::vector<int> b = RandomSubset(n, rng);
+    if (static_cast<int>(b.size()) == n) b.pop_back();
+    // a: random subset of b.
+    std::vector<int> a;
+    for (int i : b) {
+      if (rng.Bernoulli(0.5)) a.push_back(i);
+    }
+    std::vector<bool> in(n, false);
+    for (int i : b) in[i] = true;
+    int x;
+    do {
+      x = rng.UniformInt(0, n - 1);
+    } while (in[x]);
+    if (auto v = violates(a, b, x)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,47 @@
+// Empirical certifiers for set-function structure.
+//
+// The property-based test suites use these to verify Lemmas 3.4-3.6 on
+// randomly generated instances: monotonicity and submodularity of EV, and
+// the complement mapping's non-decreasing submodularity.
+
+#ifndef FACTCHECK_SUBMODULAR_CERTIFY_H_
+#define FACTCHECK_SUBMODULAR_CERTIFY_H_
+
+#include <optional>
+#include <string>
+
+#include "submodular/set_function.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+// A witness that a structural property fails: the sets and element
+// involved plus the measured violation amount.
+struct StructureViolation {
+  std::vector<int> set_a;
+  std::vector<int> set_b;  // superset (submodularity checks only)
+  int element = -1;
+  double amount = 0.0;
+  std::string What() const;
+};
+
+// Checks f(A + x) <= f(A) + tol for all A, x (exhaustive when ground size
+// <= max_exhaustive, otherwise `samples` random (A, x) pairs).
+std::optional<StructureViolation> CertifyNonIncreasing(
+    const SetFunction& f, double tol, Rng& rng, int samples = 200,
+    int max_exhaustive = 12);
+
+// Checks f(A + x) >= f(A) - tol similarly.
+std::optional<StructureViolation> CertifyNonDecreasing(
+    const SetFunction& f, double tol, Rng& rng, int samples = 200,
+    int max_exhaustive = 12);
+
+// Checks the diminishing-returns inequality
+//   f(A + x) - f(A) >= f(B + x) - f(B) - tol  for A subset of B, x not in B.
+std::optional<StructureViolation> CertifySubmodular(
+    const SetFunction& f, double tol, Rng& rng, int samples = 200,
+    int max_exhaustive = 10);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SUBMODULAR_CERTIFY_H_

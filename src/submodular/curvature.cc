@@ -1,0 +1,36 @@
+#include "submodular/curvature.h"
+
+#include <algorithm>
+
+namespace factcheck {
+
+double SubmodularCurvature(const SetFunction& g) {
+  int n = g.ground_size();
+  std::vector<int> ground(n);
+  for (int i = 0; i < n; ++i) ground[i] = i;
+  double g_empty = g.Value({});
+  double g_full = g.Value(ground);
+  double min_ratio = 1.0;
+  bool any = false;
+  for (int i = 0; i < n; ++i) {
+    double singleton_gain = g.Value({i}) - g_empty;
+    if (singleton_gain <= 0.0) continue;
+    std::vector<int> without;
+    without.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) without.push_back(j);
+    }
+    double top_gain = g_full - g.Value(without);
+    min_ratio = std::min(min_ratio, top_gain / singleton_gain);
+    any = true;
+  }
+  if (!any) return 1.0;
+  return 1.0 - std::max(0.0, min_ratio);
+}
+
+double MinVarCurvature(const SetFunction& ev) {
+  ComplementSetFunction ev_bar(&ev);
+  return SubmodularCurvature(ev_bar);
+}
+
+}  // namespace factcheck

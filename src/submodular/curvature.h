@@ -1,0 +1,25 @@
+// Total curvature of a non-decreasing submodular function (Theorem 3.7's
+// approximation ratio O(1 / (1 - kappa)) depends on it).
+
+#ifndef FACTCHECK_SUBMODULAR_CURVATURE_H_
+#define FACTCHECK_SUBMODULAR_CURVATURE_H_
+
+#include "submodular/set_function.h"
+
+namespace factcheck {
+
+// kappa(g) = 1 - min_i [g(V) - g(V \ {i})] / [g({i}) - g(empty)]
+// for a normalized (g(empty) = 0 is not required; gains are used)
+// non-decreasing submodular g.  Elements with zero singleton gain are
+// skipped (they never affect the ratio).  Returns 1.0 when every element
+// has zero gain at the top.
+double SubmodularCurvature(const SetFunction& g);
+
+// The paper's formulation for the MinVar objective EV (Section 3.3):
+// kappa = 1 - min_i (EV(empty) - EV({i})) / EV(O \ {i}); equals the
+// curvature of the Lemma-3.6 complement function EVbar.
+double MinVarCurvature(const SetFunction& ev);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SUBMODULAR_CURVATURE_H_

@@ -1,0 +1,163 @@
+#include "submodular/issc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "knapsack/knapsack.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+double SetCost(const std::vector<double>& costs, const std::vector<int>& set) {
+  double acc = 0.0;
+  for (int i : set) acc += costs[i];
+  return acc;
+}
+
+// Solves: minimize sum_{j in Y} w_j subject to sum_{j in Y} costs_j >= demand.
+std::vector<int> SolveMinKnapsack(const std::vector<double>& weights,
+                                  const std::vector<double>& costs,
+                                  double demand, const IsscOptions& options) {
+  if (options.cost_scale > 0.0) {
+    std::vector<int> int_costs = ScaleCostsToInt(costs, options.cost_scale);
+    int int_demand =
+        static_cast<int>(std::ceil(demand * options.cost_scale - 1e-9));
+    KnapsackSolution sol = MinKnapsackDp(weights, int_costs, int_demand);
+    return sol.selected;
+  }
+  KnapsackSolution sol = MinKnapsackGreedy(weights, costs, demand);
+  return sol.selected;
+}
+
+// One majorize-minimize pass from a feasible start, using modular upper
+// bound `kind` (1 or 2).  Returns the best (lowest-g) feasible set seen.
+std::vector<int> MajorizeMinimize(const SetFunction& g,
+                                  const std::vector<double>& costs,
+                                  double demand, std::vector<int> start,
+                                  int kind,
+                                  const std::vector<double>& singleton_gain,
+                                  const std::vector<double>& top_gain,
+                                  const IsscOptions& options) {
+  int n = g.ground_size();
+  std::vector<int> best = start;
+  double best_value = g.Value(best);
+  std::vector<int> x = std::move(start);
+  double x_value = best_value;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<bool> in_x(n, false);
+    for (int j : x) in_x[j] = true;
+    // Modular weights of the upper bound grounded at x.
+    std::vector<double> w(n, 0.0);
+    for (int j = 0; j < n; ++j) {
+      double gain;
+      if (kind == 1) {
+        if (in_x[j]) {
+          // g(j | x \ {j}) = g(x) - g(x \ {j})
+          std::vector<int> without;
+          without.reserve(x.size() - 1);
+          for (int t : x) {
+            if (t != j) without.push_back(t);
+          }
+          gain = x_value - g.Value(without);
+        } else {
+          gain = singleton_gain[j];
+        }
+      } else {
+        if (in_x[j]) {
+          gain = top_gain[j];  // g(j | V \ {j})
+        } else {
+          gain = g.Gain(x, j);  // g(j | x)
+        }
+      }
+      w[j] = std::max(0.0, gain);
+    }
+    std::vector<int> y = SolveMinKnapsack(w, costs, demand, options);
+    if (SetCost(costs, y) < demand - 1e-9) break;  // solver gave up
+    double y_value = g.Value(y);
+    if (y_value < best_value) {
+      best_value = y_value;
+      best = y;
+    }
+    if (y_value >= x_value - 1e-12) break;  // converged
+    x = std::move(y);
+    x_value = y_value;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<int> MinimizeSubmodularCover(const SetFunction& g,
+                                         const std::vector<double>& costs,
+                                         double demand,
+                                         const IsscOptions& options) {
+  int n = g.ground_size();
+  FC_CHECK_EQ(static_cast<int>(costs.size()), n);
+  std::vector<int> ground(n);
+  std::iota(ground.begin(), ground.end(), 0);
+  if (demand <= 0.0) return {};
+  FC_CHECK_LE(demand, SetCost(costs, ground) + 1e-9);
+
+  // Precompute singleton gains g(j | empty) and top gains g(j | V \ {j}).
+  double g_empty = g.Value({});
+  double g_full = g.Value(ground);
+  std::vector<double> singleton_gain(n), top_gain(n);
+  for (int j = 0; j < n; ++j) {
+    singleton_gain[j] = g.Value({j}) - g_empty;
+    std::vector<int> without;
+    without.reserve(n - 1);
+    for (int t = 0; t < n; ++t) {
+      if (t != j) without.push_back(t);
+    }
+    top_gain[j] = g_full - g.Value(without);
+  }
+
+  // Feasible starts: the whole ground set, and a cheap greedy cover.
+  KnapsackSolution cover = MinKnapsackGreedy(singleton_gain, costs, demand);
+  std::vector<std::vector<int>> starts = {ground};
+  if (SetCost(costs, cover.selected) >= demand - 1e-9) {
+    starts.push_back(cover.selected);
+  }
+
+  std::vector<int> best = ground;
+  double best_value = g_full;
+  for (const auto& start : starts) {
+    for (int kind : {1, 2}) {
+      std::vector<int> candidate =
+          MajorizeMinimize(g, costs, demand, start, kind, singleton_gain,
+                           top_gain, options);
+      double value = g.Value(candidate);
+      if (value < best_value) {
+        best_value = value;
+        best = candidate;
+      }
+    }
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+Selection BestMinVar(const SetObjective& ev, const std::vector<double>& costs,
+                     double budget, const IsscOptions& options) {
+  int n = static_cast<int>(costs.size());
+  double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  Selection sel;
+  if (budget >= total) {  // clean everything
+    for (int i = 0; i < n; ++i) sel.cleaned.push_back(i);
+    sel.cost = total;
+    return sel;
+  }
+  // Lemma 3.6: pick the complement set T-bar (objects NOT cleaned).
+  LambdaSetFunction g(n, [&](const std::vector<int>& t_bar) {
+    return ev(ComplementSet(t_bar, n));
+  });
+  std::vector<int> t_bar =
+      MinimizeSubmodularCover(g, costs, total - budget, options);
+  sel.cleaned = ComplementSet(t_bar, n);
+  sel.cost = SetCost(costs, sel.cleaned);
+  FC_CHECK_LE(sel.cost, budget + 1e-6);
+  return sel;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,42 @@
+// "Best": the Iyer-Bilmes style approximation for minimizing a
+// non-decreasing submodular function under a knapsack cover constraint
+// (Section 3.3 / Theorem 3.7).
+//
+// MinVarBar (Lemma 3.6) asks for T-bar (the objects NOT cleaned) minimizing
+// EVbar(T-bar) = EV(O \ T-bar) subject to cost(T-bar) >= total - budget.
+// We solve it by majorize-minimize over modular upper bounds of the
+// submodular objective (the two standard Nemhauser-style bounds), each
+// iteration reducing to a min-knapsack solved exactly (DP) or greedily.
+
+#ifndef FACTCHECK_SUBMODULAR_ISSC_H_
+#define FACTCHECK_SUBMODULAR_ISSC_H_
+
+#include "core/greedy.h"
+#include "submodular/set_function.h"
+
+namespace factcheck {
+
+struct IsscOptions {
+  int max_iterations = 25;
+  // Resolution for scaling real costs to ints for the exact min-knapsack
+  // DP; <= 0 switches to the greedy covering solver.
+  double cost_scale = 1.0;
+};
+
+// Minimizes a non-decreasing submodular g over T with
+// sum_{i in T} costs[i] >= demand.  Returns the best set found across
+// iterations and both modular bounds.
+std::vector<int> MinimizeSubmodularCover(const SetFunction& g,
+                                         const std::vector<double>& costs,
+                                         double demand,
+                                         const IsscOptions& options = {});
+
+// End-to-end "Best" for MinVar: picks the set of objects TO CLEAN, cost at
+// most `budget`, approximately minimizing `ev` (a non-increasing submodular
+// set objective such as EV(T)).
+Selection BestMinVar(const SetObjective& ev, const std::vector<double>& costs,
+                     double budget, const IsscOptions& options = {});
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SUBMODULAR_ISSC_H_

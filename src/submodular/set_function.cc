@@ -1,0 +1,34 @@
+#include "submodular/set_function.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+double SetFunction::Gain(const std::vector<int>& set, int element) const {
+  std::vector<int> with = set;
+  with.push_back(element);
+  return Value(with) - Value(set);
+}
+
+std::vector<int> ComplementSet(const std::vector<int>& set, int n) {
+  std::vector<bool> in(n, false);
+  for (int i : set) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, n);
+    in[i] = true;
+  }
+  std::vector<int> out;
+  out.reserve(n - static_cast<int>(set.size()));
+  for (int i = 0; i < n; ++i) {
+    if (!in[i]) out.push_back(i);
+  }
+  return out;
+}
+
+double ComplementSetFunction::Value(const std::vector<int>& set) const {
+  return base_->Value(ComplementSet(set, ground_size()));
+}
+
+}  // namespace factcheck

@@ -1,0 +1,66 @@
+// Set-function abstractions for the submodular machinery of Section 3.3.
+//
+// Lemma 3.5: with mutually independent X, the MinVar objective EV(T) is
+// monotone non-increasing and submodular.  Lemma 3.6 complements it into
+// EVbar(T) = EV(O \ T), a non-decreasing submodular function minimized
+// under a knapsack *cover* (lower-bound) constraint — the form solved by
+// the Iyer-Bilmes style algorithm in issc.h ("Best" in the experiments).
+
+#ifndef FACTCHECK_SUBMODULAR_SET_FUNCTION_H_
+#define FACTCHECK_SUBMODULAR_SET_FUNCTION_H_
+
+#include <functional>
+#include <vector>
+
+namespace factcheck {
+
+// A real-valued function over subsets of {0, ..., ground_size - 1}.
+class SetFunction {
+ public:
+  virtual ~SetFunction() = default;
+
+  // Value on a subset given as a sorted-or-not index list (duplicates
+  // tolerated by implementations).
+  virtual double Value(const std::vector<int>& set) const = 0;
+
+  virtual int ground_size() const = 0;
+
+  // Marginal gain of adding `element` to `set` (element may already be in
+  // the set, in which case the gain is 0 for well-formed functions).
+  double Gain(const std::vector<int>& set, int element) const;
+};
+
+// Adapts a callable.
+class LambdaSetFunction : public SetFunction {
+ public:
+  LambdaSetFunction(int ground_size,
+                    std::function<double(const std::vector<int>&)> fn)
+      : ground_size_(ground_size), fn_(std::move(fn)) {}
+
+  double Value(const std::vector<int>& set) const override { return fn_(set); }
+  int ground_size() const override { return ground_size_; }
+
+ private:
+  int ground_size_;
+  std::function<double(const std::vector<int>&)> fn_;
+};
+
+// The Lemma-3.6 complement view: Value(T) = base(ground \ T).  Transforms
+// the non-increasing submodular EV into a non-decreasing submodular EVbar.
+class ComplementSetFunction : public SetFunction {
+ public:
+  explicit ComplementSetFunction(const SetFunction* base) : base_(base) {}
+
+  double Value(const std::vector<int>& set) const override;
+  int ground_size() const override { return base_->ground_size(); }
+
+ private:
+  const SetFunction* base_;
+};
+
+// Sorted complement of `set` within {0, ..., n-1}.
+std::vector<int> ComplementSet(const std::vector<int>& set, int n);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SUBMODULAR_SET_FUNCTION_H_

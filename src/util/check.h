@@ -1,0 +1,41 @@
+// Lightweight assertion macros in the spirit of absl/glog CHECK.
+//
+// The library does not use exceptions (Google style); programmer errors and
+// violated preconditions abort with a diagnostic.  All macros are active in
+// every build type because the costs they guard (index arithmetic on small
+// problem instances) are negligible next to the combinatorial work.
+
+#ifndef FACTCHECK_UTIL_CHECK_H_
+#define FACTCHECK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace factcheck {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace factcheck
+
+#define FC_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::factcheck::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                               \
+  } while (false)
+
+#define FC_CHECK_OP(a, op, b) FC_CHECK((a)op(b))
+#define FC_CHECK_EQ(a, b) FC_CHECK_OP(a, ==, b)
+#define FC_CHECK_NE(a, b) FC_CHECK_OP(a, !=, b)
+#define FC_CHECK_LT(a, b) FC_CHECK_OP(a, <, b)
+#define FC_CHECK_LE(a, b) FC_CHECK_OP(a, <=, b)
+#define FC_CHECK_GT(a, b) FC_CHECK_OP(a, >, b)
+#define FC_CHECK_GE(a, b) FC_CHECK_OP(a, >=, b)
+
+#endif  // FACTCHECK_UTIL_CHECK_H_

@@ -1,0 +1,72 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+double Rng::Uniform(double lo, double hi) {
+  FC_CHECK_LE(lo, hi);
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  FC_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  FC_CHECK_GE(stddev, 0.0);
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  FC_CHECK_GT(sigma, 0.0);
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  FC_CHECK_GE(p, 0.0);
+  FC_CHECK_LE(p, 1.0);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  FC_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  FC_CHECK_GT(total, 0.0);
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    FC_CHECK_GE(weights[i], 0.0);
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  FC_CHECK_GE(n, 0);
+  FC_CHECK_GE(k, 0);
+  FC_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = UniformInt(i, n - 1);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace factcheck

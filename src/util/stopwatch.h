@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the efficiency experiments (Fig 10).
+
+#ifndef FACTCHECK_UTIL_STOPWATCH_H_
+#define FACTCHECK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace factcheck {
+
+// Measures elapsed wall time.  Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  // Restarts the watch.
+  void Reset();
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  // Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_STOPWATCH_H_

@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+std::string FormatCell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  FC_CHECK(!columns_.empty());
+}
+
+TablePrinter& TablePrinter::AddCell(const std::string& value) {
+  current_.push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(double value) {
+  return AddCell(FormatCell(value));
+}
+
+TablePrinter& TablePrinter::AddCell(int value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(long value) {
+  return AddCell(std::to_string(value));
+}
+
+void TablePrinter::EndRow() {
+  FC_CHECK_EQ(current_.size(), columns_.size());
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::fprintf(out, "%s%s", columns_[i].c_str(),
+                 i + 1 == columns_.size() ? "\n" : "\t");
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(out, "%s%s", row[i].c_str(),
+                   i + 1 == row.size() ? "\n" : "\t");
+    }
+  }
+  std::fflush(out);
+}
+
+}  // namespace factcheck

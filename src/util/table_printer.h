@@ -1,0 +1,46 @@
+// TSV table output used by the benchmark harnesses.
+//
+// Every figure-reproduction binary prints its series through this class so
+// that output is uniform, machine-parsable, and diffable across runs.
+
+#ifndef FACTCHECK_UTIL_TABLE_PRINTER_H_
+#define FACTCHECK_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace factcheck {
+
+// Accumulates rows and prints a header + tab-separated rows to a FILE*.
+// Numeric cells are formatted with %.6g.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  // Starts a new row.  Cells are appended with the Add* methods and must
+  // match the column count when the row is finished.
+  TablePrinter& AddCell(const std::string& value);
+  TablePrinter& AddCell(double value);
+  TablePrinter& AddCell(int value);
+  TablePrinter& AddCell(long value);
+  void EndRow();
+
+  // Prints header and all rows.
+  void Print(std::FILE* out = stdout) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+// Formats a double like the printer does; exposed for tests.
+std::string FormatCell(double value);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_TABLE_PRINTER_H_

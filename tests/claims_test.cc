@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "claims/claim.h"
+#include "claims/perturbation.h"
+#include "claims/quality.h"
+#include "data/synthetic.h"
+#include "montecarlo/sampler.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+TEST(ClaimTest, WindowComparisonWeights) {
+  // Later window minus earlier window.
+  Claim c = MakeWindowComparisonClaim(0, 2, 2);
+  EXPECT_EQ(c.References(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(c.Evaluate({1, 2, 10, 20}), 30 - 3);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(0), -1.0);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(3), 1.0);
+}
+
+TEST(ClaimTest, WindowComparisonOverlappingWindowsCancel) {
+  // Windows [1..2] vs [2..3]: the shared object 2 cancels to coefficient 0
+  // and drops out of the references.
+  Claim c = MakeWindowComparisonClaim(1, 2, 2);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(2), 0.0);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(1), -1.0);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(3), 1.0);
+}
+
+TEST(ClaimTest, WindowSum) {
+  Claim c = MakeWindowSumClaim(1, 3);
+  EXPECT_EQ(c.References(), (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(c.Evaluate({99, 1, 2, 3, 99}), 6);
+}
+
+TEST(ClaimTest, WeightedAggregate) {
+  Claim c = MakeWeightedAggregateClaim({0, 1}, 1.0, {2, 3}, -0.3, "ratio");
+  // (10 + 20) - 0.3 * (100 + 100) = -30.
+  EXPECT_DOUBLE_EQ(c.Evaluate({10, 20, 100, 100}), -30.0);
+  EXPECT_EQ(c.description, "ratio");
+}
+
+TEST(SensibilityTest, NormalizedAndDecaying) {
+  std::vector<double> s = ExponentialSensibilities({1, 2, 3}, 1.5);
+  EXPECT_NEAR(std::accumulate(s.begin(), s.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GT(s[0], s[1]);
+  EXPECT_GT(s[1], s[2]);
+  EXPECT_NEAR(s[0] / s[1], 1.5, 1e-9);
+}
+
+TEST(SensibilityTest, UniformWhenLambdaOne) {
+  std::vector<double> s = ExponentialSensibilities({1, 5, 9}, 1.0);
+  for (double v : s) EXPECT_NEAR(v, 1.0 / 3, 1e-12);
+}
+
+TEST(PerturbationTest, WindowComparisonCountAndExclusion) {
+  // n = 26 (Adoptions), width 4: placements 0..17 (18 back-to-back pairs of
+  // 4-year windows); excluding the original leaves 17... the paper's 18
+  // perturbations include all shifts; with include_original they are 18.
+  PerturbationSet with_orig =
+      WindowComparisonPerturbations(26, 4, 0, 1.5, /*include_original=*/true);
+  EXPECT_EQ(with_orig.size(), 19);
+  PerturbationSet without =
+      WindowComparisonPerturbations(26, 4, 0, 1.5, /*include_original=*/false);
+  EXPECT_EQ(without.size(), 18);
+  EXPECT_NEAR(std::accumulate(without.sensibilities.begin(),
+                              without.sensibilities.end(), 0.0),
+              1.0, 1e-12);
+}
+
+TEST(PerturbationTest, NonOverlappingWindowsDoNotShareObjects) {
+  PerturbationSet set = NonOverlappingWindowSumPerturbations(40, 4, 16, 1.5);
+  for (int a = 0; a < set.size(); ++a) {
+    for (int b = a + 1; b < set.size(); ++b) {
+      const auto& ra = set.perturbations[a].References();
+      const auto& rb = set.perturbations[b].References();
+      for (int i : ra) {
+        EXPECT_FALSE(std::binary_search(rb.begin(), rb.end(), i))
+            << "claims " << a << " and " << b << " share object " << i;
+      }
+    }
+  }
+}
+
+TEST(PerturbationTest, NonOverlappingCapRespected) {
+  PerturbationSet set =
+      NonOverlappingWindowSumPerturbations(40, 4, 16, 1.5, 5);
+  EXPECT_EQ(set.size(), 5);
+}
+
+TEST(PerturbationTest, SlidingWindowsOverlap) {
+  PerturbationSet set = SlidingWindowSumPerturbations(10, 4, 0, 1.5);
+  EXPECT_EQ(set.size(), 6);  // starts 1..6
+  // Adjacent perturbations share objects.
+  const auto& r0 = set.perturbations[0].References();
+  const auto& r1 = set.perturbations[1].References();
+  bool share = false;
+  for (int i : r0) {
+    if (std::binary_search(r1.begin(), r1.end(), i)) share = true;
+  }
+  EXPECT_TRUE(share);
+}
+
+TEST(PerturbationTest, AllReferencesUnion) {
+  PerturbationSet set = SlidingWindowSumPerturbations(8, 3, 0, 1.5);
+  std::vector<int> refs = set.AllReferences();
+  EXPECT_EQ(refs.front(), 0);
+  EXPECT_EQ(refs.back(), 7);
+  EXPECT_EQ(static_cast<int>(refs.size()), 8);
+}
+
+TEST(QualityTransformTest, BiasIsSignedWeightedDelta) {
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kBias, 12.0, 10.0, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kBias, 8.0, 10.0, 0.25), -0.5);
+}
+
+TEST(QualityTransformTest, DuplicityIsIndicator) {
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kDuplicity, 12.0, 10.0, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kDuplicity, 10.0, 10.0, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kDuplicity, 9.99, 10.0, 0.9), 0.0);
+}
+
+TEST(QualityTransformTest, FragilityIsSquaredNegativePart) {
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kFragility, 12.0, 10.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(
+      QualityTransform(QualityMeasure::kFragility, 7.0, 10.0, 0.5),
+      0.5 * 9.0);
+}
+
+TEST(ClaimQualityFunctionTest, DuplicityCountsStrongPerturbations) {
+  PerturbationSet set = SlidingWindowSumPerturbations(6, 2, 0, 1.5);
+  double reference = 5.0;
+  ClaimQualityFunction dup(&set, QualityMeasure::kDuplicity, reference);
+  // x sums: windows at 1..4 with values below.
+  std::vector<double> x = {0, 2, 4, 2, 0, 0};
+  // Perturbation sums: [1,2]=6, [2,3]=6, [3,4]=2, [4,5]=0 -> two >= 5.
+  EXPECT_DOUBLE_EQ(dup.Evaluate(x), 2.0);
+}
+
+TEST(ClaimQualityFunctionTest, ReferencesAreUnionOfPerturbationRefs) {
+  PerturbationSet set = NonOverlappingWindowSumPerturbations(12, 3, 0, 1.5);
+  ClaimQualityFunction f(&set, QualityMeasure::kBias, 0.0);
+  // The original window [0..2] is NOT in the perturbation refs.
+  const auto& refs = f.References();
+  EXPECT_FALSE(std::binary_search(refs.begin(), refs.end(), 0));
+  EXPECT_TRUE(std::binary_search(refs.begin(), refs.end(), 3));
+}
+
+TEST(BiasLinearFunctionTest, MatchesGenericEvaluationOnRandomPoints) {
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 5, {.size = 12});
+  PerturbationSet set = SlidingWindowSumPerturbations(12, 4, 2, 1.5);
+  double reference = 123.0;
+  ClaimQualityFunction generic(&set, QualityMeasure::kBias, reference);
+  LinearQueryFunction linear = BiasLinearFunction(set, reference);
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x = SampleValues(problem, rng);
+    EXPECT_NEAR(generic.Evaluate(x), linear.Evaluate(x), 1e-9);
+  }
+}
+
+TEST(BiasLinearFunctionTest, WeightsAggregateSensibilities) {
+  // Two perturbations sharing object 1: weights add up.
+  PerturbationSet set;
+  set.original = MakeWindowSumClaim(0, 1);
+  set.perturbations = {MakeWindowSumClaim(1, 1), MakeWindowSumClaim(1, 2)};
+  set.sensibilities = {0.25, 0.75};
+  LinearQueryFunction bias = BiasLinearFunction(set, 10.0);
+  EXPECT_DOUBLE_EQ(bias.Coefficient(1), 1.0);   // 0.25 + 0.75
+  EXPECT_DOUBLE_EQ(bias.Coefficient(2), 0.75);
+  EXPECT_DOUBLE_EQ(bias.intercept(), -10.0);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "dist/convolution.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+DiscreteDistribution Die() {
+  return DiscreteDistribution({1, 2, 3, 4, 5, 6},
+                              std::vector<double>(6, 1.0 / 6));
+}
+
+TEST(ConvolveSumTest, EmptyTermListIsZeroPointMass) {
+  SumDistribution d = ConvolveSum({});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(d[0].prob, 1.0);
+}
+
+TEST(ConvolveSumTest, TwoDiceSumDistribution) {
+  DiscreteDistribution die = Die();
+  SumDistribution d = ConvolveSum({{&die, 1.0}, {&die, 1.0}});
+  ASSERT_EQ(d.size(), 11u);  // 2..12
+  EXPECT_DOUBLE_EQ(d.front().value, 2.0);
+  EXPECT_DOUBLE_EQ(d.back().value, 12.0);
+  // P(sum = 7) = 6/36.
+  for (const SumAtom& a : d) {
+    if (a.value == 7.0) {
+      EXPECT_NEAR(a.prob, 6.0 / 36, 1e-12);
+    }
+  }
+  double total = 0;
+  for (const SumAtom& a : d) total += a.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ConvolveSumTest, CoefficientsScaleAndFlip) {
+  DiscreteDistribution coin({0, 1}, {0.5, 0.5});
+  SumDistribution d = ConvolveSum({{&coin, 2.0}, {&coin, -1.0}});
+  // Values: 0-0=0, 0-1=-1, 2-0=2, 2-1=1.
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0].value, -1.0);
+  EXPECT_DOUBLE_EQ(d[3].value, 2.0);
+}
+
+TEST(ConvolveSumTest, MeanAndVarianceAreAdditive) {
+  Rng rng(3);
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 5, {.size = 6});
+  std::vector<WeightedTerm> terms;
+  double expected_mean = 0, expected_var = 0;
+  std::vector<double> coeffs = {1.0, -2.0, 0.5, 1.5, -1.0, 3.0};
+  for (int i = 0; i < 6; ++i) {
+    terms.push_back({&p.object(i).dist, coeffs[i]});
+    expected_mean += coeffs[i] * p.object(i).dist.Mean();
+    expected_var += coeffs[i] * coeffs[i] * p.object(i).dist.Variance();
+  }
+  SumDistribution d = ConvolveSum(terms);
+  EXPECT_NEAR(SumMean(d), expected_mean, 1e-8);
+  EXPECT_NEAR(SumVariance(d), expected_var, 1e-6);
+}
+
+TEST(ConvolveSumTest, PointMassesShiftWithoutGrowth) {
+  DiscreteDistribution pm = DiscreteDistribution::PointMass(5.0);
+  DiscreteDistribution coin({0, 1}, {0.5, 0.5});
+  SumDistribution d = ConvolveSum({{&pm, 2.0}, {&coin, 1.0}, {&pm, -1.0}});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0].value, 5.0);  // 10 + 0 - 5
+  EXPECT_DOUBLE_EQ(d[1].value, 6.0);
+}
+
+TEST(ConvolveSumTest, IntegerCollisionsMerge) {
+  // X + Y with X, Y in {0, 1, 2}: 9 combinations, 5 distinct sums.
+  DiscreteDistribution tri({0, 1, 2}, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  SumDistribution d = ConvolveSum({{&tri, 1.0}, {&tri, 1.0}});
+  EXPECT_EQ(d.size(), 5u);
+}
+
+TEST(ConvolveSum2Test, SharedVariableInducesCorrelation) {
+  DiscreteDistribution coin({0, 1}, {0.5, 0.5});
+  // (X, 2X): perfectly correlated pair.
+  SumDistribution2 d = ConvolveSum2({{&coin, 1.0, 2.0}});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0].a, 0.0);
+  EXPECT_DOUBLE_EQ(d[0].b, 0.0);
+  EXPECT_DOUBLE_EQ(d[1].a, 1.0);
+  EXPECT_DOUBLE_EQ(d[1].b, 2.0);
+}
+
+TEST(ConvolveSum2Test, JointOfDisjointPairsFactorizes) {
+  DiscreteDistribution coin({0, 1}, {0.5, 0.5});
+  // (X, Y) via terms (X -> a only) and (Y -> b only).
+  SumDistribution2 d =
+      ConvolveSum2({{&coin, 1.0, 0.0}, {&coin, 0.0, 1.0}});
+  ASSERT_EQ(d.size(), 4u);
+  for (const SumAtom2& a : d) EXPECT_NEAR(a.prob, 0.25, 1e-12);
+}
+
+TEST(ConvolveSum2Test, MarginalsMatch1D) {
+  Rng rng(7);
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 11, {.size = 4});
+  std::vector<WeightedTerm2> terms2;
+  std::vector<WeightedTerm> terms_a;
+  std::vector<double> ca = {1.0, 0.5, -1.0, 2.0};
+  std::vector<double> cb = {0.0, 1.0, 1.0, -0.5};
+  for (int i = 0; i < 4; ++i) {
+    terms2.push_back({&p.object(i).dist, ca[i], cb[i]});
+    terms_a.push_back({&p.object(i).dist, ca[i]});
+  }
+  SumDistribution2 joint = ConvolveSum2(terms2);
+  SumDistribution marg_a = ConvolveSum(terms_a);
+  // Collapse the joint onto coordinate a and compare moments.
+  double mean_a = 0;
+  for (const SumAtom2& a : joint) mean_a += a.prob * a.a;
+  EXPECT_NEAR(mean_a, SumMean(marg_a), 1e-8);
+}
+
+TEST(SumStatsTest, ProbBelowAndEntropy) {
+  DiscreteDistribution coin({0, 1}, {0.5, 0.5});
+  SumDistribution d = ConvolveSum({{&coin, 1.0}});
+  EXPECT_DOUBLE_EQ(SumProbBelow(d, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(SumProbBelow(d, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SumProbBelow(d, 2.0), 1.0);
+  EXPECT_NEAR(SumEntropy(d), std::log(2.0), 1e-12);
+  SumDistribution pm = ConvolveSum({});
+  EXPECT_DOUBLE_EQ(SumEntropy(pm), 0.0);
+}
+
+TEST(SumToDiscreteTest, RoundTripsMoments) {
+  DiscreteDistribution die = Die();
+  SumDistribution d = ConvolveSum({{&die, 1.0}, {&die, 1.0}});
+  DiscreteDistribution back = SumToDiscrete(d);
+  EXPECT_NEAR(back.Mean(), 7.0, 1e-12);
+  EXPECT_NEAR(back.Variance(), 2.0 * 35.0 / 12, 1e-12);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "claims/counter.h"
+#include "claims/perturbation.h"
+
+namespace factcheck {
+namespace {
+
+PerturbationSet TwoWindowContext() {
+  // Original: sum over [0..1]; perturbations: [2..3] and [4..5].
+  PerturbationSet set;
+  set.original = MakeWindowSumClaim(0, 2);
+  set.perturbations = {MakeWindowSumClaim(2, 2), MakeWindowSumClaim(4, 2)};
+  set.sensibilities = {0.5, 0.5};
+  return set;
+}
+
+TEST(CounterTest, LowerRefutesDirection) {
+  PerturbationSet set = TwoWindowContext();
+  // original value 10; perturbation sums: 8 and 12.
+  std::vector<double> x = {5, 5, 4, 4, 6, 6};
+  EXPECT_TRUE(HasCounterargument(set, x, 10.0, 1.0,
+                                 CounterDirection::kLowerRefutes));
+  EXPECT_FALSE(HasCounterargument(set, x, 10.0, 3.0,
+                                  CounterDirection::kLowerRefutes));
+}
+
+TEST(CounterTest, HigherRefutesDirection) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> x = {5, 5, 4, 4, 6, 6};
+  EXPECT_TRUE(HasCounterargument(set, x, 10.0, 2.0,
+                                 CounterDirection::kHigherRefutes));
+  EXPECT_FALSE(HasCounterargument(set, x, 10.0, 2.5,
+                                  CounterDirection::kHigherRefutes));
+}
+
+TEST(CounterTest, StrongestCounterPicksExtreme) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> x = {5, 5, 3, 3, 2, 2};  // sums 6 and 4
+  EXPECT_EQ(StrongestCounter(set, x, 10.0, 1.0,
+                             CounterDirection::kLowerRefutes),
+            1);  // the [4..5] window at 4 is lowest
+}
+
+TEST(CounterTest, NoCounterReturnsMinusOne) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> x = {5, 5, 6, 6, 7, 7};
+  EXPECT_EQ(StrongestCounter(set, x, 10.0, 0.0,
+                             CounterDirection::kLowerRefutes),
+            -1);
+}
+
+TEST(CleanUntilCounterTest, StopsAtFirstRevealedCounter) {
+  PerturbationSet set = TwoWindowContext();
+  // Current values hide the counter; the truth reveals window [2..3] = 5.
+  std::vector<double> current = {5, 5, 6, 6, 7, 7};
+  std::vector<double> truth = {5, 5, 2, 3, 7, 7};
+  std::vector<double> costs = {1, 1, 1, 1, 1, 1};
+  std::vector<int> order = {2, 3, 4, 5};
+  CounterSearchResult result = CleanUntilCounter(
+      set, current, truth, costs, order, 10.0, 1.0,
+      CounterDirection::kLowerRefutes, 100.0);
+  EXPECT_TRUE(result.found);
+  // Cleaning object 2 alone reveals window sum 2 + 6 = 8 <= 10 - 1.
+  EXPECT_EQ(result.num_cleaned, 1);
+  EXPECT_DOUBLE_EQ(result.cost_used, 1.0);
+  EXPECT_EQ(result.counter_claim, 0);
+}
+
+TEST(CleanUntilCounterTest, BudgetLimitsSearch) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> current = {5, 5, 6, 6, 7, 7};
+  std::vector<double> truth = {5, 5, 2, 3, 7, 7};
+  std::vector<double> costs = {1, 1, 5, 5, 1, 1};
+  std::vector<int> order = {2, 3};
+  // Margin 3 requires a window sum <= 7; cleaning object 2 alone reveals
+  // 2 + 6 = 8 (no counter), and object 3 does not fit in the budget.
+  CounterSearchResult result = CleanUntilCounter(
+      set, current, truth, costs, order, 10.0, 3.0,
+      CounterDirection::kLowerRefutes, 7.0);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.num_cleaned, 1);
+}
+
+TEST(CleanUntilCounterTest, AlreadyRefutableNeedsNoCleaning) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> current = {5, 5, 2, 2, 7, 7};
+  std::vector<double> truth = current;
+  CounterSearchResult result = CleanUntilCounter(
+      set, current, truth, {1, 1, 1, 1, 1, 1}, {0, 1, 2, 3, 4, 5}, 10.0,
+      1.0, CounterDirection::kLowerRefutes, 10.0);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.num_cleaned, 0);
+  EXPECT_DOUBLE_EQ(result.cost_used, 0.0);
+}
+
+TEST(CleanUntilCounterTest, IrrelevantCleaningsDoNotTriggerCounter) {
+  PerturbationSet set = TwoWindowContext();
+  std::vector<double> current = {5, 5, 6, 6, 7, 7};
+  std::vector<double> truth = {9, 9, 6, 6, 7, 7};  // truth raises original's
+                                                   // objects only
+  CounterSearchResult result = CleanUntilCounter(
+      set, current, truth, {1, 1, 1, 1, 1, 1}, {0, 1}, 10.0, 1.0,
+      CounterDirection::kLowerRefutes, 10.0);
+  // The original's stated value stays 10 regardless of cleaning its inputs;
+  // no perturbation dropped, so no counter.
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.num_cleaned, 2);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relational/csv.h"
+
+namespace factcheck {
+namespace {
+
+const char kCsv[] =
+    "year,cause,injuries\n"
+    "2001,firearms,63012\n"
+    "2002,falls,8100000.5\n";
+
+TEST(CsvTest, ParsesTypedColumns) {
+  auto table = TableFromCsv(
+      kCsv, {ColumnType::kInt, ColumnType::kString, ColumnType::kDouble});
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->GetInt(0, 0), 2001);
+  EXPECT_EQ(table->GetString(1, 1), "falls");
+  EXPECT_DOUBLE_EQ(table->GetDouble(1, 2), 8100000.5);
+  EXPECT_EQ(table->schema().Find("cause"), 1);
+}
+
+TEST(CsvTest, RoundTrips) {
+  std::vector<ColumnType> types = {ColumnType::kInt, ColumnType::kString,
+                                   ColumnType::kDouble};
+  auto table = TableFromCsv(kCsv, types);
+  ASSERT_TRUE(table.has_value());
+  std::string out = TableToCsv(*table);
+  auto again = TableFromCsv(out, types);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->num_rows(), table->num_rows());
+  EXPECT_DOUBLE_EQ(again->GetDouble(1, 2), table->GetDouble(1, 2));
+  EXPECT_EQ(again->GetString(0, 1), table->GetString(0, 1));
+}
+
+TEST(CsvTest, HandlesCrLfAndBlankLines) {
+  auto table = TableFromCsv("a,b\r\n1,2\r\n\r\n3,4\r\n",
+                            {ColumnType::kInt, ColumnType::kInt});
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->GetInt(1, 0), 3);
+}
+
+TEST(CsvTest, RejectsColumnCountMismatch) {
+  std::string error;
+  auto table = TableFromCsv("a,b\n1\n",
+                            {ColumnType::kInt, ColumnType::kInt}, &error);
+  EXPECT_FALSE(table.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsBadNumericCell) {
+  std::string error;
+  auto table = TableFromCsv("a\nnot_a_number\n", {ColumnType::kDouble},
+                            &error);
+  EXPECT_FALSE(table.has_value());
+  EXPECT_NE(error.find("bad double"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsHeaderArityMismatch) {
+  std::string error;
+  auto table = TableFromCsv("a,b\n1,2\n", {ColumnType::kInt}, &error);
+  EXPECT_FALSE(table.has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::string error;
+  EXPECT_FALSE(TableFromCsv("", {ColumnType::kInt}, &error).has_value());
+}
+
+TEST(CsvFileTest, WritesAndReadsBack) {
+  std::vector<ColumnType> types = {ColumnType::kInt, ColumnType::kString,
+                                   ColumnType::kDouble};
+  auto table = TableFromCsv(kCsv, types);
+  ASSERT_TRUE(table.has_value());
+  std::string path = ::testing::TempDir() + "/factcheck_csv_test.csv";
+  ASSERT_TRUE(TableToCsvFile(*table, path));
+  auto back = TableFromCsvFile(path, types);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_rows(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(TableFromCsvFile("/nonexistent/nope.csv",
+                                {ColumnType::kInt}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/adoptions.h"
+#include "data/cdc.h"
+#include "data/dependency.h"
+#include "data/synthetic.h"
+
+namespace factcheck {
+namespace {
+
+TEST(AdoptionsTest, SizeSeedAndErrorModel) {
+  CleaningProblem a = data::MakeAdoptions(7);
+  CleaningProblem b = data::MakeAdoptions(7);
+  EXPECT_EQ(a.size(), data::kAdoptionsYears);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.object(i).dist, b.object(i).dist);
+    EXPECT_DOUBLE_EQ(a.object(i).cost, b.object(i).cost);
+    EXPECT_GE(a.object(i).cost, 1.0);
+    EXPECT_LE(a.object(i).cost, 100.0);
+    // sigma in [1, 50] => variance within the quantization bound.
+    EXPECT_LE(a.object(i).dist.Variance(), 50.0 * 50.0);
+    EXPECT_NEAR(a.object(i).dist.Mean(), a.object(i).current_value, 1e-6);
+  }
+}
+
+TEST(AdoptionsTest, DifferentSeedsChangeModel) {
+  CleaningProblem a = data::MakeAdoptions(7);
+  CleaningProblem b = data::MakeAdoptions(8);
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (!(a.object(i).dist == b.object(i).dist)) ++differing;
+  }
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(AdoptionsTest, TableMatchesProblem) {
+  UncertainTable table = data::MakeAdoptionsTable(7);
+  CleaningProblem from_table = table.ToCleaningProblem();
+  CleaningProblem direct = data::MakeAdoptions(7);
+  ASSERT_EQ(from_table.size(), direct.size());
+  for (int i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_table.object(i).current_value,
+                     direct.object(i).current_value);
+    EXPECT_TRUE(from_table.object(i).dist == direct.object(i).dist);
+  }
+}
+
+TEST(AdoptionsTest, SeriesHasEarlyNinetiesRise) {
+  const std::vector<double>& s = data::AdoptionsSeries();
+  ASSERT_EQ(static_cast<int>(s.size()), data::kAdoptionsYears);
+  // The rise behind Giuliani's claim: 1993-1996 total > 1989-1992 total.
+  double early = s[0] + s[1] + s[2] + s[3];
+  double later = s[4] + s[5] + s[6] + s[7];
+  EXPECT_GT(later, early);
+}
+
+TEST(CdcFirearmsTest, SizeQuantizationAndRecencyCosts) {
+  CleaningProblem p = data::MakeCdcFirearms(11);
+  EXPECT_EQ(p.size(), data::kCdcYears);
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.object(i).dist.support_size(), 6);  // paper's 6 points
+  }
+  // Costs decrease with recency: 2001 in [195,200], 2017 in [115,120].
+  EXPECT_GE(p.object(0).cost, 195.0);
+  EXPECT_LE(p.object(0).cost, 200.0);
+  EXPECT_GE(p.object(16).cost, 115.0);
+  EXPECT_LE(p.object(16).cost, 120.0);
+  for (int i = 1; i < p.size(); ++i) {
+    EXPECT_LT(p.object(i).cost, p.object(i - 1).cost);
+  }
+}
+
+TEST(CdcFirearmsTest, StddevsMatchProblemVariances) {
+  CleaningProblem p = data::MakeCdcFirearms(11);
+  std::vector<double> sigmas = data::CdcFirearmsStddevs(11);
+  ASSERT_EQ(static_cast<int>(sigmas.size()), p.size());
+  for (int i = 0; i < p.size(); ++i) {
+    // Quantization keeps most of the variance.
+    double quantized_sd = std::sqrt(p.object(i).dist.Variance());
+    EXPECT_GT(quantized_sd, 0.8 * sigmas[i]);
+    EXPECT_LE(quantized_sd, sigmas[i] + 1e-9);
+  }
+}
+
+TEST(CdcCausesTest, LayoutAndMagnitudes) {
+  CleaningProblem p = data::MakeCdcCauses(13);
+  EXPECT_EQ(p.size(), 68);  // 4 causes x 17 years
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.object(i).dist.support_size(), 4);  // paper's 4 points
+  }
+  // Index helper round-trips.
+  EXPECT_EQ(data::CdcCausesIndex(0, data::kCdcFirstYear), 0);
+  EXPECT_EQ(data::CdcCausesIndex(1, data::kCdcFirstYear), 17);
+  EXPECT_EQ(data::CdcCausesIndex(3, data::kCdcLastYear), 67);
+  // Falls dwarf drownings (sanity of relative magnitudes).
+  double falls = p.object(data::CdcCausesIndex(3, 2010)).current_value;
+  double drowning = p.object(data::CdcCausesIndex(2, 2010)).current_value;
+  EXPECT_GT(falls, 100 * drowning);
+}
+
+TEST(CdcCausesTest, CauseNames) {
+  EXPECT_EQ(data::CdcCauseName(0), "firearms");
+  EXPECT_EQ(data::CdcCauseName(1), "transportation");
+  EXPECT_EQ(data::CdcCauseName(2), "drowning");
+  EXPECT_EQ(data::CdcCauseName(3), "falls");
+}
+
+TEST(SyntheticTest, FamiliesParseAndPrint) {
+  EXPECT_EQ(data::ParseSyntheticFamily("URx"),
+            data::SyntheticFamily::kUniformRandom);
+  EXPECT_EQ(data::SyntheticFamilyName(data::SyntheticFamily::kLogNormal),
+            "LNx");
+}
+
+TEST(SyntheticTest, UrxSupportsInRangeAndCostsInRange) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 21, {.size = 200});
+  EXPECT_EQ(p.size(), 200);
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& d = p.object(i).dist;
+    EXPECT_GE(d.support_size(), 1);
+    EXPECT_LE(d.support_size(), 6);
+    for (int k = 0; k < d.support_size(); ++k) {
+      EXPECT_GE(d.value(k), 1.0);
+      EXPECT_LE(d.value(k), 100.0);
+    }
+    EXPECT_GE(p.object(i).cost, 1.0);
+    EXPECT_LE(p.object(i).cost, 10.0);
+  }
+}
+
+TEST(SyntheticTest, UrxValuesDistinctWithinSupport) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 22, {.size = 100});
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& d = p.object(i).dist;
+    std::set<double> values(d.values().begin(), d.values().end());
+    EXPECT_EQ(values.size(), d.values().size());
+  }
+}
+
+TEST(SyntheticTest, LnxValuesPositiveAndTypicallySmallRange) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kLogNormal, 23, {.size = 100});
+  double max_value = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& d = p.object(i).dist;
+    for (int k = 0; k < d.support_size(); ++k) {
+      EXPECT_GT(d.value(k), 0.0);
+      max_value = std::max(max_value, d.value(k));
+    }
+  }
+  // "resulting range is typically much smaller" than [1, 100].
+  EXPECT_LT(max_value, 50.0);
+}
+
+TEST(SyntheticTest, SmxProbabilitiesAreLowHighMixture) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kStructuredMultimodal, 24, {.size = 300});
+  int extreme_ratio_supports = 0;
+  int multi_supports = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& d = p.object(i).dist;
+    if (d.support_size() < 2) continue;
+    ++multi_supports;
+    double lo = 1e300, hi = 0;
+    for (int k = 0; k < d.support_size(); ++k) {
+      lo = std::min(lo, d.prob(k));
+      hi = std::max(hi, d.prob(k));
+    }
+    if (hi / lo > 3.0) ++extreme_ratio_supports;
+  }
+  // The low/high weight mixture should frequently produce very skewed
+  // within-support probabilities (unlike URx).
+  EXPECT_GT(extreme_ratio_supports, multi_supports / 4);
+}
+
+TEST(SyntheticTest, ExtremeCostsAreBinary) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 25,
+      {.size = 100, .extreme_costs = true});
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_TRUE(p.object(i).cost == 1.0 || p.object(i).cost == 10.0);
+  }
+}
+
+TEST(SyntheticTest, CurrentValuesAreMeans) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 26, {.size = 50});
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.object(i).current_value, p.object(i).dist.Mean());
+  }
+}
+
+TEST(DependencyTest, DependentCdcMatchesIndependentView) {
+  data::DependentDataset d = data::MakeDependentCdcFirearms(31, 0.7);
+  EXPECT_EQ(d.independent_view.size(), data::kCdcYears);
+  EXPECT_EQ(d.model.dim(), data::kCdcYears);
+  std::vector<double> sigmas = data::CdcFirearmsStddevs(31);
+  for (int i = 0; i < d.model.dim(); ++i) {
+    EXPECT_NEAR(d.model.covariance()(i, i), sigmas[i] * sigmas[i], 1e-6);
+    EXPECT_DOUBLE_EQ(d.model.mean()[i],
+                     d.independent_view.object(i).current_value);
+  }
+  // Off-diagonals follow the geometric decay.
+  EXPECT_NEAR(d.model.covariance()(0, 1), 0.7 * sigmas[0] * sigmas[1], 1e-6);
+  EXPECT_NEAR(d.model.covariance()(0, 3),
+              0.7 * 0.7 * 0.7 * sigmas[0] * sigmas[3], 1e-6);
+}
+
+}  // namespace
+}  // namespace factcheck

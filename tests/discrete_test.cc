@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "dist/discrete.h"
+
+namespace factcheck {
+namespace {
+
+TEST(DiscreteTest, NormalizesProbabilities) {
+  DiscreteDistribution d({1.0, 2.0}, {2.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.prob(1), 0.75);
+}
+
+TEST(DiscreteTest, SortsValues) {
+  DiscreteDistribution d({3.0, 1.0, 2.0}, {0.2, 0.5, 0.3});
+  EXPECT_DOUBLE_EQ(d.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.value(1), 2.0);
+  EXPECT_DOUBLE_EQ(d.value(2), 3.0);
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.5);
+}
+
+TEST(DiscreteTest, MergesDuplicateValues) {
+  DiscreteDistribution d({1.0, 1.0, 2.0}, {0.25, 0.25, 0.5});
+  ASSERT_EQ(d.support_size(), 2);
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.5);
+}
+
+TEST(DiscreteTest, DropsZeroProbabilityAtoms) {
+  DiscreteDistribution d({1.0, 2.0, 3.0}, {0.5, 0.0, 0.5});
+  ASSERT_EQ(d.support_size(), 2);
+  EXPECT_DOUBLE_EQ(d.value(1), 3.0);
+}
+
+TEST(DiscreteTest, PointMass) {
+  DiscreteDistribution d = DiscreteDistribution::PointMass(7.5);
+  EXPECT_TRUE(d.is_point_mass());
+  EXPECT_DOUBLE_EQ(d.Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+}
+
+TEST(DiscreteTest, MeanVarianceOfPaperExample5X1) {
+  // X1 uniform over {0, 1/2, 1, 3/2, 2}: Var = 1/2 (Example 5).
+  DiscreteDistribution x1({0, 0.5, 1, 1.5, 2},
+                          {0.2, 0.2, 0.2, 0.2, 0.2});
+  EXPECT_DOUBLE_EQ(x1.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(x1.Variance(), 0.5);
+}
+
+TEST(DiscreteTest, MeanVarianceOfPaperExample5X2) {
+  // X2 uniform over {1/3, 1, 5/3}: Var = 8/27 (Example 5).
+  DiscreteDistribution x2({1.0 / 3, 1.0, 5.0 / 3},
+                          {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_NEAR(x2.Mean(), 1.0, 1e-12);
+  EXPECT_NEAR(x2.Variance(), 8.0 / 27, 1e-12);
+}
+
+TEST(DiscreteTest, SecondMomentConsistentWithVariance) {
+  DiscreteDistribution d({1.0, 4.0, 9.0}, {0.5, 0.3, 0.2});
+  EXPECT_NEAR(d.Variance(), d.SecondMoment() - d.Mean() * d.Mean(), 1e-12);
+}
+
+TEST(DiscreteTest, CdfBelowVsAtOrBelow) {
+  DiscreteDistribution d({1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  EXPECT_DOUBLE_EQ(d.CdfBelow(2.0), 0.2);
+  EXPECT_DOUBLE_EQ(d.CdfAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.CdfBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAtOrBelow(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.CdfBelow(10.0), 1.0);
+}
+
+TEST(DiscreteTest, ExpectationOfTransform) {
+  DiscreteDistribution d({-1.0, 2.0}, {0.5, 0.5});
+  double e = d.ExpectationOf([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(e, 2.5);
+}
+
+TEST(DiscreteDeathTest, EmptySupportAborts) {
+  EXPECT_DEATH(DiscreteDistribution({}, {}), "CHECK failed");
+}
+
+TEST(DiscreteDeathTest, NegativeProbabilityAborts) {
+  EXPECT_DEATH(DiscreteDistribution({1.0, 2.0}, {0.5, -0.5}), "CHECK failed");
+}
+
+TEST(DiscreteDeathTest, AllZeroProbabilitiesAbort) {
+  EXPECT_DEATH(DiscreteDistribution({1.0}, {0.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace factcheck

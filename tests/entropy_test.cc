@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/entropy.h"
+#include "core/ev.h"
+#include "data/synthetic.h"
+
+namespace factcheck {
+namespace {
+
+CleaningProblem CoinProblem(int n) {
+  std::vector<UncertainObject> objects(n);
+  for (int i = 0; i < n; ++i) {
+    objects[i].current_value = 0.0;
+    objects[i].dist = DiscreteDistribution({0.0, 1.0}, {0.5, 0.5});
+    objects[i].cost = 1.0;
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+TEST(QueryEntropyTest, DeterministicQueryHasZeroEntropy) {
+  CleaningProblem p = CoinProblem(2);
+  LambdaQueryFunction f({0, 1}, [](const std::vector<double>& x) {
+    return x[0] - x[0] + 7.0;  // constant
+  });
+  EXPECT_DOUBLE_EQ(QueryEntropy(f, p), 0.0);
+}
+
+TEST(QueryEntropyTest, FairCoinQueryHasLog2) {
+  CleaningProblem p = CoinProblem(1);
+  LinearQueryFunction f({0}, {1.0});
+  EXPECT_NEAR(QueryEntropy(f, p), std::log(2.0), 1e-12);
+}
+
+TEST(QueryEntropyTest, SumOfTwoCoinsHasBinomialEntropy) {
+  CleaningProblem p = CoinProblem(2);
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  // Values 0,1,2 with probs 1/4, 1/2, 1/4.
+  double expected = -(0.25 * std::log(0.25) * 2 + 0.5 * std::log(0.5));
+  EXPECT_NEAR(QueryEntropy(f, p), expected, 1e-12);
+}
+
+TEST(ExpectedPosteriorEntropyTest, CleaningEverythingKillsEntropy) {
+  CleaningProblem p = CoinProblem(3);
+  LinearQueryFunction f({0, 1, 2}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(ExpectedPosteriorEntropy(f, p, {0, 1, 2}), 0.0);
+}
+
+TEST(ExpectedPosteriorEntropyTest, EmptySetIsPriorEntropy) {
+  CleaningProblem p = CoinProblem(3);
+  LinearQueryFunction f({0, 1, 2}, {1.0, 1.0, 1.0});
+  EXPECT_NEAR(ExpectedPosteriorEntropy(f, p, {}), QueryEntropy(f, p),
+              1e-12);
+}
+
+TEST(ExpectedPosteriorEntropyTest, CleaningOneCoinLeavesTwoCoinEntropy) {
+  CleaningProblem p = CoinProblem(3);
+  LinearQueryFunction f({0, 1, 2}, {1.0, 1.0, 1.0});
+  CleaningProblem two = CoinProblem(2);
+  LinearQueryFunction f2({0, 1}, {1.0, 1.0});
+  EXPECT_NEAR(ExpectedPosteriorEntropy(f, p, {1}), QueryEntropy(f2, two),
+              1e-12);
+}
+
+TEST(ExpectedPosteriorEntropyTest, MonotoneNonIncreasingOnChains) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 31,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  LinearQueryFunction f({0, 1, 2, 3, 4}, {1, 1, 1, 1, 1});
+  std::vector<int> cleaned;
+  double prev = ExpectedPosteriorEntropy(f, p, cleaned);
+  for (int i : {2, 0, 4, 1, 3}) {
+    cleaned.push_back(i);
+    double next = ExpectedPosteriorEntropy(f, p, cleaned);
+    EXPECT_LE(next, prev + 1e-9);
+    prev = next;
+  }
+}
+
+TEST(EntropyVsVarianceTest, EntropyIgnoresMagnitude) {
+  // The paper's argument for variance: a coin over {0, 1} and a coin over
+  // {0, 1000} have the same entropy but wildly different variance.
+  std::vector<UncertainObject> objects(2);
+  objects[0].dist = DiscreteDistribution({0.0, 1.0}, {0.5, 0.5});
+  objects[0].cost = 1.0;
+  objects[1].dist = DiscreteDistribution({0.0, 1000.0}, {0.5, 0.5});
+  objects[1].cost = 1.0;
+  CleaningProblem p(std::move(objects));
+  LinearQueryFunction f0({0}, {1.0});
+  LinearQueryFunction f1({1}, {1.0});
+  EXPECT_NEAR(QueryEntropy(f0, p), QueryEntropy(f1, p), 1e-12);
+  EXPECT_LT(PriorVariance(f0, p), PriorVariance(f1, p) / 1e5);
+}
+
+TEST(GreedyMinEntropyTest, CanLeaveMoreVarianceThanGreedyMinVar) {
+  // Two objects: small-magnitude fair coin (max entropy) vs huge-magnitude
+  // skewed coin (less entropy, far more variance).  Entropy-guided
+  // selection cleans the fair coin; variance-guided cleans the big one.
+  std::vector<UncertainObject> objects(2);
+  objects[0].dist = DiscreteDistribution({0.0, 1.0}, {0.5, 0.5});
+  objects[0].cost = 1.0;
+  objects[0].current_value = 0.5;
+  objects[1].dist = DiscreteDistribution({0.0, 1000.0}, {0.9, 0.1});
+  objects[1].cost = 1.0;
+  objects[1].current_value = 100.0;
+  CleaningProblem p(std::move(objects));
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  Selection by_entropy = GreedyMinEntropy(f, p, 1.0);
+  Selection by_variance = GreedyMinVar(f, p, 1.0);
+  ASSERT_EQ(by_entropy.cleaned.size(), 1u);
+  ASSERT_EQ(by_variance.cleaned.size(), 1u);
+  EXPECT_EQ(by_entropy.cleaned[0], 0);
+  EXPECT_EQ(by_variance.cleaned[0], 1);
+  EXPECT_GT(ExpectedPosteriorVariance(f, p, by_entropy.cleaned),
+            ExpectedPosteriorVariance(f, p, by_variance.cleaned));
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/ev.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+CleaningProblem BernoulliProblem() {
+  // Example 3: independent Bernoullis with p = 1/2, 1/3, 1/4.
+  std::vector<UncertainObject> objects(3);
+  double ps[3] = {0.5, 1.0 / 3, 0.25};
+  for (int i = 0; i < 3; ++i) {
+    objects[i].label = "b" + std::to_string(i);
+    objects[i].current_value = 0.0;
+    objects[i].dist = DiscreteDistribution({0.0, 1.0}, {1 - ps[i], ps[i]});
+    objects[i].cost = 1.0;
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+LambdaQueryFunction SumBelow3Indicator() {
+  return LambdaQueryFunction({0, 1, 2}, [](const std::vector<double>& x) {
+    return (x[0] + x[1] + x[2] < 3.0) ? 1.0 : 0.0;
+  });
+}
+
+TEST(EvTest, Example3PriorDistribution) {
+  // f = 0 iff all three are 1: probability 1/24.
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  double mean = ExpectedValue(f, problem);
+  EXPECT_NEAR(mean, 23.0 / 24, 1e-12);
+  double p0 = 1.0 / 24;
+  EXPECT_NEAR(PriorVariance(f, problem), p0 * (1 - p0), 1e-12);
+}
+
+TEST(EvTest, Example3CleaningCanIncreaseConditionalUncertainty) {
+  // Cleaning X1 = 1 leaves Pr[f = 0] = 1/12, which is *more* uncertain
+  // than the prior 1/24 — the paper's "uncertain effect of cleaning".
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  double prior_var = PriorVariance(f, problem);
+
+  CleaningProblem cleaned_to_one = problem;
+  cleaned_to_one.Clean(0, 1.0);
+  double var_if_one = PriorVariance(f, cleaned_to_one);
+  double p = 1.0 / 12;
+  EXPECT_NEAR(var_if_one, p * (1 - p), 1e-12);
+  EXPECT_GT(var_if_one, prior_var);
+
+  CleaningProblem cleaned_to_zero = problem;
+  cleaned_to_zero.Clean(0, 0.0);
+  EXPECT_NEAR(PriorVariance(f, cleaned_to_zero), 0.0, 1e-12);
+}
+
+TEST(EvTest, Example3ExpectedVarianceStillDecreases) {
+  // In expectation over the cleaning outcome, EV({X1}) <= Var (Lemma 3.4):
+  // EV = 1/2 * 0 + 1/2 * (1/12)(11/12).
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  double ev = ExpectedPosteriorVariance(f, problem, {0});
+  EXPECT_NEAR(ev, 0.5 * (1.0 / 12) * (11.0 / 12), 1e-12);
+  EXPECT_LE(ev, PriorVariance(f, problem));
+}
+
+TEST(EvTest, EmptyCleaningEqualsPriorVariance) {
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  EXPECT_NEAR(ExpectedPosteriorVariance(f, problem, {}),
+              PriorVariance(f, problem), 1e-12);
+}
+
+TEST(EvTest, CleaningAllReferencedObjectsKillsVariance) {
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  EXPECT_DOUBLE_EQ(ExpectedPosteriorVariance(f, problem, {0, 1, 2}), 0.0);
+}
+
+TEST(EvTest, UnreferencedObjectsDoNotMatter) {
+  CleaningProblem problem = BernoulliProblem();
+  // f references only objects 0 and 1.
+  LambdaQueryFunction f({0, 1}, [](const std::vector<double>& x) {
+    return x[0] + 2 * x[1];
+  });
+  EXPECT_NEAR(ExpectedPosteriorVariance(f, problem, {2}),
+              ExpectedPosteriorVariance(f, problem, {}), 1e-12);
+}
+
+TEST(EvTest, LinearFunctionEvIsModular) {
+  // Lemma 3.1: affine f, independent X => EV(T) = sum_{i not in T} a_i^2
+  // Var[X_i].
+  CleaningProblem problem =
+      data::MakeSynthetic(data::SyntheticFamily::kUniformRandom, 9,
+                          {.size = 5, .min_support = 2, .max_support = 4});
+  LinearQueryFunction f({0, 1, 2, 3, 4}, {1.0, -2.0, 0.5, 1.5, -1.0});
+  std::vector<double> variances = problem.Variances();
+  std::vector<double> coeffs = {1.0, -2.0, 0.5, 1.5, -1.0};
+  for (const std::vector<int>& t :
+       {std::vector<int>{}, {0}, {1, 3}, {0, 2, 4}, {0, 1, 2, 3, 4}}) {
+    double expected = 0.0;
+    std::vector<bool> cleaned(5, false);
+    for (int i : t) cleaned[i] = true;
+    for (int i = 0; i < 5; ++i) {
+      if (!cleaned[i]) expected += coeffs[i] * coeffs[i] * variances[i];
+    }
+    EXPECT_NEAR(ExpectedPosteriorVariance(f, problem, t), expected, 1e-9);
+  }
+}
+
+TEST(EvTest, MarginalReductionMatchesDifference) {
+  CleaningProblem problem = BernoulliProblem();
+  LambdaQueryFunction f = SumBelow3Indicator();
+  double direct = ExpectedPosteriorVariance(f, problem, {1}) -
+                  ExpectedPosteriorVariance(f, problem, {1, 2});
+  EXPECT_NEAR(MarginalVarianceReduction(f, problem, {1}, 2), direct, 1e-12);
+}
+
+// Lemma 3.4 as a property: EV is monotone non-increasing over random
+// instances, query functions, and cleaning chains.
+class EvMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvMonotonicityTest, EvNeverIncreasesAlongCleaningChains) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, seed,
+      {.size = 6, .min_support = 2, .max_support = 3});
+  // Random nonlinear query: indicator of a weighted sum below a threshold.
+  std::vector<double> w(6);
+  for (auto& v : w) v = rng.Uniform(-1, 1);
+  double threshold = rng.Uniform(-50, 250);
+  LambdaQueryFunction f({0, 1, 2, 3, 4, 5},
+                        [w, threshold](const std::vector<double>& x) {
+                          double s = 0;
+                          for (int i = 0; i < 6; ++i) s += w[i] * x[i];
+                          return s < threshold ? 1.0 : 0.0;
+                        });
+  std::vector<int> order = rng.SampleWithoutReplacement(6, 6);
+  std::vector<int> cleaned;
+  double prev = ExpectedPosteriorVariance(f, problem, cleaned);
+  for (int i : order) {
+    cleaned.push_back(i);
+    double next = ExpectedPosteriorVariance(f, problem, cleaned);
+    EXPECT_LE(next, prev + 1e-9) << "seed " << seed;
+    prev = next;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvMonotonicityTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace factcheck

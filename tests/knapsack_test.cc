@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "knapsack/knapsack.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+double SumAt(const std::vector<double>& xs, const std::vector<int>& idx) {
+  double acc = 0.0;
+  for (int i : idx) acc += xs[i];
+  return acc;
+}
+
+// Exhaustive optimum for cross-checking (n <= 20).
+double BruteForceMaxValue(const std::vector<double>& values,
+                          const std::vector<double>& costs, double capacity) {
+  int n = static_cast<int>(values.size());
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double v = 0.0, c = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        v += values[i];
+        c += costs[i];
+      }
+    }
+    if (c <= capacity && v > best) best = v;
+  }
+  return best;
+}
+
+TEST(MaxKnapsackDpTest, KnownSmallInstance) {
+  // Classic: values {60,100,120}, costs {10,20,30}, capacity 50 -> 220.
+  KnapsackSolution sol =
+      MaxKnapsackDp({60, 100, 120}, {10, 20, 30}, 50);
+  EXPECT_DOUBLE_EQ(sol.total_value, 220);
+  EXPECT_DOUBLE_EQ(sol.total_cost, 50);
+  EXPECT_EQ(sol.selected, (std::vector<int>{1, 2}));
+}
+
+TEST(MaxKnapsackDpTest, ZeroCapacitySelectsNothing) {
+  KnapsackSolution sol = MaxKnapsackDp({5, 7}, {1, 1}, 0);
+  EXPECT_TRUE(sol.selected.empty());
+  EXPECT_DOUBLE_EQ(sol.total_value, 0);
+}
+
+TEST(MaxKnapsackDpTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = rng.UniformInt(1, 12);
+    std::vector<double> values(n);
+    std::vector<int> costs(n);
+    std::vector<double> costs_d(n);
+    for (int i = 0; i < n; ++i) {
+      values[i] = rng.Uniform(0, 20);
+      costs[i] = rng.UniformInt(1, 15);
+      costs_d[i] = costs[i];
+    }
+    int capacity = rng.UniformInt(0, 40);
+    KnapsackSolution sol = MaxKnapsackDp(values, costs, capacity);
+    EXPECT_NEAR(sol.total_value,
+                BruteForceMaxValue(values, costs_d, capacity), 1e-9);
+    EXPECT_LE(sol.total_cost, capacity);
+    EXPECT_NEAR(sol.total_value, SumAt(values, sol.selected), 1e-9);
+  }
+}
+
+TEST(MaxKnapsackGreedyTest, PaperSection31Example) {
+  // Section 3.1: beta(x1)=0.1, c1=0.0001; beta(x2)=10, c2=2; budget 2.
+  // Density greedy alone would return 0.1; the final check must pick x2.
+  KnapsackSolution sol = MaxKnapsackGreedy({0.1, 10.0}, {0.0001, 2.0}, 2.0);
+  EXPECT_EQ(sol.selected, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sol.total_value, 10.0);
+}
+
+TEST(MaxKnapsackGreedyTest, TwoApproximationOnRandomInstances) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = rng.UniformInt(1, 14);
+    std::vector<double> values(n), costs(n);
+    for (int i = 0; i < n; ++i) {
+      values[i] = rng.Uniform(0, 10);
+      costs[i] = rng.Uniform(0.1, 8);
+    }
+    double capacity = rng.Uniform(0.5, 25);
+    KnapsackSolution sol = MaxKnapsackGreedy(values, costs, capacity);
+    double opt = BruteForceMaxValue(values, costs, capacity);
+    EXPECT_GE(sol.total_value, opt / 2.0 - 1e-9)
+        << "trial " << trial << " opt " << opt;
+    EXPECT_LE(sol.total_cost, capacity + 1e-9);
+  }
+}
+
+TEST(MaxKnapsackFptasTest, ApproximationGuarantee) {
+  Rng rng(303);
+  for (double eps : {0.5, 0.1}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      int n = rng.UniformInt(1, 12);
+      std::vector<double> values(n), costs(n);
+      for (int i = 0; i < n; ++i) {
+        values[i] = rng.Uniform(0, 50);
+        costs[i] = rng.Uniform(0.5, 10);
+      }
+      double capacity = rng.Uniform(1, 30);
+      KnapsackSolution sol = MaxKnapsackFptas(values, costs, capacity, eps);
+      double opt = BruteForceMaxValue(values, costs, capacity);
+      EXPECT_GE(sol.total_value, (1.0 - eps) * opt - 1e-9);
+      EXPECT_LE(sol.total_cost, capacity + 1e-9);
+    }
+  }
+}
+
+TEST(MaxKnapsackFptasTest, EmptyWhenNothingFits) {
+  KnapsackSolution sol = MaxKnapsackFptas({5, 6}, {10, 20}, 1.0, 0.2);
+  EXPECT_TRUE(sol.selected.empty());
+}
+
+TEST(MaxKnapsackBnbTest, MatchesBruteForceOnRealCosts) {
+  Rng rng(505);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = rng.UniformInt(1, 14);
+    std::vector<double> values(n), costs(n);
+    for (int i = 0; i < n; ++i) {
+      values[i] = rng.Uniform(0, 10);
+      costs[i] = rng.Uniform(0.1, 7.5);
+    }
+    double capacity = rng.Uniform(0.5, 25);
+    KnapsackSolution bnb = MaxKnapsackBranchAndBound(values, costs, capacity);
+    EXPECT_NEAR(bnb.total_value, BruteForceMaxValue(values, costs, capacity),
+                1e-9)
+        << "trial " << trial;
+    EXPECT_LE(bnb.total_cost, capacity + 1e-9);
+    EXPECT_NEAR(bnb.total_value, SumAt(values, bnb.selected), 1e-9);
+  }
+}
+
+TEST(MaxKnapsackBnbTest, MatchesDpOnIntegerCosts) {
+  Rng rng(606);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = rng.UniformInt(1, 12);
+    std::vector<double> values(n), costs_d(n);
+    std::vector<int> costs_i(n);
+    for (int i = 0; i < n; ++i) {
+      values[i] = rng.Uniform(0, 30);
+      costs_i[i] = rng.UniformInt(1, 12);
+      costs_d[i] = costs_i[i];
+    }
+    int capacity = rng.UniformInt(0, 35);
+    KnapsackSolution bnb =
+        MaxKnapsackBranchAndBound(values, costs_d, capacity);
+    KnapsackSolution dp = MaxKnapsackDp(values, costs_i, capacity);
+    EXPECT_NEAR(bnb.total_value, dp.total_value, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MaxKnapsackBnbTest, SkipsWorthlessAndOversizedItems) {
+  KnapsackSolution sol = MaxKnapsackBranchAndBound(
+      {0.0, 5.0, 9.0}, {1.0, 100.0, 2.0}, 3.0);
+  EXPECT_EQ(sol.selected, (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(sol.total_value, 9.0);
+}
+
+TEST(MaxKnapsackBnbTest, HandlesModerateSizeFast) {
+  // 30 correlated items (the hard regime for plain B&B) still solve
+  // instantly thanks to the fractional bound.
+  Rng rng(707);
+  int n = 30;
+  std::vector<double> values(n), costs(n);
+  for (int i = 0; i < n; ++i) {
+    costs[i] = rng.Uniform(1, 10);
+    values[i] = costs[i] + rng.Uniform(0, 0.5);  // value ~ cost
+  }
+  KnapsackSolution sol = MaxKnapsackBranchAndBound(values, costs, 50.0);
+  EXPECT_GT(sol.total_value, 0.0);
+  EXPECT_LE(sol.total_cost, 50.0 + 1e-9);
+}
+
+TEST(MinKnapsackDpTest, ComplementOfMaxKnapsack) {
+  // Minimize value subject to covering demand.
+  std::vector<double> values = {10, 1, 5, 3};
+  std::vector<int> costs = {4, 3, 2, 5};
+  KnapsackSolution sol = MinKnapsackDp(values, costs, 7);
+  EXPECT_GE(sol.total_cost, 7);
+  // Optimal: cover 7+ at minimum value: {1,3} cost 8 value 4.
+  EXPECT_DOUBLE_EQ(sol.total_value, 4);
+}
+
+TEST(MinKnapsackDpTest, ZeroDemandSelectsNothing) {
+  KnapsackSolution sol = MinKnapsackDp({1, 2}, {1, 1}, 0);
+  EXPECT_TRUE(sol.selected.empty());
+}
+
+TEST(MinKnapsackDpTest, InfeasibleDemandSelectsAll) {
+  KnapsackSolution sol = MinKnapsackDp({1, 2}, {1, 1}, 10);
+  EXPECT_EQ(sol.selected.size(), 2u);
+}
+
+TEST(MinKnapsackDpTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = rng.UniformInt(1, 10);
+    std::vector<double> values(n);
+    std::vector<int> costs(n);
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      values[i] = rng.Uniform(0, 20);
+      costs[i] = rng.UniformInt(1, 10);
+      total += costs[i];
+    }
+    int demand = rng.UniformInt(0, total);
+    KnapsackSolution sol = MinKnapsackDp(values, costs, demand);
+    // Brute force.
+    double best = 1e300;
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      double v = 0;
+      int c = 0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          v += values[i];
+          c += costs[i];
+        }
+      }
+      if (c >= demand && v < best) best = v;
+    }
+    EXPECT_NEAR(sol.total_value, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MinKnapsackGreedyTest, CoversDemandAndPolishes) {
+  std::vector<double> values = {10, 1, 5, 3};
+  std::vector<double> costs = {4, 3, 2, 5};
+  KnapsackSolution sol = MinKnapsackGreedy(values, costs, 7);
+  EXPECT_GE(sol.total_cost, 7 - 1e-9);
+  // Greedy should find a reasonable (not necessarily optimal) cover.
+  EXPECT_LE(sol.total_value, 10.0);
+}
+
+TEST(MinKnapsackGreedyTest, PolishDropsRedundantItems) {
+  // Items sorted by density put {0,1,2} in; dropping 0 keeps feasibility.
+  std::vector<double> values = {5.0, 0.1, 0.1};
+  std::vector<double> costs = {5.0, 5.0, 5.0};
+  KnapsackSolution sol = MinKnapsackGreedy(values, costs, 10.0);
+  EXPECT_DOUBLE_EQ(sol.total_value, 0.2);
+  EXPECT_EQ(sol.selected.size(), 2u);
+}
+
+TEST(ScaleCostsToIntTest, RoundsUpAndClampsToOne) {
+  std::vector<int> scaled = ScaleCostsToInt({0.0001, 1.4, 2.6}, 1.0);
+  EXPECT_EQ(scaled, (std::vector<int>{1, 2, 3}));
+  std::vector<int> fine = ScaleCostsToInt({0.25, 1.4}, 10.0);
+  EXPECT_EQ(fine, (std::vector<int>{3, 14}));
+  // Exact integers stay exact.
+  EXPECT_EQ(ScaleCostsToInt({2.0, 5.0}, 1.0), (std::vector<int>{2, 5}));
+}
+
+}  // namespace
+}  // namespace factcheck

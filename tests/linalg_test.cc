@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+Matrix RandomSpd(int n, Rng& rng) {
+  // A = B B' + n * I is comfortably positive definite.
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng.Uniform(-1, 1);
+  }
+  Matrix a = MatMul(b, b.Transpose());
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;
+  b(0, 1) = 8;
+  b(1, 0) = 9;
+  b(1, 1) = 10;
+  b(2, 0) = 11;
+  b(2, 1) = 12;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(5);
+  Matrix a(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = rng.Uniform(-5, 5);
+  }
+  Matrix att = a.Transpose().Transpose();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, SelectSubmatrix) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a(i, j) = 10 * i + j;
+  }
+  Matrix s = a.Select({0, 2}, {1});
+  ASSERT_EQ(s.rows(), 2);
+  ASSERT_EQ(s.cols(), 1);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1);
+  EXPECT_DOUBLE_EQ(s(1, 0), 21);
+}
+
+TEST(MatrixTest, QuadraticFormMatchesExpansion) {
+  Rng rng(9);
+  Matrix a = RandomSpd(4, rng);
+  Vector x = {1.0, -2.0, 0.5, 3.0};
+  double direct = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) direct += x[i] * a(i, j) * x[j];
+  }
+  EXPECT_NEAR(QuadraticForm(x, a, x), direct, 1e-10);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  Vector x = {1, 2}, y = {3, 5};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 13);
+  EXPECT_DOUBLE_EQ(VecAdd(x, y)[1], 7);
+  EXPECT_DOUBLE_EQ(VecSub(y, x)[0], 2);
+  EXPECT_DOUBLE_EQ(VecScale(x, 2.5)[1], 5);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(21);
+  for (int n : {1, 2, 5, 8}) {
+    Matrix a = RandomSpd(n, rng);
+    auto l = Cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    Matrix rec = MatMul(*l, l->Transpose());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3 and -1
+  EXPECT_FALSE(Cholesky(a).has_value());
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Rng rng(33);
+  Matrix a = RandomSpd(6, rng);
+  Vector x_true(6);
+  for (auto& v : x_true) v = rng.Uniform(-2, 2);
+  Vector b = MatVec(a, x_true);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  Vector x = CholeskySolve(*l, b);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, SpdInverseProducesIdentity) {
+  Rng rng(41);
+  Matrix a = RandomSpd(5, rng);
+  auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.has_value());
+  Matrix prod = MatMul(a, *inv);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(CholeskyTest, SchurComplementMatchesDirectFormula) {
+  Rng rng(55);
+  Matrix m = RandomSpd(6, rng);
+  std::vector<int> a_idx = {0, 3};
+  std::vector<int> b_idx = {1, 2, 4, 5};
+  Matrix s = SchurComplement(m, a_idx, b_idx);
+  // Direct: S = M_bb - M_ba M_aa^{-1} M_ab.
+  Matrix m_aa_inv = *SpdInverse(m.Select(a_idx, a_idx));
+  Matrix direct = MatSub(
+      m.Select(b_idx, b_idx),
+      MatMul(m.Select(b_idx, a_idx), MatMul(m_aa_inv, m.Select(a_idx, b_idx))));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_NEAR(s(i, j), direct(i, j), 1e-8);
+  }
+}
+
+TEST(CholeskyTest, SchurComplementEmptyConditioningIsRestriction) {
+  Rng rng(66);
+  Matrix m = RandomSpd(4, rng);
+  Matrix s = SchurComplement(m, {}, {1, 3});
+  EXPECT_DOUBLE_EQ(s(0, 0), m(1, 1));
+  EXPECT_DOUBLE_EQ(s(1, 1), m(3, 3));
+  EXPECT_DOUBLE_EQ(s(0, 1), m(1, 3));
+}
+
+TEST(CholeskyTest, SchurComplementIsPsd) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix m = RandomSpd(5, rng);
+    Matrix s = SchurComplement(m, {0, 2}, {1, 3, 4});
+    // Diagonal of a PSD matrix is non-negative; quadratic forms too.
+    Vector x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    EXPECT_GE(QuadraticForm(x, s, x), -1e-9);
+  }
+}
+
+TEST(CholeskyTest, LogDetMatchesTwoByTwo) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  auto ld = LogDet(a);
+  ASSERT_TRUE(ld.has_value());
+  EXPECT_NEAR(*ld, std::log(11.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/maxpr.h"
+#include "dist/normal.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+CleaningProblem Example5Problem() {
+  // Example 5: X1 uniform {0,1/2,1,3/2,2}, X2 uniform {1/3,1,5/3}; u=(1,1).
+  std::vector<UncertainObject> objects(2);
+  objects[0].label = "x1";
+  objects[0].current_value = 1.0;
+  objects[0].dist =
+      DiscreteDistribution({0, 0.5, 1, 1.5, 2}, {0.2, 0.2, 0.2, 0.2, 0.2});
+  objects[0].cost = 1.0;
+  objects[1].label = "x2";
+  objects[1].current_value = 1.0;
+  objects[1].dist = DiscreteDistribution({1.0 / 3, 1.0, 5.0 / 3},
+                                         {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  objects[1].cost = 1.0;
+  return CleaningProblem(std::move(objects));
+}
+
+TEST(MaxPrExactTest, Example5Probabilities) {
+  // q = X1 + X2; f(u) = 2; target f(X) < 17/12, i.e., tau = 7/12.
+  CleaningProblem problem = Example5Problem();
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  double tau = 2.0 - 17.0 / 12;
+  // Cleaning X1 only: Pr[X1 < 5/12] = Pr[X1 = 0] = 1/5.
+  EXPECT_NEAR(SurpriseProbabilityExact(f, problem, {0}, tau), 0.2, 1e-12);
+  // Cleaning X2 only: Pr[X2 < 5/12] = Pr[X2 = 1/3] = 1/3.
+  EXPECT_NEAR(SurpriseProbabilityExact(f, problem, {1}, tau), 1.0 / 3,
+              1e-12);
+}
+
+TEST(MaxPrExactTest, EmptySetHasZeroProbability) {
+  CleaningProblem problem = Example5Problem();
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(SurpriseProbabilityExact(f, problem, {}, 0.1), 0.0);
+}
+
+TEST(MaxPrExactTest, CleaningUnreferencedObjectGivesZero) {
+  CleaningProblem problem = Example5Problem();
+  LinearQueryFunction f({0}, {1.0});
+  EXPECT_DOUBLE_EQ(SurpriseProbabilityExact(f, problem, {1}, 0.1), 0.0);
+}
+
+TEST(MaxPrExactTest, ZeroTauCountsStrictDrops) {
+  CleaningProblem problem = Example5Problem();
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  // tau = 0: Pr[X1 + 1 < 2] = Pr[X1 < 1] = 2/5.
+  EXPECT_NEAR(SurpriseProbabilityExact(f, problem, {0}, 0.0), 0.4, 1e-12);
+}
+
+TEST(MaxPrNormalTest, CenteredClosedForm) {
+  // Centered normals: Pr = Phi(-tau / sqrt(sum a_i^2 sigma_i^2)).
+  LinearQueryFunction f({0, 1, 2}, {1.0, -2.0, 0.5});
+  std::vector<double> means = {10, 20, 30};
+  std::vector<double> stddevs = {1.0, 2.0, 4.0};
+  std::vector<double> current = means;  // centered
+  double tau = 3.0;
+  double sd = std::sqrt(1.0 + 4.0 * 4.0 + 0.25 * 16.0);
+  EXPECT_NEAR(
+      SurpriseProbabilityNormal(f, means, stddevs, current, {0, 1, 2}, tau),
+      StdNormalCdf(-tau / sd), 1e-12);
+}
+
+TEST(MaxPrNormalTest, MoreVarianceMeansMoreSurprise) {
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  std::vector<double> means = {0, 0};
+  std::vector<double> current = {0, 0};
+  double p1 = SurpriseProbabilityNormal(f, means, {1.0, 1.0}, current, {0},
+                                        1.0);
+  double p2 = SurpriseProbabilityNormal(f, means, {3.0, 1.0}, current, {0},
+                                        1.0);
+  EXPECT_GT(p2, p1);
+}
+
+TEST(MaxPrNormalTest, MeanShiftMatters) {
+  // If the distribution sits below the current value, cleaning is likely
+  // to reveal a lower value: shift enters the closed form.
+  LinearQueryFunction f({0}, {1.0});
+  std::vector<double> current = {10.0};
+  double down = SurpriseProbabilityNormal(f, {8.0}, {1.0}, current, {0}, 0.5);
+  double up = SurpriseProbabilityNormal(f, {12.0}, {1.0}, current, {0}, 0.5);
+  EXPECT_NEAR(down, StdNormalCdf((-0.5 - (-2.0)) / 1.0), 1e-12);
+  EXPECT_GT(down, 0.9);
+  EXPECT_LT(up, 0.01);
+}
+
+TEST(MaxPrNormalTest, DegenerateVarianceIsStep) {
+  LinearQueryFunction f({0}, {1.0});
+  std::vector<double> current = {10.0};
+  EXPECT_DOUBLE_EQ(
+      SurpriseProbabilityNormal(f, {5.0}, {0.0}, current, {0}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SurpriseProbabilityNormal(f, {9.5}, {0.0}, current, {0}, 1.0), 0.0);
+}
+
+TEST(MaxPrNormalTest, ExactEnumerationAgreesWithClosedFormOnQuantizedNormals) {
+  // Quantize the normals finely; exact enumeration over the quantized
+  // supports should approach the Gaussian closed form.
+  std::vector<double> means = {100.0, 50.0};
+  std::vector<double> stddevs = {5.0, 3.0};
+  std::vector<UncertainObject> objects(2);
+  for (int i = 0; i < 2; ++i) {
+    objects[i].current_value = means[i];
+    objects[i].dist = QuantizeNormal(means[i], stddevs[i], 64);
+    objects[i].cost = 1.0;
+  }
+  CleaningProblem problem((std::vector<UncertainObject>(objects)));
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  double tau = 4.0;
+  double exact = SurpriseProbabilityExact(f, problem, {0, 1}, tau);
+  double closed = SurpriseProbabilityNormal(f, means, stddevs, means, {0, 1},
+                                            tau);
+  EXPECT_NEAR(exact, closed, 0.01);
+}
+
+TEST(MaxPrModularWeightsTest, WeightsAreSquaredCoefficientTimesVariance) {
+  LinearQueryFunction f({0, 2}, {2.0, -1.0});
+  std::vector<double> w = MaxPrModularWeights(f, {3.0, 5.0, 2.0}, 3);
+  EXPECT_DOUBLE_EQ(w[0], 4.0 * 9.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0 * 4.0);
+}
+
+}  // namespace
+}  // namespace factcheck

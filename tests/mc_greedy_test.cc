@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/ev.h"
+#include "core/maxpr.h"
+#include "data/synthetic.h"
+#include "montecarlo/mc_greedy.h"
+
+namespace factcheck {
+namespace {
+
+TEST(McGreedyTest, MinVarClosesMostOfTheExactGap) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CleaningProblem p = data::MakeSynthetic(
+        data::SyntheticFamily::kUniformRandom, seed,
+        {.size = 6, .min_support = 2, .max_support = 3});
+    LambdaQueryFunction f({0, 1, 2, 3, 4, 5},
+                          [](const std::vector<double>& x) {
+                            double s = 0;
+                            for (double v : x) s += v;
+                            return s < 250 ? 1.0 : 0.0;
+                          });
+    double budget = p.TotalCost() * 0.4;
+    Rng rng(seed);
+    Selection mc = GreedyMinVarMonteCarlo(f, p, budget, 300, 120, rng);
+    Selection exact = GreedyMinVar(f, p, budget);
+    double prior = PriorVariance(f, p);
+    double ev_mc = ExpectedPosteriorVariance(f, p, mc.cleaned);
+    double ev_exact = ExpectedPosteriorVariance(f, p, exact.cleaned);
+    double exact_gain = prior - ev_exact;
+    if (exact_gain < 1e-9) continue;
+    // MC greedy should recover at least half of the exact greedy's gain.
+    EXPECT_GE(prior - ev_mc, 0.5 * exact_gain) << "seed " << seed;
+    EXPECT_LE(mc.cost, budget);
+  }
+}
+
+TEST(McGreedyTest, MinVarDeterministicGivenSeed) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 9,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  LinearQueryFunction f({0, 1, 2, 3, 4}, {1, 1, 1, 1, 1});
+  Rng a(77), b(77);
+  Selection sa = GreedyMinVarMonteCarlo(f, p, 10.0, 100, 50, a);
+  Selection sb = GreedyMinVarMonteCarlo(f, p, 10.0, 100, 50, b);
+  EXPECT_EQ(sa.cleaned, sb.cleaned);
+}
+
+TEST(McGreedyTest, MaxPrFindsTheClearlyBestSingleton) {
+  // Example-5 geometry at larger margins so MC noise cannot flip the
+  // decision: cleaning object 1 succeeds with probability 1/3 vs 1/5.
+  std::vector<UncertainObject> objects(2);
+  objects[0].current_value = 1.0;
+  objects[0].dist =
+      DiscreteDistribution({0, 0.5, 1, 1.5, 2}, {0.2, 0.2, 0.2, 0.2, 0.2});
+  objects[0].cost = 1.0;
+  objects[1].current_value = 1.0;
+  objects[1].dist = DiscreteDistribution({1.0 / 3, 1.0, 5.0 / 3},
+                                         {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  objects[1].cost = 1.0;
+  CleaningProblem p(std::move(objects));
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  Rng rng(5);
+  Selection sel =
+      GreedyMaxPrMonteCarlo(f, p, 1.0, 2.0 - 17.0 / 12, 20000, rng);
+  EXPECT_EQ(sel.cleaned, (std::vector<int>{1}));
+}
+
+TEST(McGreedyTest, MaxPrEstimateNearExactProbability) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 11,
+      {.size = 5, .min_support = 2, .max_support = 4});
+  LinearQueryFunction f({0, 1, 2, 3, 4}, {1, 1, 1, 1, 1});
+  double tau = 10.0;
+  Rng rng(13);
+  Selection mc = GreedyMaxPrMonteCarlo(f, p, p.TotalCost(), tau, 8000, rng);
+  if (mc.cleaned.empty()) return;  // nothing improved the objective
+  double exact_of_mc = SurpriseProbabilityExact(f, p, mc.cleaned, tau);
+  Selection exact = GreedyMaxPr(f, p, p.TotalCost(), tau);
+  double exact_best = SurpriseProbabilityExact(f, p, exact.cleaned, tau);
+  EXPECT_GE(exact_of_mc, exact_best - 0.1);
+}
+
+}  // namespace
+}  // namespace factcheck

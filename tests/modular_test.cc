@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/ev.h"
+#include "core/modular.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+struct ModularInstance {
+  LinearQueryFunction f{{}, {}};
+  std::vector<double> variances;
+  std::vector<double> costs;
+  std::vector<double> weights;
+};
+
+ModularInstance MakeInstance(uint64_t seed, int n) {
+  Rng rng(seed);
+  ModularInstance inst;
+  std::vector<double> coeffs(n);
+  inst.variances.resize(n);
+  inst.costs.resize(n);
+  for (int i = 0; i < n; ++i) {
+    coeffs[i] = rng.Uniform(-2, 2);
+    inst.variances[i] = rng.Uniform(0.5, 20);
+    inst.costs[i] = rng.Uniform(0.5, 5);
+  }
+  inst.f = LinearQueryFunction::FromDense(coeffs);
+  inst.weights = MinVarModularWeights(inst.f, inst.variances, n);
+  return inst;
+}
+
+TEST(MinVarModularWeightsTest, SquaredCoefficientTimesVariance) {
+  LinearQueryFunction f({0, 2}, {3.0, -2.0});
+  std::vector<double> w = MinVarModularWeights(f, {1.0, 5.0, 2.0}, 3);
+  EXPECT_DOUBLE_EQ(w[0], 9.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 8.0);
+}
+
+TEST(ModularRemainingVarianceTest, SubtractsCleanedWeights) {
+  std::vector<double> w = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ModularRemainingVariance(w, {}), 6.0);
+  EXPECT_DOUBLE_EQ(ModularRemainingVariance(w, {1}), 4.0);
+  EXPECT_DOUBLE_EQ(ModularRemainingVariance(w, {0, 1, 2}), 0.0);
+}
+
+class ModularSolverTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModularSolverTest, OptimumDpMatchesBruteForce) {
+  ModularInstance inst = MakeInstance(GetParam(), 9);
+  Rng rng(GetParam() + 100);
+  double budget = rng.Uniform(2, 12);
+  // Integerize costs up front so DP rounding is not a factor.
+  for (auto& c : inst.costs) c = std::round(c);
+  for (auto& c : inst.costs) c = std::max(1.0, c);
+  Selection dp = MinVarOptimumDp(inst.f, inst.variances, inst.costs, budget,
+                                 /*cost_scale=*/1.0);
+  SetObjective remaining = [&](const std::vector<int>& t) {
+    return ModularRemainingVariance(inst.weights, t);
+  };
+  Selection opt =
+      BruteForceMinimize(inst.costs, std::floor(budget), remaining);
+  EXPECT_NEAR(remaining(dp.cleaned), remaining(opt.cleaned), 1e-9)
+      << "seed " << GetParam();
+  EXPECT_LE(dp.cost, budget + 1e-9);
+}
+
+TEST_P(ModularSolverTest, FptasWithinEpsOfDp) {
+  ModularInstance inst = MakeInstance(GetParam() + 500, 10);
+  double budget = 8.0;
+  double eps = 0.1;
+  Selection fptas =
+      MinVarFptas(inst.f, inst.variances, inst.costs, budget, eps);
+  SetObjective remaining = [&](const std::vector<int>& t) {
+    return ModularRemainingVariance(inst.weights, t);
+  };
+  Selection opt = BruteForceMinimize(inst.costs, budget, remaining);
+  double removed_fptas = remaining({}) - remaining(fptas.cleaned);
+  double removed_opt = remaining({}) - remaining(opt.cleaned);
+  EXPECT_GE(removed_fptas, (1.0 - eps) * removed_opt - 1e-9)
+      << "seed " << GetParam();
+  EXPECT_LE(fptas.cost, budget + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularSolverTest, ::testing::Range(1, 13));
+
+TEST(ModularSolverTest, DpSelectionMinimizesTrueEv) {
+  // End-to-end: the DP's selection minimizes the *actual* expected
+  // posterior variance of the affine query (Lemma 3.1 equivalence).
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 77,
+      {.size = 7, .min_support = 2, .max_support = 3});
+  std::vector<double> coeffs = {1, -1, 2, 0.5, 1, -0.5, 1};
+  LinearQueryFunction f = LinearQueryFunction::FromDense(coeffs);
+  std::vector<double> unit_costs(7, 1.0);
+  double budget = 3.0;
+  Selection dp = MinVarOptimumDp(f, p.Variances(), unit_costs, budget, 1.0);
+  SetObjective true_ev = [&](const std::vector<int>& t) {
+    return ExpectedPosteriorVariance(f, p, t);
+  };
+  Selection opt = BruteForceMinimize(unit_costs, budget, true_ev);
+  EXPECT_NEAR(true_ev(dp.cleaned), true_ev(opt.cleaned), 1e-9);
+}
+
+TEST(MaxPrSolversTest, AgreeWithMinVarSolversOnSameWeights) {
+  // MaxPr weights are a_i^2 sigma_i^2 = MinVar weights with variances
+  // sigma_i^2 — the Theorem 3.9 alignment in code form.
+  ModularInstance inst = MakeInstance(31, 8);
+  std::vector<double> stddevs(8);
+  for (int i = 0; i < 8; ++i) stddevs[i] = std::sqrt(inst.variances[i]);
+  double budget = 7.0;
+  Selection minvar =
+      MinVarOptimumDp(inst.f, inst.variances, inst.costs, budget);
+  Selection maxpr = MaxPrOptimumDp(inst.f, stddevs, inst.costs, budget);
+  EXPECT_EQ(minvar.cleaned, maxpr.cleaned);
+  Selection minvar_fp =
+      MinVarFptas(inst.f, inst.variances, inst.costs, budget, 0.25);
+  Selection maxpr_fp = MaxPrFptas(inst.f, stddevs, inst.costs, budget, 0.25);
+  EXPECT_EQ(minvar_fp.cleaned, maxpr_fp.cleaned);
+}
+
+}  // namespace
+}  // namespace factcheck

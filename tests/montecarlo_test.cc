@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "claims/ev_fast.h"
+#include "core/ev.h"
+#include "core/maxpr.h"
+#include "data/synthetic.h"
+#include "montecarlo/sampler.h"
+#include "montecarlo/simulator.h"
+
+namespace factcheck {
+namespace {
+
+TEST(SamplerTest, SamplesRespectSupports) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 3, {.size = 20});
+  Rng rng(5);
+  for (int s = 0; s < 50; ++s) {
+    std::vector<double> x = SampleValues(p, rng);
+    ASSERT_EQ(static_cast<int>(x.size()), p.size());
+    for (int i = 0; i < p.size(); ++i) {
+      const auto& vals = p.object(i).dist.values();
+      EXPECT_TRUE(std::find(vals.begin(), vals.end(), x[i]) != vals.end());
+    }
+  }
+}
+
+TEST(SamplerTest, MonteCarloEvApproachesExact) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  LambdaQueryFunction f({0, 1, 2, 3, 4}, [](const std::vector<double>& x) {
+    double s = 0;
+    for (double v : x) s += v;
+    return s < 200 ? 1.0 : 0.0;
+  });
+  Rng rng(11);
+  for (const std::vector<int>& cleaned :
+       {std::vector<int>{}, {1}, {0, 3}}) {
+    double exact = ExpectedPosteriorVariance(f, p, cleaned);
+    double mc = MonteCarloEV(f, p, cleaned, 400, 200, rng);
+    EXPECT_NEAR(mc, exact, 0.05 + 0.15 * exact) << "set size "
+                                                << cleaned.size();
+  }
+}
+
+TEST(SamplerTest, MonteCarloSurpriseApproachesExact) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 13,
+      {.size = 4, .min_support = 2, .max_support = 4});
+  LinearQueryFunction f({0, 1, 2, 3}, {1, 1, 1, 1});
+  Rng rng(17);
+  double tau = 5.0;
+  std::vector<int> cleaned = {0, 2};
+  double exact = SurpriseProbabilityExact(f, p, cleaned, tau);
+  double mc = MonteCarloSurpriseProbability(f, p, cleaned, tau, 20000, rng);
+  EXPECT_NEAR(mc, exact, 0.02);
+}
+
+TEST(SimulatorTest, ScenarioTruthComesFromSupports) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 19, {.size = 10});
+  Rng rng(23);
+  InActionScenario scenario = MakeScenario(p, rng);
+  ASSERT_EQ(static_cast<int>(scenario.truth.size()), p.size());
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& vals = p.object(i).dist.values();
+    EXPECT_TRUE(std::find(vals.begin(), vals.end(), scenario.truth[i]) !=
+                vals.end());
+  }
+}
+
+TEST(SimulatorTest, RevealTruthMakesPointMasses) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 29, {.size = 6});
+  Rng rng(31);
+  InActionScenario scenario = MakeScenario(p, rng);
+  CleaningProblem revealed = RevealTruth(p, {1, 4}, scenario.truth);
+  EXPECT_TRUE(revealed.object(1).dist.is_point_mass());
+  EXPECT_DOUBLE_EQ(revealed.object(1).current_value, scenario.truth[1]);
+  EXPECT_TRUE(revealed.object(4).dist.is_point_mass());
+  EXPECT_FALSE(revealed.object(0).dist.is_point_mass() &&
+               revealed.object(2).dist.is_point_mass() &&
+               revealed.object(3).dist.is_point_mass() &&
+               revealed.object(5).dist.is_point_mass());
+}
+
+TEST(SimulatorTest, CleaningEverythingPinsEstimateAtTruth) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 37,
+      {.size = 12, .min_support = 2, .max_support = 3});
+  PerturbationSet context = NonOverlappingWindowSumPerturbations(12, 3, 0, 1.5);
+  double reference = context.original.Evaluate(p.CurrentValues());
+  Rng rng(41);
+  InActionScenario scenario = MakeScenario(p, rng);
+  std::vector<int> all(p.size());
+  for (int i = 0; i < p.size(); ++i) all[i] = i;
+  QualityMoments moments = EstimateAfterCleaning(
+      scenario, context, QualityMeasure::kDuplicity, reference, all);
+  // Everything revealed: variance 0 and mean = true duplicity.
+  EXPECT_NEAR(moments.variance, 0.0, 1e-12);
+  ClaimQualityFunction f(&context, QualityMeasure::kDuplicity, reference);
+  EXPECT_NEAR(moments.mean, f.Evaluate(scenario.truth), 1e-9);
+}
+
+TEST(SimulatorTest, MoreCleaningWeaklyReducesPosteriorVariance) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 43,
+      {.size = 12, .min_support = 2, .max_support = 3});
+  PerturbationSet context = NonOverlappingWindowSumPerturbations(12, 3, 0, 1.5);
+  double reference = context.original.Evaluate(p.CurrentValues());
+  Rng rng(47);
+  InActionScenario scenario = MakeScenario(p, rng);
+  std::vector<int> cleaned;
+  QualityMoments prev = EstimateAfterCleaning(
+      scenario, context, QualityMeasure::kBias, reference, cleaned);
+  // Bias is linear, so revealing values always (weakly) reduces variance,
+  // regardless of the revealed outcomes.
+  for (int i : {3, 4, 5, 6, 7}) {
+    cleaned.push_back(i);
+    QualityMoments next = EstimateAfterCleaning(
+        scenario, context, QualityMeasure::kBias, reference, cleaned);
+    EXPECT_LE(next.variance, prev.variance + 1e-9);
+    prev = next;
+  }
+}
+
+TEST(SequentialMinVarTest, TrajectoryStartsAtPriorAndStaysInBudget) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 61,
+      {.size = 12, .min_support = 2, .max_support = 3});
+  PerturbationSet context = NonOverlappingWindowSumPerturbations(12, 3, 0, 1.5);
+  double reference = context.original.Evaluate(p.CurrentValues());
+  Rng rng(67);
+  InActionScenario scenario = MakeScenario(p, rng);
+  double budget = p.TotalCost() * 0.5;
+  std::vector<TrajectoryPoint> trajectory = SequentialMinVarTrajectory(
+      scenario, context, QualityMeasure::kDuplicity, reference,
+      StrengthDirection::kHigherIsStronger, budget);
+  ASSERT_GE(trajectory.size(), 2u);
+  EXPECT_EQ(trajectory[0].object, -1);
+  EXPECT_DOUBLE_EQ(trajectory[0].cost_so_far, 0.0);
+  ClaimEvEvaluator prior(&p, &context, QualityMeasure::kDuplicity,
+                         reference);
+  EXPECT_NEAR(trajectory[0].posterior_variance, prior.PriorVariance(),
+              1e-9);
+  for (size_t k = 1; k < trajectory.size(); ++k) {
+    EXPECT_LE(trajectory[k].cost_so_far, budget + 1e-9);
+    EXPECT_GT(trajectory[k].cost_so_far, trajectory[k - 1].cost_so_far);
+  }
+}
+
+TEST(SequentialMinVarTest, FinalStateMatchesBatchReveal) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 71,
+      {.size = 9, .min_support = 2, .max_support = 3});
+  PerturbationSet context = NonOverlappingWindowSumPerturbations(9, 3, 0, 1.5);
+  double reference = context.original.Evaluate(p.CurrentValues());
+  Rng rng(73);
+  InActionScenario scenario = MakeScenario(p, rng);
+  std::vector<TrajectoryPoint> trajectory = SequentialMinVarTrajectory(
+      scenario, context, QualityMeasure::kDuplicity, reference,
+      StrengthDirection::kHigherIsStronger, p.TotalCost());
+  std::vector<int> cleaned;
+  for (size_t k = 1; k < trajectory.size(); ++k) {
+    cleaned.push_back(trajectory[k].object);
+  }
+  QualityMoments batch = EstimateAfterCleaning(
+      scenario, context, QualityMeasure::kDuplicity, reference, cleaned);
+  EXPECT_NEAR(trajectory.back().posterior_variance, batch.variance, 1e-9);
+  EXPECT_NEAR(trajectory.back().estimate_mean, batch.mean, 1e-9);
+  // Full budget: everything referenced gets cleaned, variance hits zero.
+  EXPECT_NEAR(trajectory.back().posterior_variance, 0.0, 1e-9);
+}
+
+TEST(RedrawTest, RedrawCurrentValuesKeepsDistributions) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 53,
+      {.size = 30, .min_support = 2, .max_support = 6});
+  Rng rng(59);
+  CleaningProblem redrawn = RedrawCurrentValues(p, rng);
+  int moved = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_TRUE(redrawn.object(i).dist == p.object(i).dist);
+    if (redrawn.object(i).current_value != p.object(i).current_value) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 5);  // means rarely coincide with support draws
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/mvn.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+TEST(MvnTest, IndependentLinearVariance) {
+  MultivariateNormal mvn =
+      MultivariateNormal::Independent({0, 0, 0}, {1.0, 2.0, 3.0});
+  // Var[x1 + 2 x2 - x3] = 1 + 4*4 + 9 = 26.
+  EXPECT_NEAR(mvn.LinearVariance({1.0, 2.0, -1.0}), 26.0, 1e-12);
+}
+
+TEST(MvnTest, GeometricDecayCovarianceStructure) {
+  Matrix cov = GeometricDecayCovariance({1.0, 2.0, 3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 0.5 * 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(cov(0, 2), 0.25 * 1.0 * 3.0);
+  EXPECT_DOUBLE_EQ(cov(2, 0), cov(0, 2));
+}
+
+TEST(MvnTest, GeometricDecayGammaZeroIsDiagonal) {
+  Matrix cov = GeometricDecayCovariance({1.5, 2.5}, 0.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 2.25);
+}
+
+TEST(MvnTest, ExpectedConditionalVarianceIndependentIsModular) {
+  // Independent case: EV(T) = sum over uncleaned of a_i^2 sigma_i^2
+  // (Lemma 3.1).
+  MultivariateNormal mvn =
+      MultivariateNormal::Independent({0, 0, 0, 0}, {1, 2, 3, 4});
+  Vector a = {1.0, 1.0, -1.0, 0.5};
+  EXPECT_NEAR(mvn.ExpectedConditionalVariance(a, {}),
+              1 + 4 + 9 + 0.25 * 16, 1e-9);
+  EXPECT_NEAR(mvn.ExpectedConditionalVariance(a, {1}), 1 + 9 + 4, 1e-9);
+  EXPECT_NEAR(mvn.ExpectedConditionalVariance(a, {0, 1, 2, 3}), 0.0, 1e-9);
+}
+
+TEST(MvnTest, ConditionalVarianceNeverIncreases) {
+  // Conditioning on more coordinates cannot increase the variance of a
+  // linear functional (law of total variance for Gaussians).
+  Rng rng(123);
+  Matrix cov = GeometricDecayCovariance({1.0, 2.0, 1.5, 0.5, 3.0}, 0.7);
+  MultivariateNormal mvn(Vector(5, 0.0), cov);
+  Vector a = {1.0, -1.0, 0.5, 2.0, -0.3};
+  double prev = mvn.ExpectedConditionalVariance(a, {});
+  std::vector<int> cleaned;
+  for (int i : {2, 0, 4, 1, 3}) {
+    cleaned.push_back(i);
+    double next = mvn.ExpectedConditionalVariance(a, cleaned);
+    EXPECT_LE(next, prev + 1e-9);
+    prev = next;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-9);
+}
+
+TEST(MvnTest, ConditionalCovarianceMatchesSampling) {
+  // Empirically check Sigma_{B|A} via conditional sampling identity:
+  // regression of X_B on X_A leaves residual covariance Sigma_{B|A}.
+  Matrix cov = GeometricDecayCovariance({1.0, 1.0, 1.0}, 0.6);
+  MultivariateNormal mvn({0, 0, 0}, cov);
+  Matrix cond = mvn.ConditionalCovariance({0}, {1, 2});
+  // Closed form: Sigma_{bb} - Sigma_{ba} Sigma_{aa}^{-1} Sigma_{ab}.
+  // With unit sigmas and gamma = 0.6: Cov(1,2|0): 0.6 - 0.6*0.36 etc.
+  EXPECT_NEAR(cond(0, 0), 1.0 - 0.36, 1e-9);
+  EXPECT_NEAR(cond(1, 1), 1.0 - 0.36 * 0.36, 1e-9);
+  EXPECT_NEAR(cond(0, 1), 0.6 - 0.6 * 0.36, 1e-9);
+}
+
+TEST(MvnTest, SampleMomentsMatchModel) {
+  Matrix cov = GeometricDecayCovariance({2.0, 1.0}, 0.5);
+  MultivariateNormal mvn({10.0, -5.0}, cov);
+  Rng rng(77);
+  const int kN = 40000;
+  double m0 = 0, m1 = 0, c00 = 0, c11 = 0, c01 = 0;
+  for (int s = 0; s < kN; ++s) {
+    Vector x = mvn.Sample(rng);
+    m0 += x[0];
+    m1 += x[1];
+    c00 += x[0] * x[0];
+    c11 += x[1] * x[1];
+    c01 += x[0] * x[1];
+  }
+  m0 /= kN;
+  m1 /= kN;
+  EXPECT_NEAR(m0, 10.0, 0.05);
+  EXPECT_NEAR(m1, -5.0, 0.03);
+  EXPECT_NEAR(c00 / kN - m0 * m0, 4.0, 0.15);
+  EXPECT_NEAR(c11 / kN - m1 * m1, 1.0, 0.05);
+  EXPECT_NEAR(c01 / kN - m0 * m1, 0.5 * 2.0 * 1.0, 0.08);
+}
+
+TEST(MvnTest, HighGammaStillWellDefined) {
+  // gamma -> 1 produces a nearly singular covariance; the jittered
+  // Cholesky path must keep conditional variances finite and non-negative.
+  Matrix cov = GeometricDecayCovariance({1.0, 1.0, 1.0, 1.0}, 0.999999);
+  MultivariateNormal mvn(Vector(4, 0.0), cov);
+  Vector a = {1.0, 1.0, 1.0, 1.0};
+  double ev = mvn.ExpectedConditionalVariance(a, {0});
+  EXPECT_GE(ev, -1e-6);
+  EXPECT_TRUE(std::isfinite(ev));
+  // With near-perfect correlation, one observation nearly kills all
+  // uncertainty in the sum.
+  EXPECT_LT(ev, 1e-2);
+}
+
+}  // namespace
+}  // namespace factcheck

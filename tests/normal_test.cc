@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.h"
+
+namespace factcheck {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-1.96), 0.024997895, 1e-6);
+  EXPECT_NEAR(StdNormalCdf(-1.64), 0.0505, 5e-4);  // Lemma 3.3 threshold
+}
+
+TEST(NormalTest, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(StdNormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_DOUBLE_EQ(StdNormalPdf(1.5), StdNormalPdf(-1.5));
+  EXPECT_GT(StdNormalPdf(0.0), StdNormalPdf(0.5));
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {1e-6, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1 - 1e-6}) {
+    double z = StdNormalQuantile(p);
+    EXPECT_NEAR(StdNormalCdf(z), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  EXPECT_NEAR(StdNormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(StdNormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(StdNormalQuantile(0.2), -StdNormalQuantile(0.8), 1e-9);
+}
+
+TEST(NormalTest, ShiftedScaledDistribution) {
+  NormalDistribution n{10.0, 2.0};
+  EXPECT_NEAR(n.Cdf(10.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.Cdf(12.0), StdNormalCdf(1.0), 1e-12);
+  EXPECT_NEAR(n.Quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(n.Pdf(10.0), StdNormalPdf(0.0) / 2.0, 1e-12);
+}
+
+TEST(QuantizeNormalTest, PreservesMeanExactly) {
+  for (int points : {2, 4, 6, 10}) {
+    DiscreteDistribution d = QuantizeNormal(100.0, 15.0, points);
+    ASSERT_EQ(d.support_size(), points);
+    EXPECT_NEAR(d.Mean(), 100.0, 1e-9) << points;
+  }
+}
+
+TEST(QuantizeNormalTest, VarianceApproachesTrueVarianceFromBelow) {
+  double prev = 0.0;
+  for (int points : {2, 4, 8, 16, 64}) {
+    DiscreteDistribution d = QuantizeNormal(0.0, 3.0, points);
+    double var = d.Variance();
+    EXPECT_LT(var, 9.0 + 1e-9);
+    EXPECT_GE(var, prev - 1e-9);  // finer quantization keeps more variance
+    prev = var;
+  }
+  EXPECT_NEAR(QuantizeNormal(0.0, 3.0, 64).Variance(), 9.0, 0.15);
+}
+
+TEST(QuantizeNormalTest, SinglePointOrZeroSigmaIsPointMass) {
+  EXPECT_TRUE(QuantizeNormal(5.0, 2.0, 1).is_point_mass());
+  EXPECT_TRUE(QuantizeNormal(5.0, 0.0, 6).is_point_mass());
+  EXPECT_DOUBLE_EQ(QuantizeNormal(5.0, 0.0, 6).Mean(), 5.0);
+}
+
+TEST(QuantizeNormalTest, EqualProbabilityAtoms) {
+  DiscreteDistribution d = QuantizeNormal(0.0, 1.0, 5);
+  for (int k = 0; k < 5; ++k) EXPECT_NEAR(d.prob(k), 0.2, 1e-12);
+}
+
+TEST(QuantizeNormalTest, AtomsSymmetricAroundMean) {
+  DiscreteDistribution d = QuantizeNormal(0.0, 1.0, 6);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(d.value(k), -d.value(5 - k), 1e-9);
+  }
+}
+
+TEST(QuantizeLogNormalTest, SupportSizeAndPositivity) {
+  DiscreteDistribution d = QuantizeLogNormalPaperStyle(0.0, 0.5, 6);
+  ASSERT_EQ(d.support_size(), 6);
+  for (int k = 0; k < 6; ++k) EXPECT_GT(d.value(k), 0.0);
+}
+
+TEST(QuantizeLogNormalTest, ValuesAreIncreasingQuantileEnds) {
+  DiscreteDistribution d = QuantizeLogNormalPaperStyle(0.0, 0.8, 5);
+  for (int k = 1; k < 5; ++k) EXPECT_GT(d.value(k), d.value(k - 1));
+  // Right end of the first interval is the 20% quantile of LN(0, 0.8).
+  EXPECT_NEAR(d.value(0), std::exp(0.8 * StdNormalQuantile(0.2)), 1e-9);
+}
+
+TEST(QuantizeLogNormalTest, SkewMakesUpperTailSparse) {
+  // Log-normal densities decay in the upper tail, so the paper-style
+  // density weighting puts less probability on the largest support point
+  // than on the smallest.
+  DiscreteDistribution d = QuantizeLogNormalPaperStyle(0.0, 1.0, 6);
+  EXPECT_GT(d.prob(0), d.prob(5));
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/pooling.h"
+
+namespace factcheck {
+namespace {
+
+TEST(PoolOpinionsTest, SingleExpertIsIdentity) {
+  DiscreteDistribution d({1.0, 2.0}, {0.3, 0.7});
+  DiscreteDistribution pooled = PoolOpinions({d}, {1.0});
+  EXPECT_TRUE(pooled == d);
+}
+
+TEST(PoolOpinionsTest, MixtureWeightsAtoms) {
+  DiscreteDistribution a({0.0}, {1.0});
+  DiscreteDistribution b({1.0}, {1.0});
+  DiscreteDistribution pooled = PoolOpinions({a, b}, {3.0, 1.0});
+  ASSERT_EQ(pooled.support_size(), 2);
+  EXPECT_DOUBLE_EQ(pooled.prob(0), 0.75);
+  EXPECT_DOUBLE_EQ(pooled.prob(1), 0.25);
+}
+
+TEST(PoolOpinionsTest, SharedAtomsAccumulate) {
+  DiscreteDistribution a({1.0, 2.0}, {0.5, 0.5});
+  DiscreteDistribution b({2.0, 3.0}, {0.5, 0.5});
+  DiscreteDistribution pooled = PoolOpinions({a, b}, {1.0, 1.0});
+  ASSERT_EQ(pooled.support_size(), 3);
+  EXPECT_DOUBLE_EQ(pooled.prob(1), 0.5);  // atom 2.0 from both experts
+}
+
+TEST(PoolOpinionsTest, MixtureMeanIsWeightedMean) {
+  DiscreteDistribution a({10.0, 20.0}, {0.5, 0.5});  // mean 15
+  DiscreteDistribution b({0.0}, {1.0});              // mean 0
+  DiscreteDistribution pooled = PoolOpinions({a, b}, {0.4, 0.6});
+  EXPECT_NEAR(pooled.Mean(), 0.4 * 15.0, 1e-12);
+}
+
+TEST(PoolOpinionsTest, ZeroWeightExpertIgnored) {
+  DiscreteDistribution a({1.0}, {1.0});
+  DiscreteDistribution b({99.0}, {1.0});
+  DiscreteDistribution pooled = PoolOpinions({a, b}, {1.0, 0.0});
+  EXPECT_TRUE(pooled.is_point_mass());
+  EXPECT_DOUBLE_EQ(pooled.Mean(), 1.0);
+}
+
+TEST(PoolOpinionsLogTest, AgreementSharpensConsensus) {
+  // Two experts both leaning to atom 1: the log pool is more confident
+  // than either (relative to the linear pool).
+  DiscreteDistribution a({0.0, 1.0}, {0.3, 0.7});
+  DiscreteDistribution b({0.0, 1.0}, {0.3, 0.7});
+  DiscreteDistribution linear = PoolOpinions({a, b}, {1.0, 1.0});
+  DiscreteDistribution log_pool =
+      PoolOpinionsLogarithmic({a, b}, {1.0, 1.0});
+  EXPECT_NEAR(linear.prob(1), 0.7, 1e-12);
+  EXPECT_NEAR(log_pool.prob(1), 0.7, 1e-12);  // equal weights, same experts
+  // With asymmetric experts the geometric mean lands between them.
+  DiscreteDistribution c({0.0, 1.0}, {0.9, 0.1});
+  DiscreteDistribution mixed = PoolOpinionsLogarithmic({a, c}, {1.0, 1.0});
+  double geo0 = std::sqrt(0.3 * 0.9);
+  double geo1 = std::sqrt(0.7 * 0.1);
+  EXPECT_NEAR(mixed.prob(0), geo0 / (geo0 + geo1), 1e-12);
+}
+
+TEST(PoolOpinionsLogTest, VetoedAtomVanishes) {
+  DiscreteDistribution a({0.0, 1.0}, {0.5, 0.5});
+  DiscreteDistribution b({0.0, 1.0}, {1.0, 0.0});
+  // Constructing b drops the zero atom, so align supports manually.
+  DiscreteDistribution b_full({0.0, 1.0}, {1.0 - 1e-301, 1e-301});
+  (void)b;
+  DiscreteDistribution pooled =
+      PoolOpinionsLogarithmic({a, b_full}, {1.0, 1.0});
+  EXPECT_TRUE(pooled.is_point_mass());
+  EXPECT_DOUBLE_EQ(pooled.Mean(), 0.0);
+}
+
+TEST(ResolveConflictingReportsTest, ReliabilityBecomesProbability) {
+  DiscreteDistribution d = ResolveConflictingReports(
+      {{100.0, 0.8}, {110.0, 0.2}});
+  ASSERT_EQ(d.support_size(), 2);
+  EXPECT_NEAR(d.prob(0), 0.8, 1e-12);
+  EXPECT_NEAR(d.prob(1), 0.2, 1e-12);
+}
+
+TEST(ResolveConflictingReportsTest, AgreeingSourcesAccumulate) {
+  DiscreteDistribution d = ResolveConflictingReports(
+      {{100.0, 0.5}, {100.0, 0.5}, {110.0, 0.5}});
+  ASSERT_EQ(d.support_size(), 2);
+  EXPECT_NEAR(d.prob(0), 2.0 / 3, 1e-12);
+}
+
+TEST(ResolveConflictingReportsDeathTest, ZeroReliabilityAborts) {
+  EXPECT_DEATH(ResolveConflictingReports({{1.0, 0.0}}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace factcheck

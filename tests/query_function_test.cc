@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/query_function.h"
+
+namespace factcheck {
+namespace {
+
+TEST(LinearQueryFunctionTest, EvaluatesAffineForm) {
+  LinearQueryFunction f({0, 2}, {2.0, -1.0}, 5.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate({1.0, 99.0, 3.0}), 5.0 + 2.0 - 3.0);
+}
+
+TEST(LinearQueryFunctionTest, SortsReferences) {
+  LinearQueryFunction f({3, 1}, {1.0, 2.0});
+  EXPECT_EQ(f.References(), (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(f.Coefficient(1), 2.0);
+  EXPECT_DOUBLE_EQ(f.Coefficient(3), 1.0);
+}
+
+TEST(LinearQueryFunctionTest, MergesDuplicateReferences) {
+  LinearQueryFunction f({2, 2, 0}, {1.0, 3.0, -1.0});
+  EXPECT_EQ(f.References(), (std::vector<int>{0, 2}));
+  EXPECT_DOUBLE_EQ(f.Coefficient(2), 4.0);
+}
+
+TEST(LinearQueryFunctionTest, CoefficientOfUnreferencedIsZero) {
+  LinearQueryFunction f({1}, {2.0});
+  EXPECT_DOUBLE_EQ(f.Coefficient(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Coefficient(5), 0.0);
+}
+
+TEST(LinearQueryFunctionTest, FromDenseSkipsZeros) {
+  LinearQueryFunction f =
+      LinearQueryFunction::FromDense({0.0, 1.5, 0.0, -2.0}, 1.0);
+  EXPECT_EQ(f.References(), (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(f.Evaluate({9, 2, 9, 1}), 1.0 + 3.0 - 2.0);
+}
+
+TEST(LinearQueryFunctionTest, DenseWeightsRoundTrip) {
+  LinearQueryFunction f({0, 3}, {1.0, -4.0}, 2.0);
+  std::vector<double> w = f.DenseWeights(5);
+  EXPECT_EQ(w, (std::vector<double>{1.0, 0.0, 0.0, -4.0, 0.0}));
+}
+
+TEST(LambdaQueryFunctionTest, EvaluatesAndDeduplicatesRefs) {
+  LambdaQueryFunction f({2, 0, 2}, [](const std::vector<double>& x) {
+    return x[0] * x[2];
+  });
+  EXPECT_EQ(f.References(), (std::vector<int>{0, 2}));
+  EXPECT_DOUBLE_EQ(f.Evaluate({3.0, 0.0, 4.0}), 12.0);
+}
+
+TEST(LambdaQueryFunctionTest, IndicatorFunction) {
+  // The Example 3 style indicator: 1[x0 + x1 + x2 < 3].
+  LambdaQueryFunction f({0, 1, 2}, [](const std::vector<double>& x) {
+    return (x[0] + x[1] + x[2] < 3.0) ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(f.Evaluate({1, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate({1, 1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "data/cdc.h"
+#include "relational/query.h"
+#include "relational/table.h"
+#include "relational/uncertain_table.h"
+
+namespace factcheck {
+namespace {
+
+Table SmallSeries() {
+  Table t(Schema({{"year", ColumnType::kInt},
+                  {"value", ColumnType::kDouble}}));
+  for (int y = 2000; y < 2008; ++y) {
+    t.AddRow({static_cast<int64_t>(y), 10.0 * (y - 1999)});
+  }
+  return t;
+}
+
+TEST(SchemaTest, FindAndRequire) {
+  Schema s({{"a", ColumnType::kInt}, {"b", ColumnType::kDouble}});
+  EXPECT_EQ(s.Find("a"), 0);
+  EXPECT_EQ(s.Find("b"), 1);
+  EXPECT_EQ(s.Find("c"), -1);
+  EXPECT_EQ(s.Require("b"), 1);
+}
+
+TEST(SchemaDeathTest, DuplicateColumnNamesAbort) {
+  EXPECT_DEATH(Schema({{"a", ColumnType::kInt}, {"a", ColumnType::kInt}}),
+               "CHECK failed");
+}
+
+TEST(TableTest, TypedAccess) {
+  Table t = SmallSeries();
+  EXPECT_EQ(t.num_rows(), 8);
+  EXPECT_EQ(t.GetInt(0, 0), 2000);
+  EXPECT_DOUBLE_EQ(t.GetDouble(3, 1), 40.0);
+}
+
+TEST(TableDeathTest, TypeMismatchAborts) {
+  Table t(Schema({{"year", ColumnType::kInt}}));
+  EXPECT_DEATH(t.AddRow({2.5}), "CHECK failed");
+}
+
+TEST(UncertainTableTest, ToCleaningProblemCarriesModelAndLabels) {
+  UncertainTable ut(SmallSeries(), "value");
+  for (int r = 0; r < ut.num_rows(); ++r) {
+    ut.SetUncertainty(r, DiscreteDistribution({1.0, 2.0}, {0.5, 0.5}),
+                      3.0 + r);
+  }
+  CleaningProblem problem = ut.ToCleaningProblem();
+  EXPECT_EQ(problem.size(), 8);
+  EXPECT_DOUBLE_EQ(problem.object(2).current_value, 30.0);
+  EXPECT_DOUBLE_EQ(problem.object(2).cost, 5.0);
+  EXPECT_EQ(problem.object(0).label, "2000");
+}
+
+TEST(UncertainTableDeathTest, MissingModelAborts) {
+  UncertainTable ut(SmallSeries(), "value");
+  ut.SetUncertainty(0, DiscreteDistribution::PointMass(1.0), 1.0);
+  EXPECT_DEATH(ut.ToCleaningProblem(), "CHECK failed");
+}
+
+TEST(ConditionTest, IntBetweenAndEq) {
+  Table t = SmallSeries();
+  Condition between = Condition::IntBetween("year", 2002, 2004);
+  EXPECT_FALSE(between.Matches(t, 0));
+  EXPECT_TRUE(between.Matches(t, 2));
+  EXPECT_TRUE(between.Matches(t, 4));
+  EXPECT_FALSE(between.Matches(t, 5));
+  Condition eq = Condition::IntEq("year", 2003);
+  EXPECT_TRUE(eq.Matches(t, 3));
+  EXPECT_FALSE(eq.Matches(t, 4));
+}
+
+TEST(AggregateQueryTest, WindowComparisonCompilesToSignedWeights) {
+  UncertainTable ut(SmallSeries(), "value");
+  for (int r = 0; r < ut.num_rows(); ++r) {
+    ut.SetUncertainty(r, DiscreteDistribution::PointMass(0.0), 1.0);
+  }
+  AggregateQuery q;
+  q.AddTerm(+1.0, {Condition::IntBetween("year", 2004, 2005)});
+  q.AddTerm(-1.0, {Condition::IntBetween("year", 2002, 2003)});
+  Claim c = q.Compile(ut, "cmp");
+  // Rows 4,5 get +1; rows 2,3 get -1.
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(4), 1.0);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(2), -1.0);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(0), 0.0);
+  // (50+60) - (30+40) = 40.
+  std::vector<double> values(8);
+  for (int r = 0; r < 8; ++r) values[r] = ut.MeasureValue(r);
+  EXPECT_DOUBLE_EQ(c.Evaluate(values), 40.0);
+}
+
+TEST(AggregateQueryTest, ShiftWindowMovesBetweenBounds) {
+  AggregateQuery q;
+  q.AddTerm(1.0, {Condition::IntBetween("year", 2002, 2003)});
+  AggregateQuery shifted = q.ShiftWindow("year", -2);
+  EXPECT_EQ(shifted.terms()[0].conditions[0].lo, 2000);
+  EXPECT_EQ(shifted.terms()[0].conditions[0].hi, 2001);
+}
+
+TEST(ShiftedWindowPerturbationsTest, GeneratesOnlyInRangeShifts) {
+  UncertainTable ut(SmallSeries(), "value");
+  for (int r = 0; r < ut.num_rows(); ++r) {
+    ut.SetUncertainty(r, DiscreteDistribution::PointMass(0.0), 1.0);
+  }
+  AggregateQuery q;
+  q.AddTerm(1.0, {Condition::IntBetween("year", 2004, 2005)});
+  q.AddTerm(-1.0, {Condition::IntBetween("year", 2002, 2003)});
+  PerturbationSet set =
+      ShiftedWindowPerturbations(q, ut, "year", -6, 6, 1.5);
+  // Feasible shifts keep both windows inside 2000..2007: delta in [-2, 2]
+  // minus 0 -> 4 perturbations.
+  EXPECT_EQ(set.size(), 4);
+  double total = 0;
+  for (double s : set.sensibilities) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GroupBySumClaimsTest, OneClaimPerGroupInFirstOccurrenceOrder) {
+  UncertainTable ut = data::MakeCdcCausesTable(99);
+  std::vector<GroupClaim> groups = GroupBySumClaims(
+      ut, "cause", {Condition::IntBetween("year", 2016, 2017)});
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].group, "firearms");
+  EXPECT_EQ(groups[1].group, "transportation");
+  for (const GroupClaim& g : groups) {
+    EXPECT_EQ(static_cast<int>(g.claim.References().size()), 2);
+  }
+}
+
+TEST(GroupBySumClaimsTest, EmptyConditionSumsWholeGroups) {
+  UncertainTable ut = data::MakeCdcCausesTable(99);
+  std::vector<GroupClaim> groups = GroupBySumClaims(ut, "cause", {});
+  ASSERT_EQ(groups.size(), 4u);
+  for (const GroupClaim& g : groups) {
+    EXPECT_EQ(static_cast<int>(g.claim.References().size()),
+              data::kCdcYears);
+  }
+}
+
+TEST(GroupBySumClaimsTest, UnmatchedGroupsOmitted) {
+  UncertainTable ut = data::MakeCdcCausesTable(99);
+  std::vector<GroupClaim> groups = GroupBySumClaims(
+      ut, "cause", {Condition::StringEq("cause", "falls")});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].group, "falls");
+}
+
+TEST(RelationalIntegrationTest, CdcCausesTableCompilesRatioClaim) {
+  UncertainTable ut = data::MakeCdcCausesTable(1234);
+  AggregateQuery q;
+  // Transportation injuries in 2016-2017 vs 30% of the other causes.
+  q.AddTerm(1.0, {Condition::StringEq("cause", "transportation"),
+                  Condition::IntBetween("year", 2016, 2017)});
+  for (const char* other : {"firearms", "drowning", "falls"}) {
+    q.AddTerm(-0.3, {Condition::StringEq("cause", other),
+                     Condition::IntBetween("year", 2016, 2017)});
+  }
+  Claim c = q.Compile(ut, "transportation ratio");
+  EXPECT_EQ(static_cast<int>(c.References().size()), 8);
+  // The claim references two transportation rows positively.
+  int transport_2016 =
+      1 * data::kCdcYears + (2016 - data::kCdcFirstYear);
+  EXPECT_DOUBLE_EQ(c.query.Coefficient(transport_2016), 1.0);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/ev.h"
+#include "core/maxpr.h"
+#include "core/scenario.h"
+#include "data/synthetic.h"
+#include "dist/mvn.h"
+
+namespace factcheck {
+namespace {
+
+TEST(ScenarioSetTest, NormalizesProbabilities) {
+  ScenarioSet set({{{1.0, 2.0}, 2.0}, {{3.0, 4.0}, 6.0}});
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_DOUBLE_EQ(set.scenario(0).prob, 0.25);
+  EXPECT_DOUBLE_EQ(set.scenario(1).prob, 0.75);
+}
+
+TEST(ScenarioSetTest, FromIndependentMatchesEnumerationEvaluators) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 3,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  ScenarioSet joint = ScenarioSet::FromIndependent(p);
+  LambdaQueryFunction f({0, 1, 2, 3, 4}, [](const std::vector<double>& x) {
+    double s = 0;
+    for (double v : x) s += v;
+    return s < 200 ? 1.0 : 0.0;
+  });
+  EXPECT_NEAR(joint.Mean(f), ExpectedValue(f, p), 1e-10);
+  EXPECT_NEAR(joint.Variance(f), PriorVariance(f, p), 1e-10);
+  // EV(T) agrees with the independent-case enumeration on every subset.
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    int k = rng.UniformInt(0, 5);
+    std::vector<int> cleaned = rng.SampleWithoutReplacement(5, k);
+    EXPECT_NEAR(joint.ExpectedPosteriorVariance(f, cleaned),
+                ExpectedPosteriorVariance(f, p, cleaned), 1e-10);
+  }
+}
+
+TEST(ScenarioSetTest, PerfectlyCorrelatedPairResolvesTogether) {
+  // Two coordinates always equal: cleaning either kills all variance of
+  // their sum — the behaviour no independent model can express.
+  ScenarioSet joint({{{0.0, 0.0}, 0.5}, {{10.0, 10.0}, 0.5}});
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  EXPECT_NEAR(joint.Variance(f), 100.0, 1e-9);
+  EXPECT_NEAR(joint.ExpectedPosteriorVariance(f, {0}), 0.0, 1e-12);
+  EXPECT_NEAR(joint.ExpectedPosteriorVariance(f, {1}), 0.0, 1e-12);
+}
+
+TEST(ScenarioSetTest, AnticorrelatedPairHasZeroSumVariance) {
+  // X + Y constant: the sum is already certain; cleaning helps nothing.
+  ScenarioSet joint({{{0.0, 10.0}, 0.5}, {{10.0, 0.0}, 0.5}});
+  LinearQueryFunction f({0, 1}, {1.0, 1.0});
+  EXPECT_NEAR(joint.Variance(f), 0.0, 1e-12);
+  EXPECT_NEAR(joint.ExpectedPosteriorVariance(f, {0}), 0.0, 1e-12);
+  // But each coordinate alone is uncertain.
+  LinearQueryFunction first({0}, {1.0});
+  EXPECT_NEAR(joint.Variance(first), 25.0, 1e-9);
+}
+
+TEST(ScenarioSetTest, EvMonotoneUnderCorrelation) {
+  // Lemma 3.4 holds for arbitrary joints; verify on a correlated set.
+  Rng rng(11);
+  std::vector<Scenario> scenarios;
+  for (int s = 0; s < 40; ++s) {
+    double base = rng.Uniform(0, 10);
+    scenarios.push_back({{base, base + rng.Uniform(-1, 1),
+                          2 * base + rng.Uniform(-1, 1),
+                          rng.Uniform(0, 10)},
+                         rng.Uniform(0.1, 1.0)});
+  }
+  ScenarioSet joint(std::move(scenarios));
+  LinearQueryFunction f({0, 1, 2, 3}, {1.0, -1.0, 0.5, 1.0});
+  std::vector<int> cleaned;
+  double prev = joint.ExpectedPosteriorVariance(f, cleaned);
+  for (int i : {2, 0, 3, 1}) {
+    cleaned.push_back(i);
+    double next = joint.ExpectedPosteriorVariance(f, cleaned);
+    EXPECT_LE(next, prev + 1e-9);
+    prev = next;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-9);
+}
+
+TEST(ScenarioSetTest, SurpriseProbabilityConditionsOnUncleaned) {
+  // Joint over (X0, X1) with X1 informative about X0.
+  ScenarioSet joint({{{0.0, 5.0}, 0.25},
+                     {{10.0, 5.0}, 0.25},
+                     {{0.0, 7.0}, 0.45},
+                     {{10.0, 7.0}, 0.05}});
+  LinearQueryFunction f({0, 1}, {1.0, 0.0});
+  // Clean X0 while X1 stays at 5: Pr[X0 < 5 | X1 = 5] = 0.5.
+  EXPECT_NEAR(joint.SurpriseProbability(f, {99.0, 5.0}, {0}, 5.0), 0.5,
+              1e-12);
+  // With X1 = 7 the conditional tilts: 0.45 / 0.5 = 0.9.
+  EXPECT_NEAR(joint.SurpriseProbability(f, {99.0, 7.0}, {0}, 5.0), 0.9,
+              1e-12);
+  // Inconsistent conditioning value -> 0.
+  EXPECT_DOUBLE_EQ(joint.SurpriseProbability(f, {99.0, 6.0}, {0}, 5.0),
+                   0.0);
+}
+
+TEST(ScenarioSetTest, SurpriseMatchesIndependentExactEvaluator) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7,
+      {.size = 4, .min_support = 2, .max_support = 3});
+  ScenarioSet joint = ScenarioSet::FromIndependent(p);
+  LinearQueryFunction f({0, 1, 2, 3}, {1, 1, 1, 1});
+  double tau = 6.0;
+  std::vector<int> cleaned = {0, 2};
+  double threshold = f.Evaluate(p.CurrentValues()) - tau;
+  // The exact evaluator conditions uncleaned coords at current values,
+  // which must be support points for the joint to carry them: current
+  // values of synthetic problems are means, so rebuild with medians.
+  CleaningProblem pinned = p;
+  for (int i = 0; i < p.size(); ++i) {
+    pinned.set_current_value(i, p.object(i).dist.value(0));
+  }
+  double threshold2 = f.Evaluate(pinned.CurrentValues()) - tau;
+  EXPECT_NEAR(
+      joint.SurpriseProbability(f, pinned.CurrentValues(), cleaned,
+                                threshold2),
+      SurpriseProbabilityExact(f, pinned, cleaned, tau), 1e-10);
+  (void)threshold;
+}
+
+TEST(ScenarioSetTest, GreedyExploitsCorrelation) {
+  // Objects 0 and 1 perfectly correlated (cheap to exploit): cleaning one
+  // resolves both; object 2 independent.  Budget 2 must pick one of the
+  // pair plus object 2 — never both members of the pair.
+  std::vector<Scenario> scenarios;
+  for (double a : {0.0, 10.0}) {
+    for (double c : {0.0, 6.0}) {
+      scenarios.push_back({{a, a, c}, 0.25});
+    }
+  }
+  ScenarioSet joint(std::move(scenarios));
+  LinearQueryFunction f({0, 1, 2}, {1.0, 1.0, 1.0});
+  Selection sel = joint.GreedyMinVar(f, {1.0, 1.0, 1.0}, 2.0);
+  ASSERT_EQ(sel.cleaned.size(), 2u);
+  EXPECT_TRUE(std::find(sel.cleaned.begin(), sel.cleaned.end(), 2) !=
+              sel.cleaned.end());
+  EXPECT_NEAR(joint.ExpectedPosteriorVariance(f, sel.cleaned), 0.0, 1e-9);
+}
+
+TEST(ScenarioSetTest, FromSamplesApproximatesMvnVariance) {
+  Matrix cov = GeometricDecayCovariance({2.0, 1.0, 1.5}, 0.6);
+  MultivariateNormal mvn({0, 0, 0}, cov);
+  Rng rng(13);
+  ScenarioSet joint = ScenarioSet::FromSamples(
+      20000, rng, [&](Rng& r) { return mvn.Sample(r); });
+  LinearQueryFunction f({0, 1, 2}, {1.0, -1.0, 0.5});
+  Vector a = {1.0, -1.0, 0.5};
+  EXPECT_NEAR(joint.Variance(f), mvn.LinearVariance(a),
+              0.05 * mvn.LinearVariance(a) + 0.1);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/ev.h"
+#include "data/synthetic.h"
+#include "submodular/bicriteria.h"
+#include "submodular/certify.h"
+#include "submodular/curvature.h"
+#include "submodular/issc.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+// Modular helper: f(T) = sum of weights.
+LambdaSetFunction Modular(std::vector<double> weights) {
+  int n = static_cast<int>(weights.size());
+  return LambdaSetFunction(n, [weights](const std::vector<int>& t) {
+    double acc = 0;
+    for (int i : t) acc += weights[i];
+    return acc;
+  });
+}
+
+// Coverage function: cardinality of the union of per-element sets.
+LambdaSetFunction Coverage(std::vector<std::vector<int>> sets) {
+  int n = static_cast<int>(sets.size());
+  return LambdaSetFunction(n, [sets](const std::vector<int>& t) {
+    std::set<int> covered;
+    for (int i : t) covered.insert(sets[i].begin(), sets[i].end());
+    return static_cast<double>(covered.size());
+  });
+}
+
+TEST(CertifyTest, ModularIsSubmodularAndMonotone) {
+  Rng rng(1);
+  LambdaSetFunction f = Modular({1, 2, 3, 4});
+  EXPECT_FALSE(CertifySubmodular(f, 1e-9, rng).has_value());
+  EXPECT_FALSE(CertifyNonDecreasing(f, 1e-9, rng).has_value());
+}
+
+TEST(CertifyTest, CoverageIsSubmodularNonDecreasing) {
+  Rng rng(2);
+  LambdaSetFunction f =
+      Coverage({{1, 2}, {2, 3}, {3, 4, 5}, {1}, {6}});
+  EXPECT_FALSE(CertifySubmodular(f, 1e-9, rng).has_value());
+  EXPECT_FALSE(CertifyNonDecreasing(f, 1e-9, rng).has_value());
+}
+
+TEST(CertifyTest, SupermodularFunctionIsCaught) {
+  Rng rng(3);
+  // f(T) = |T|^2 is supermodular (strictly, for n >= 2), not submodular.
+  LambdaSetFunction f(4, [](const std::vector<int>& t) {
+    return static_cast<double>(t.size() * t.size());
+  });
+  auto violation = CertifySubmodular(f, 1e-9, rng);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_GT(violation->amount, 0.0);
+  EXPECT_FALSE(violation->What().empty());
+}
+
+TEST(CertifyTest, IncreasingFunctionFailsNonIncreasing) {
+  Rng rng(4);
+  LambdaSetFunction f = Modular({1, 1});
+  EXPECT_TRUE(CertifyNonIncreasing(f, 1e-9, rng).has_value());
+}
+
+// Lemma 3.5 as a property: EV of arbitrary (nonlinear) query functions is
+// submodular and non-increasing when the X_i are independent.
+class EvSubmodularityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvSubmodularityTest, EvIsNonIncreasingAndSubmodular) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, seed,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  double threshold = rng.Uniform(50, 250);
+  LambdaQueryFunction f({0, 1, 2, 3, 4},
+                        [threshold](const std::vector<double>& x) {
+                          double s = 0;
+                          for (double v : x) s += v;
+                          return s < threshold ? 1.0 : 0.0;
+                        });
+  LambdaSetFunction ev(5, [&](const std::vector<int>& t) {
+    return ExpectedPosteriorVariance(f, problem, t);
+  });
+  Rng certify_rng(seed);
+  EXPECT_FALSE(CertifyNonIncreasing(ev, 1e-9, certify_rng).has_value())
+      << "seed " << seed;
+  auto violation = CertifySubmodular(ev, 1e-9, certify_rng);
+  EXPECT_FALSE(violation.has_value())
+      << "seed " << seed << ": " << violation->What();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvSubmodularityTest, ::testing::Range(1, 13));
+
+TEST(ComplementTest, Lemma36MappingFlipsMonotonicityKeepsSubmodularity) {
+  Rng rng(5);
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 42,
+      {.size = 5, .min_support = 2, .max_support = 3});
+  LambdaQueryFunction f({0, 1, 2, 3, 4}, [](const std::vector<double>& x) {
+    double s = 0;
+    for (double v : x) s += v;
+    return s < 200.0 ? 1.0 : 0.0;
+  });
+  LambdaSetFunction ev(5, [&](const std::vector<int>& t) {
+    return ExpectedPosteriorVariance(f, problem, t);
+  });
+  ComplementSetFunction ev_bar(&ev);
+  EXPECT_FALSE(CertifyNonDecreasing(ev_bar, 1e-9, rng).has_value());
+  EXPECT_FALSE(CertifySubmodular(ev_bar, 1e-9, rng).has_value());
+  // Value identity: EVbar(T) = EV(complement).
+  EXPECT_DOUBLE_EQ(ev_bar.Value({0, 1}), ev.Value({2, 3, 4}));
+  EXPECT_DOUBLE_EQ(ev_bar.Value({}), ev.Value({0, 1, 2, 3, 4}));
+}
+
+TEST(ComplementSetTest, BasicIdentities) {
+  EXPECT_EQ(ComplementSet({}, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ComplementSet({0, 2}, 3), (std::vector<int>{1}));
+  EXPECT_EQ(ComplementSet({0, 1, 2}, 3), (std::vector<int>{}));
+}
+
+TEST(CurvatureTest, ModularFunctionHasZeroCurvature) {
+  LambdaSetFunction f = Modular({2, 3, 4});
+  EXPECT_NEAR(SubmodularCurvature(f), 0.0, 1e-12);
+}
+
+TEST(CurvatureTest, FullyCurvedFunction) {
+  // f(T) = min(|T|, 1): adding any element to V \ {i} gains nothing.
+  LambdaSetFunction f(3, [](const std::vector<int>& t) {
+    return t.empty() ? 0.0 : 1.0;
+  });
+  EXPECT_NEAR(SubmodularCurvature(f), 1.0, 1e-12);
+}
+
+TEST(CurvatureTest, CoverageCurvatureBetweenZeroAndOne) {
+  LambdaSetFunction f = Coverage({{1, 2}, {2, 3}, {4}});
+  double kappa = SubmodularCurvature(f);
+  EXPECT_GE(kappa, 0.0);
+  EXPECT_LE(kappa, 1.0);
+  // Element 2 ({4}) is independent of the others; elements 0/1 overlap, so
+  // curvature is strictly positive.
+  EXPECT_GT(kappa, 0.0);
+}
+
+TEST(IsscTest, SolvesModularCaseExactly) {
+  // With a modular objective, ISSC's bound is tight and the min-knapsack
+  // DP solves the instance outright.
+  std::vector<double> weights = {10, 1, 5, 3};
+  std::vector<double> costs = {4, 3, 2, 5};
+  LambdaSetFunction g = Modular(weights);
+  std::vector<int> t = MinimizeSubmodularCover(g, costs, 7.0);
+  EXPECT_DOUBLE_EQ(g.Value(t), 4.0);  // {1, 3}
+}
+
+TEST(IsscTest, ZeroDemandPicksEmptySet) {
+  LambdaSetFunction g = Modular({1, 2});
+  EXPECT_TRUE(MinimizeSubmodularCover(g, {1, 1}, 0.0).empty());
+}
+
+TEST(IsscTest, CoverageInstanceNearBruteForce) {
+  Rng rng(17);
+  LambdaSetFunction g =
+      Coverage({{1, 2, 3}, {3, 4}, {5}, {1, 5, 6}, {7, 8}});
+  std::vector<double> costs = {2, 1, 1, 3, 2};
+  double demand = 5.0;
+  std::vector<int> t = MinimizeSubmodularCover(g, costs, demand);
+  double cost = 0;
+  for (int i : t) cost += costs[i];
+  EXPECT_GE(cost, demand - 1e-9);
+  // Brute-force optimum for comparison.
+  double best = 1e300;
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    std::vector<int> s;
+    double c = 0;
+    for (int i = 0; i < 5; ++i) {
+      if (mask & (1u << i)) {
+        s.push_back(i);
+        c += costs[i];
+      }
+    }
+    if (c >= demand) best = std::min(best, g.Value(s));
+  }
+  EXPECT_LE(g.Value(t), 2.0 * best + 1e-9);  // comfortably near optimal
+}
+
+TEST(BestMinVarTest, RespectsBudgetAndBeatsEmptySet) {
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 99,
+      {.size = 6, .min_support = 2, .max_support = 3});
+  LambdaQueryFunction f({0, 1, 2, 3, 4, 5}, [](const std::vector<double>& x) {
+    double s = 0;
+    for (double v : x) s += v;
+    return s < 280.0 ? 1.0 : 0.0;
+  });
+  SetObjective ev = [&](const std::vector<int>& t) {
+    return ExpectedPosteriorVariance(f, problem, t);
+  };
+  double budget = problem.TotalCost() * 0.4;
+  Selection best = BestMinVar(ev, problem.Costs(), budget);
+  EXPECT_LE(best.cost, budget + 1e-6);
+  EXPECT_LE(ev(best.cleaned), ev({}) + 1e-9);
+}
+
+TEST(BestMinVarTest, NearOptimalOnSmallInstances) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    CleaningProblem problem = data::MakeSynthetic(
+        data::SyntheticFamily::kUniformRandom, seed,
+        {.size = 6, .min_support = 2, .max_support = 3});
+    LambdaQueryFunction f({0, 1, 2, 3, 4, 5},
+                          [](const std::vector<double>& x) {
+                            double s = 0;
+                            for (double v : x) s += v;
+                            return s < 250.0 ? 1.0 : 0.0;
+                          });
+    SetObjective ev = [&](const std::vector<int>& t) {
+      return ExpectedPosteriorVariance(f, problem, t);
+    };
+    double budget = problem.TotalCost() * 0.5;
+    Selection best = BestMinVar(ev, problem.Costs(), budget);
+    Selection opt = BruteForceMinimize(problem.Costs(), budget, ev);
+    double removable = ev({}) - ev(opt.cleaned);
+    if (removable < 1e-12) continue;
+    // Must recover a decent fraction of the removable variance.
+    EXPECT_LE(ev(best.cleaned),
+              ev(opt.cleaned) + 0.6 * removable + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(BestMinVarTest, FullBudgetCleansEverything) {
+  LambdaSetFunction g = Modular({1, 1, 1});
+  SetObjective ev = [&](const std::vector<int>& t) {
+    return 3.0 - static_cast<double>(t.size());
+  };
+  Selection best = BestMinVar(ev, {1, 1, 1}, 3.0);
+  EXPECT_EQ(best.cleaned.size(), 3u);
+}
+
+TEST(BicriteriaTest, SizeBoundAndImprovement) {
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 123,
+      {.size = 8, .min_support = 2, .max_support = 3});
+  LambdaQueryFunction f({0, 1, 2, 3, 4, 5, 6, 7},
+                        [](const std::vector<double>& x) {
+                          double s = 0;
+                          for (double v : x) s += v;
+                          return s;
+                        });
+  SetObjective ev = [&](const std::vector<int>& t) {
+    return ExpectedPosteriorVariance(f, problem, t);
+  };
+  BicriteriaResult result = BicriteriaMinVar(ev, 8, 4, 0.5);
+  EXPECT_EQ(result.allowed_size, 8);
+  EXPECT_LE(static_cast<int>(result.selection.cleaned.size()),
+            result.allowed_size);
+  // With k/(1-alpha) = 8 slots it can clean everything.
+  EXPECT_NEAR(ev(result.selection.cleaned), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace factcheck {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0, 1) == b.Uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(3.5, 9.25);
+    EXPECT_GE(x, 3.5);
+    EXPECT_LT(x, 9.25);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int x = rng.UniformInt(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 2, 3, 4, 5 appear
+}
+
+TEST(RngTest, NormalMeanAndSpread) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 10000.0, 0.25, 0.03);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(19);
+  std::vector<int> sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(29);
+  Rng child = a.Fork();
+  // The fork advanced the parent; both streams should still be valid and
+  // deterministic.
+  Rng b(29);
+  Rng child_b = b.Fork();
+  EXPECT_DOUBLE_EQ(child.Uniform(0, 1), child_b.Uniform(0, 1));
+  EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedMillis() * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch sw;
+  for (volatile int i = 0; i < 100000; ++i) {
+  }
+  double before = sw.ElapsedSeconds();
+  sw.Reset();
+  EXPECT_LE(sw.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(TablePrinterTest, RowsAccumulate) {
+  TablePrinter printer({"a", "b"});
+  printer.AddCell(1).AddCell(2.5);
+  printer.EndRow();
+  printer.AddCell("x").AddCell("y");
+  printer.EndRow();
+  EXPECT_EQ(printer.num_rows(), 2);
+  EXPECT_EQ(printer.rows()[0][0], "1");
+  EXPECT_EQ(printer.rows()[0][1], "2.5");
+  EXPECT_EQ(printer.rows()[1][1], "y");
+}
+
+TEST(TablePrinterTest, FormatCellUsesCompactPrecision) {
+  EXPECT_EQ(FormatCell(0.5), "0.5");
+  EXPECT_EQ(FormatCell(1234567.0), "1.23457e+06");
+  EXPECT_EQ(FormatCell(3.0), "3");
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowAborts) {
+  TablePrinter printer({"a", "b"});
+  printer.AddCell(1);
+  EXPECT_DEATH(printer.EndRow(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace factcheck
