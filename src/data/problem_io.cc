@@ -1,5 +1,6 @@
 #include "data/problem_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -30,7 +31,10 @@ std::vector<std::string> Split(const std::string& s, char sep) {
 bool ParseDouble(const std::string& s, double* out) {
   char* end = nullptr;
   *out = std::strtod(s.c_str(), &end);
-  return end != s.c_str() && *end == '\0';
+  // Reject "nan"/"inf": non-finite numbers are malformed input here, and
+  // letting them through would turn a parse error into a CHECK abort in
+  // the DiscreteDistribution constructor.
+  return end != s.c_str() && *end == '\0' && std::isfinite(*out);
 }
 
 bool ParseList(const std::string& s, std::vector<double>* out) {

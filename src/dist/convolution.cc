@@ -1,0 +1,145 @@
+#include "dist/convolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+// Sorts atoms by value and merges exactly-equal values in place.
+void Canonicalize(SumDistribution& d) {
+  std::sort(d.begin(), d.end(),
+            [](const SumAtom& x, const SumAtom& y) { return x.value < y.value; });
+  size_t out = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (out > 0 && d[out - 1].value == d[i].value) {
+      d[out - 1].prob += d[i].prob;
+    } else {
+      d[out++] = d[i];
+    }
+  }
+  d.resize(out);
+}
+
+void Canonicalize2(SumDistribution2& d) {
+  std::sort(d.begin(), d.end(), [](const SumAtom2& x, const SumAtom2& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (out > 0 && d[out - 1].a == d[i].a && d[out - 1].b == d[i].b) {
+      d[out - 1].prob += d[i].prob;
+    } else {
+      d[out++] = d[i];
+    }
+  }
+  d.resize(out);
+}
+
+}  // namespace
+
+SumDistribution ConvolveSum(const std::vector<WeightedTerm>& terms) {
+  SumDistribution acc = {{0.0, 1.0}};
+  for (const WeightedTerm& term : terms) {
+    FC_CHECK(term.dist != nullptr);
+    const DiscreteDistribution& x = *term.dist;
+    if (x.is_point_mass()) {
+      // Point masses (and zero coefficients) only shift; no growth.
+      double shift = term.coeff * x.value(0);
+      for (SumAtom& a : acc) a.value += shift;
+      continue;
+    }
+    if (term.coeff == 0.0) continue;
+    SumDistribution next;
+    next.reserve(acc.size() * x.support_size());
+    for (const SumAtom& a : acc) {
+      for (int k = 0; k < x.support_size(); ++k) {
+        next.push_back({a.value + term.coeff * x.value(k),
+                        a.prob * x.prob(k)});
+      }
+    }
+    Canonicalize(next);
+    acc = std::move(next);
+  }
+  Canonicalize(acc);
+  return acc;
+}
+
+SumDistribution2 ConvolveSum2(const std::vector<WeightedTerm2>& terms) {
+  SumDistribution2 acc = {{0.0, 0.0, 1.0}};
+  for (const WeightedTerm2& term : terms) {
+    FC_CHECK(term.dist != nullptr);
+    const DiscreteDistribution& x = *term.dist;
+    if (x.is_point_mass()) {
+      double da = term.coeff_a * x.value(0);
+      double db = term.coeff_b * x.value(0);
+      for (SumAtom2& a : acc) {
+        a.a += da;
+        a.b += db;
+      }
+      continue;
+    }
+    if (term.coeff_a == 0.0 && term.coeff_b == 0.0) continue;
+    SumDistribution2 next;
+    next.reserve(acc.size() * x.support_size());
+    for (const SumAtom2& a : acc) {
+      for (int k = 0; k < x.support_size(); ++k) {
+        next.push_back({a.a + term.coeff_a * x.value(k),
+                        a.b + term.coeff_b * x.value(k),
+                        a.prob * x.prob(k)});
+      }
+    }
+    Canonicalize2(next);
+    acc = std::move(next);
+  }
+  Canonicalize2(acc);
+  return acc;
+}
+
+double SumMean(const SumDistribution& d) {
+  double acc = 0.0;
+  for (const SumAtom& a : d) acc += a.prob * a.value;
+  return acc;
+}
+
+double SumVariance(const SumDistribution& d) {
+  double mean = SumMean(d);
+  double acc = 0.0;
+  for (const SumAtom& a : d) {
+    double dv = a.value - mean;
+    acc += a.prob * dv * dv;
+  }
+  return acc;
+}
+
+double SumProbBelow(const SumDistribution& d, double t) {
+  double acc = 0.0;
+  for (const SumAtom& a : d) {
+    if (a.value < t) acc += a.prob;
+  }
+  return acc;
+}
+
+double SumEntropy(const SumDistribution& d) {
+  double acc = 0.0;
+  for (const SumAtom& a : d) {
+    if (a.prob > 0.0) acc -= a.prob * std::log(a.prob);
+  }
+  return acc;
+}
+
+DiscreteDistribution SumToDiscrete(const SumDistribution& d) {
+  FC_CHECK(!d.empty());
+  std::vector<double> values, probs;
+  values.reserve(d.size());
+  probs.reserve(d.size());
+  for (const SumAtom& a : d) {
+    values.push_back(a.value);
+    probs.push_back(a.prob);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace factcheck

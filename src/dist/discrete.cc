@@ -1,0 +1,149 @@
+#include "dist/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+// Atoms whose normalized probability falls below this are treated as
+// numerically extinct (e.g. the vanishing atoms of a logarithmic opinion
+// pool) and dropped from the support.
+constexpr double kAtomFloor = 1e-15;
+
+}  // namespace
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
+                                           std::vector<double> probs) {
+  FC_CHECK(!values.empty());
+  FC_CHECK_EQ(values.size(), probs.size());
+  // Non-finite values would break the sorted-support invariant (NaN has no
+  // ordering), so they are programmer errors like negative probabilities.
+  for (double v : values) FC_CHECK(std::isfinite(v));
+  double total = 0.0;
+  for (double p : probs) {
+    FC_CHECK_GE(p, 0.0);
+    FC_CHECK(std::isfinite(p));
+    total += p;
+  }
+  FC_CHECK_GT(total, 0.0);
+
+  // Sort atoms by value, carrying probabilities along.
+  std::vector<int> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+
+  values_.reserve(values.size());
+  probs_.reserve(values.size());
+  for (int idx : order) {
+    double v = values[idx];
+    double p = probs[idx] / total;
+    if (p < kAtomFloor) continue;
+    if (!values_.empty() && values_.back() == v) {
+      probs_.back() += p;
+    } else {
+      values_.push_back(v);
+      probs_.push_back(p);
+    }
+  }
+  // Dropping sub-floor atoms can only remove negligible mass, but if the
+  // input was pathological (every atom below the floor relative to total)
+  // fall back to keeping the heaviest atom.
+  if (values_.empty()) {
+    int best = order[0];
+    for (int idx : order) {
+      if (probs[idx] > probs[best]) best = idx;
+    }
+    values_.push_back(values[best]);
+    probs_.push_back(1.0);
+    return;
+  }
+  // Renormalize the kept mass (a no-op when nothing was dropped beyond
+  // floating-point dust).
+  double kept = std::accumulate(probs_.begin(), probs_.end(), 0.0);
+  if (kept != 1.0) {
+    for (double& p : probs_) p /= kept;
+  }
+}
+
+DiscreteDistribution DiscreteDistribution::PointMass(double v) {
+  DiscreteDistribution d;
+  d.values_ = {v};
+  d.probs_ = {1.0};
+  return d;
+}
+
+double DiscreteDistribution::Mean() const {
+  double acc = 0.0;
+  for (int k = 0; k < support_size(); ++k) acc += probs_[k] * values_[k];
+  return acc;
+}
+
+double DiscreteDistribution::SecondMoment() const {
+  double acc = 0.0;
+  for (int k = 0; k < support_size(); ++k) {
+    acc += probs_[k] * values_[k] * values_[k];
+  }
+  return acc;
+}
+
+double DiscreteDistribution::Variance() const {
+  // Centered one-pass form for numerical stability on large supports.
+  double mean = Mean();
+  double acc = 0.0;
+  for (int k = 0; k < support_size(); ++k) {
+    double d = values_[k] - mean;
+    acc += probs_[k] * d * d;
+  }
+  return acc;
+}
+
+double DiscreteDistribution::Entropy() const {
+  double acc = 0.0;
+  for (double p : probs_) {
+    if (p > 0.0) acc -= p * std::log(p);
+  }
+  return acc;
+}
+
+double DiscreteDistribution::CdfBelow(double x) const {
+  double acc = 0.0;
+  for (int k = 0; k < support_size() && values_[k] < x; ++k) acc += probs_[k];
+  return acc;
+}
+
+double DiscreteDistribution::CdfAtOrBelow(double x) const {
+  double acc = 0.0;
+  for (int k = 0; k < support_size() && values_[k] <= x; ++k) acc += probs_[k];
+  return acc;
+}
+
+DiscreteDistribution DiscreteDistribution::Shifted(double delta) const {
+  DiscreteDistribution d = *this;
+  for (double& v : d.values_) v += delta;
+  return d;
+}
+
+DiscreteDistribution DiscreteDistribution::Scaled(double s) const {
+  DiscreteDistribution d = *this;
+  for (double& v : d.values_) v *= s;
+  if (s < 0.0) {
+    std::reverse(d.values_.begin(), d.values_.end());
+    std::reverse(d.probs_.begin(), d.probs_.end());
+  } else if (s == 0.0) {
+    d.values_ = {0.0};
+    d.probs_ = {1.0};
+  }
+  return d;
+}
+
+double DiscreteDistribution::Sample(Rng& rng) const {
+  if (is_point_mass()) return values_[0];
+  return values_[rng.Categorical(probs_)];
+}
+
+}  // namespace factcheck

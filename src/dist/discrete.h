@@ -1,0 +1,96 @@
+// Finite discrete distributions — the error model X_i of Section 2.1.
+//
+// A DiscreteDistribution is a finite set of (value, probability) atoms
+// kept sorted by value with duplicate values merged and zero-probability
+// atoms dropped.  Probabilities are normalized at construction, so callers
+// may pass unnormalized non-negative weights (source reliabilities, pooled
+// expert masses, ...).  Invalid inputs — empty support, negative weights,
+// all-zero total mass, mismatched lengths — abort via FC_CHECK.
+
+#ifndef FACTCHECK_DIST_DISCRETE_H_
+#define FACTCHECK_DIST_DISCRETE_H_
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace factcheck {
+
+class Rng;
+
+class DiscreteDistribution {
+ public:
+  // Default: a point mass at 0 (a valid, fully certain value).  Keeps
+  // UncertainObject default-constructible.
+  DiscreteDistribution() : values_{0.0}, probs_{1.0} {}
+
+  // Takes unnormalized non-negative weights; sorts, merges duplicates,
+  // drops (near-)zero atoms and normalizes.  CHECK-fails on empty input,
+  // mismatched lengths, negative weights, or zero total mass.
+  DiscreteDistribution(std::vector<double> values, std::vector<double> probs);
+
+  // The distribution that is `v` with certainty.
+  static DiscreteDistribution PointMass(double v);
+
+  int support_size() const { return static_cast<int>(values_.size()); }
+  bool is_point_mass() const { return values_.size() == 1; }
+
+  double value(int k) const {
+    FC_CHECK_GE(k, 0);
+    FC_CHECK_LT(k, support_size());
+    return values_[k];
+  }
+  double prob(int k) const {
+    FC_CHECK_GE(k, 0);
+    FC_CHECK_LT(k, support_size());
+    return probs_[k];
+  }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& probs() const { return probs_; }
+
+  double Mean() const;
+  double SecondMoment() const;
+  double Variance() const;
+
+  // Shannon entropy in nats: -sum p_k ln p_k.
+  double Entropy() const;
+
+  // P[X < x] and P[X <= x].
+  double CdfBelow(double x) const;
+  double CdfAtOrBelow(double x) const;
+
+  // E[g(X)] for an arbitrary transform g.
+  template <typename Fn>
+  double ExpectationOf(Fn&& g) const {
+    double acc = 0.0;
+    for (int k = 0; k < support_size(); ++k) {
+      acc += probs_[k] * g(values_[k]);
+    }
+    return acc;
+  }
+
+  // Distribution of X + delta and of s * X (atom-wise affine transforms).
+  DiscreteDistribution Shifted(double delta) const;
+  DiscreteDistribution Scaled(double s) const;
+
+  // One draw from the distribution.
+  double Sample(Rng& rng) const;
+
+  // Exact equality of supports and probabilities.
+  friend bool operator==(const DiscreteDistribution& a,
+                         const DiscreteDistribution& b) {
+    return a.values_ == b.values_ && a.probs_ == b.probs_;
+  }
+  friend bool operator!=(const DiscreteDistribution& a,
+                         const DiscreteDistribution& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<double> values_;  // ascending
+  std::vector<double> probs_;   // same length, positive, sums to 1
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DIST_DISCRETE_H_

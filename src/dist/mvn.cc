@@ -1,0 +1,142 @@
+#include "dist/mvn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+// Largest diagonal entry, used to scale the jitter ridge.
+double MaxDiagonal(const Matrix& m) {
+  double mx = 0.0;
+  for (int i = 0; i < m.rows(); ++i) mx = std::max(mx, m(i, i));
+  return mx;
+}
+
+// Cholesky with escalating diagonal jitter: exact first, then ridges of
+// 1e-12, 1e-10, ... times the largest variance until factorization
+// succeeds.  Near-singular covariances (gamma -> 1 correlation) stay
+// usable at the cost of a vanishing perturbation.
+Matrix JitteredCholesky(const Matrix& a) {
+  std::optional<Matrix> l = Cholesky(a);
+  double scale = std::max(MaxDiagonal(a), 1e-300);
+  for (double eps = 1e-12; !l.has_value(); eps *= 100.0) {
+    FC_CHECK_LE(eps, 1.0);  // covariance is hopelessly non-PSD
+    Matrix jittered = a;
+    for (int i = 0; i < a.rows(); ++i) jittered(i, i) += eps * scale;
+    l = Cholesky(jittered);
+  }
+  return *l;
+}
+
+// Sorted, deduplicated copy of an index list.
+std::vector<int> SortedUnique(std::vector<int> idx) {
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  return idx;
+}
+
+}  // namespace
+
+MultivariateNormal::MultivariateNormal(Vector mean, Matrix cov)
+    : mean_(std::move(mean)), cov_(std::move(cov)) {
+  FC_CHECK_EQ(cov_.rows(), cov_.cols());
+  FC_CHECK_EQ(static_cast<int>(mean_.size()), cov_.rows());
+  FC_CHECK(cov_.IsSymmetric(1e-7));
+}
+
+MultivariateNormal MultivariateNormal::Independent(const Vector& mean,
+                                                   const Vector& stddevs) {
+  FC_CHECK_EQ(mean.size(), stddevs.size());
+  Vector variances(stddevs.size());
+  for (size_t i = 0; i < stddevs.size(); ++i) {
+    FC_CHECK_GE(stddevs[i], 0.0);
+    variances[i] = stddevs[i] * stddevs[i];
+  }
+  return MultivariateNormal(mean, Matrix::Diagonal(variances));
+}
+
+double MultivariateNormal::LinearVariance(const Vector& a) const {
+  FC_CHECK_EQ(static_cast<int>(a.size()), dim());
+  return QuadraticForm(a, cov_, a);
+}
+
+double MultivariateNormal::ExpectedConditionalVariance(
+    const Vector& a, const std::vector<int>& cleaned) const {
+  FC_CHECK_EQ(static_cast<int>(a.size()), dim());
+  std::vector<int> observed = SortedUnique(cleaned);
+  std::vector<bool> is_observed(dim(), false);
+  for (int i : observed) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, dim());
+    is_observed[i] = true;
+  }
+  std::vector<int> rest;
+  Vector a_rest;
+  for (int i = 0; i < dim(); ++i) {
+    if (!is_observed[i]) {
+      rest.push_back(i);
+      a_rest.push_back(a[i]);
+    }
+  }
+  if (rest.empty()) return 0.0;
+  if (observed.empty()) return LinearVariance(a);
+  Matrix cond = ConditionalCovariance(observed, rest);
+  double var = QuadraticForm(a_rest, cond, a_rest);
+  // Numerical Schur complements of near-singular covariances can dip a
+  // hair below zero; variances are non-negative by definition.
+  return std::max(var, 0.0);
+}
+
+Matrix MultivariateNormal::ConditionalCovariance(
+    const std::vector<int>& observed, const std::vector<int>& remaining) const {
+  for (int i : observed) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, dim());
+  }
+  for (int i : remaining) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, dim());
+  }
+  return SchurComplement(cov_, observed, remaining);
+}
+
+const Matrix& MultivariateNormal::CholeskyFactor() const {
+  if (!chol_ready_) {
+    chol_ = JitteredCholesky(cov_);
+    chol_ready_ = true;
+  }
+  return chol_;
+}
+
+Vector MultivariateNormal::Sample(Rng& rng) const {
+  const Matrix& l = CholeskyFactor();
+  Vector z(dim());
+  for (double& v : z) v = rng.Normal(0.0, 1.0);
+  Vector x = mean_;
+  for (int i = 0; i < dim(); ++i) {
+    for (int j = 0; j <= i; ++j) x[i] += l(i, j) * z[j];
+  }
+  return x;
+}
+
+Matrix GeometricDecayCovariance(const Vector& stddevs, double gamma) {
+  FC_CHECK_GE(gamma, 0.0);
+  FC_CHECK_LE(gamma, 1.0);
+  int n = static_cast<int>(stddevs.size());
+  Matrix cov(n, n);
+  for (int i = 0; i < n; ++i) {
+    FC_CHECK_GE(stddevs[i], 0.0);
+    cov(i, i) = stddevs[i] * stddevs[i];
+    for (int j = 0; j < i; ++j) {
+      double c = std::pow(gamma, i - j) * stddevs[i] * stddevs[j];
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+  }
+  return cov;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,70 @@
+// Multivariate normal error model for the dependency-aware algorithms
+// (Section 3.5, Fig 11): Cholesky-backed sampling, linear-functional
+// variances, and the Schur-complement conditional covariances that define
+// EV(T) under correlated errors — for Gaussians the conditional covariance
+// does not depend on the observed values, so EV(T) is a deterministic
+// function of the cleaned index set.
+
+#ifndef FACTCHECK_DIST_MVN_H_
+#define FACTCHECK_DIST_MVN_H_
+
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+class MultivariateNormal {
+ public:
+  // `cov` must be symmetric positive semi-definite with matching dimension.
+  MultivariateNormal(Vector mean, Matrix cov);
+
+  // Independent coordinates: diagonal covariance from per-coordinate
+  // STANDARD DEVIATIONS (matching the sigma_i of the paper's error models).
+  static MultivariateNormal Independent(const Vector& mean,
+                                        const Vector& stddevs);
+
+  int dim() const { return static_cast<int>(mean_.size()); }
+  const Vector& mean() const { return mean_; }
+  const Matrix& covariance() const { return cov_; }
+
+  // Var[a' X] = a' Sigma a.
+  double LinearVariance(const Vector& a) const;
+
+  // EV(T) for a linear functional a' X: the variance of the uncleaned part
+  // conditioned on the cleaned coordinates `cleaned` (order-insensitive,
+  // duplicates ignored).  Equals a_rest' SchurComplement a_rest; zero when
+  // everything is cleaned.  Near-singular covariances are handled by a
+  // jittered Cholesky inside the Schur path.
+  double ExpectedConditionalVariance(const Vector& a,
+                                     const std::vector<int>& cleaned) const;
+
+  // Covariance of X_remaining given X_observed (any observed values):
+  // Sigma_bb - Sigma_ba Sigma_aa^{-1} Sigma_ab.
+  Matrix ConditionalCovariance(const std::vector<int>& observed,
+                               const std::vector<int>& remaining) const;
+
+  // One draw: mean + L z with L the (jittered when necessary) Cholesky
+  // factor and z iid standard normal.
+  Vector Sample(Rng& rng) const;
+
+ private:
+  // Cholesky factor of cov_, computed lazily with escalating diagonal
+  // jitter until factorization succeeds.
+  const Matrix& CholeskyFactor() const;
+
+  Vector mean_;
+  Matrix cov_;
+  mutable Matrix chol_;        // cached factor; empty until first use
+  mutable bool chol_ready_ = false;
+};
+
+// The Fig-11 correlation structure: Cov(X_i, X_j) = gamma^{|i-j|} s_i s_j
+// over per-coordinate standard deviations `stddevs`, gamma in [0, 1].
+Matrix GeometricDecayCovariance(const Vector& stddevs, double gamma);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DIST_MVN_H_

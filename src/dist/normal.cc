@@ -1,0 +1,132 @@
+#include "dist/normal.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+constexpr double kSqrt2 = 1.4142135623730950488;
+
+// Acklam's rational approximation to the standard normal quantile
+// (relative error < 1.15e-9 before polishing).
+double QuantileAcklam(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  if (p < kLow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - kLow) {
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double StdNormalPdf(double z) {
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double StdNormalQuantile(double p) {
+  FC_CHECK_GT(p, 0.0);
+  FC_CHECK_LT(p, 1.0);
+  double z = QuantileAcklam(p);
+  // One Halley step against the exact erfc-based CDF.
+  double e = StdNormalCdf(z) - p;
+  double u = e / StdNormalPdf(z);
+  z -= u / (1.0 + 0.5 * z * u);
+  return z;
+}
+
+double NormalDistribution::Pdf(double x) const {
+  return StdNormalPdf((x - mean) / stddev) / stddev;
+}
+
+double NormalDistribution::Cdf(double x) const {
+  return StdNormalCdf((x - mean) / stddev);
+}
+
+double NormalDistribution::Quantile(double p) const {
+  return mean + stddev * StdNormalQuantile(p);
+}
+
+DiscreteDistribution QuantizeNormal(double mean, double sigma, int points) {
+  FC_CHECK_GE(points, 1);
+  FC_CHECK_GE(sigma, 0.0);
+  if (points == 1 || sigma == 0.0) return DiscreteDistribution::PointMass(mean);
+  // Partition into `points` equiprobable intervals; atom k is the
+  // conditional mean of interval k:
+  //   E[Z | q_k < Z <= q_{k+1}] = (phi(q_k) - phi(q_{k+1})) / (1/points).
+  std::vector<double> values(points);
+  std::vector<double> probs(points, 1.0 / points);
+  double lo_pdf = 0.0;  // phi(-inf)
+  for (int k = 0; k < points; ++k) {
+    double hi_pdf =
+        k + 1 == points
+            ? 0.0
+            : StdNormalPdf(StdNormalQuantile(static_cast<double>(k + 1) /
+                                             points));
+    values[k] = mean + sigma * (lo_pdf - hi_pdf) * points;
+    lo_pdf = hi_pdf;
+  }
+  // Symmetrize: the construction is analytically symmetric around the
+  // mean; enforce it exactly so downstream mean computations are exact.
+  for (int k = 0; k < points / 2; ++k) {
+    double half = 0.5 * (values[points - 1 - k] - values[k]);
+    values[k] = mean - half;
+    values[points - 1 - k] = mean + half;
+  }
+  if (points % 2 == 1) values[points / 2] = mean;
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution QuantizeLogNormalPaperStyle(double mu, double sigma,
+                                                 int points) {
+  FC_CHECK_GE(points, 1);
+  FC_CHECK_GT(sigma, 0.0);
+  if (points == 1) return DiscreteDistribution::PointMass(std::exp(mu));
+  std::vector<double> values(points);
+  std::vector<double> weights(points);
+  for (int k = 0; k < points; ++k) {
+    // Right endpoint of the k-th equiprobable interval; the unbounded last
+    // interval is represented by its conditional median.
+    double p = k + 1 == points
+                   ? 1.0 - 0.5 / points
+                   : static_cast<double>(k + 1) / points;
+    double z = StdNormalQuantile(p);
+    double x = std::exp(mu + sigma * z);
+    values[k] = x;
+    // Log-normal density at the support point.
+    weights[k] = StdNormalPdf(z) / (x * sigma);
+  }
+  return DiscreteDistribution(std::move(values), std::move(weights));
+}
+
+}  // namespace factcheck

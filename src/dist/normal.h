@@ -1,0 +1,53 @@
+// Univariate normal machinery: standard-normal pdf/cdf/quantile, the
+// shifted/scaled NormalDistribution used by the closed-form MaxPr path
+// (Lemma 3.3), and the quantizers that turn continuous error models into
+// the finite supports the exact evaluators consume.
+
+#ifndef FACTCHECK_DIST_NORMAL_H_
+#define FACTCHECK_DIST_NORMAL_H_
+
+#include "dist/discrete.h"
+
+namespace factcheck {
+
+// Standard normal density phi(z).
+double StdNormalPdf(double z);
+
+// Standard normal CDF Phi(z), accurate to ~1e-15 via erfc.
+double StdNormalCdf(double z);
+
+// Inverse CDF Phi^{-1}(p) for p in (0, 1); Acklam's rational approximation
+// polished with one Halley step (absolute error ~1e-15).
+double StdNormalQuantile(double p);
+
+// N(mean, stddev^2) as a value type.  Aggregate — brace-init as
+// NormalDistribution{mu, sigma}.
+struct NormalDistribution {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+};
+
+// Quantizes N(mean, sigma^2) to `points` equal-probability atoms, each the
+// conditional mean of its probability interval.  This preserves the mean
+// exactly and under-estimates the variance (law of total variance), with
+// the deficit vanishing as `points` grows.  points == 1 or sigma == 0
+// degenerate to a point mass at the mean.
+DiscreteDistribution QuantizeNormal(double mean, double sigma, int points);
+
+// Quantizes the log-normal LN(mu, sigma^2) the way the paper's synthetic
+// LNx generator does: support point k is the right endpoint of the k-th of
+// `points` equiprobable intervals (the last, unbounded interval is
+// represented by its conditional median), with probability weights
+// proportional to the log-normal density at the support points.  The
+// density weighting thins the heavy upper tail: atoms far out get little
+// mass.
+DiscreteDistribution QuantizeLogNormalPaperStyle(double mu, double sigma,
+                                                 int points);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DIST_NORMAL_H_

@@ -1,0 +1,147 @@
+#include "dist/pooling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+double TotalWeight(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FC_CHECK_GT(total, 0.0);
+  return total;
+}
+
+// Sorted union of the experts' support values (exact-equality dedup, the
+// same convention the DiscreteDistribution constructor uses).
+std::vector<double> SupportUnion(
+    const std::vector<DiscreteDistribution>& experts) {
+  std::vector<double> values;
+  for (const DiscreteDistribution& e : experts) {
+    values.insert(values.end(), e.values().begin(), e.values().end());
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+// P_e(v) under exact value lookup (0 when v is not in the support).
+double AtomProb(const DiscreteDistribution& e, double v) {
+  const std::vector<double>& values = e.values();
+  auto it = std::lower_bound(values.begin(), values.end(), v);
+  if (it == values.end() || *it != v) return 0.0;
+  return e.prob(static_cast<int>(it - values.begin()));
+}
+
+}  // namespace
+
+DiscreteDistribution PoolOpinions(
+    const std::vector<DiscreteDistribution>& experts,
+    const std::vector<double>& weights) {
+  FC_CHECK(!experts.empty());
+  FC_CHECK_EQ(experts.size(), weights.size());
+  TotalWeight(weights);  // validates non-negativity and positive total
+  std::vector<double> values, probs;
+  for (size_t e = 0; e < experts.size(); ++e) {
+    if (weights[e] == 0.0) continue;
+    for (int k = 0; k < experts[e].support_size(); ++k) {
+      values.push_back(experts[e].value(k));
+      probs.push_back(weights[e] * experts[e].prob(k));
+    }
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution PoolOpinionsLogarithmic(
+    const std::vector<DiscreteDistribution>& experts,
+    const std::vector<double>& weights) {
+  FC_CHECK(!experts.empty());
+  FC_CHECK_EQ(experts.size(), weights.size());
+  double total = TotalWeight(weights);
+  std::vector<double> values = SupportUnion(experts);
+  std::vector<double> probs;
+  probs.reserve(values.size());
+  for (double v : values) {
+    // Geometric mean in log space; any zero vote vetoes the atom.
+    double log_mass = 0.0;
+    bool vetoed = false;
+    for (size_t e = 0; e < experts.size(); ++e) {
+      if (weights[e] == 0.0) continue;
+      double p = AtomProb(experts[e], v);
+      if (p == 0.0) {
+        vetoed = true;
+        break;
+      }
+      log_mass += weights[e] / total * std::log(p);
+    }
+    probs.push_back(vetoed ? 0.0 : std::exp(log_mass));
+  }
+  // Every atom vetoed means the experts' supports are pairwise disjoint —
+  // the log pool is undefined there, so fail here with a pooling-layer
+  // diagnostic rather than deep inside the distribution constructor.
+  bool any_surviving_atom = false;
+  for (double p : probs) any_surviving_atom |= p > 0.0;
+  FC_CHECK(any_surviving_atom);
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution ResolveConflictingReports(
+    const std::vector<SourceReport>& reports) {
+  FC_CHECK(!reports.empty());
+  std::vector<double> values, probs;
+  values.reserve(reports.size());
+  probs.reserve(reports.size());
+  for (const SourceReport& r : reports) {
+    FC_CHECK_GT(r.reliability, 0.0);
+    values.push_back(r.value);
+    probs.push_back(r.reliability);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution PoolSupport(const DiscreteDistribution& dist,
+                                 int max_support) {
+  FC_CHECK_GE(max_support, 1);
+  if (dist.support_size() <= max_support) return dist;
+  // Equal-mass partition of the sorted support into max_support bins; each
+  // bin collapses to (conditional mean, bin mass).  Summing p*v per bin
+  // and dividing back out keeps sum(p*v) — hence the mean — exact.
+  std::vector<double> values, probs;
+  values.reserve(max_support);
+  probs.reserve(max_support);
+  double target = 1.0 / max_support;
+  double bin_mass = 0.0, bin_moment = 0.0, cumulative = 0.0;
+  int bins_left = max_support;
+  for (int k = 0; k < dist.support_size(); ++k) {
+    bin_mass += dist.prob(k);
+    bin_moment += dist.prob(k) * dist.value(k);
+    cumulative += dist.prob(k);
+    int atoms_left = dist.support_size() - k - 1;
+    bool quota_met = cumulative + 1e-12 >= target * (max_support - bins_left + 1);
+    // Close the bin when its mass quota is met — but never leave more
+    // bins open than atoms remain to fill them, and never close the last
+    // bin early: all trailing atoms fold into it so no mass (and hence no
+    // mean contribution) is ever dropped.
+    if ((quota_met || atoms_left < bins_left) && bin_mass > 0.0 &&
+        bins_left > 1) {
+      values.push_back(bin_moment / bin_mass);
+      probs.push_back(bin_mass);
+      bin_mass = 0.0;
+      bin_moment = 0.0;
+      --bins_left;
+    }
+  }
+  if (bin_mass > 0.0) {
+    values.push_back(bin_moment / bin_mass);
+    probs.push_back(bin_mass);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace factcheck

@@ -1,0 +1,58 @@
+// Opinion pooling and support re-quantization.
+//
+// Pooling turns several candidate error models for the same value — expert
+// opinions, conflicting source reports — into the single
+// DiscreteDistribution an UncertainObject carries:
+//   * PoolOpinions            — linear (mixture) pool,
+//   * PoolOpinionsLogarithmic — geometric pool over the aligned support
+//                               union (a zero vote vetoes an atom),
+//   * ResolveConflictingReports — reliability-weighted mixture of point
+//                               reports, the CSV-provenance workflow.
+// PoolSupport coarsens a support to at most k atoms by merging adjacent
+// atoms into their conditional means: the mean is preserved exactly and
+// the variance can only shrink (law of total variance) — the contract the
+// exact EV engine and adaptive partial cleaning rely on when they
+// re-quantize via CleaningProblem::ReplaceDistribution.
+
+#ifndef FACTCHECK_DIST_POOLING_H_
+#define FACTCHECK_DIST_POOLING_H_
+
+#include <vector>
+
+#include "dist/discrete.h"
+
+namespace factcheck {
+
+// Linear pool: the mixture sum_e w_e P_e, weights normalized.  Experts
+// with zero weight are ignored; at least one weight must be positive.
+DiscreteDistribution PoolOpinions(const std::vector<DiscreteDistribution>& experts,
+                                  const std::vector<double>& weights);
+
+// Logarithmic pool: P(v) proportional to prod_e P_e(v)^{w_e / sum w}.
+// Computed over the union of the experts' supports; an atom some expert
+// assigns (numerically) zero mass vanishes from the pool.
+DiscreteDistribution PoolOpinionsLogarithmic(
+    const std::vector<DiscreteDistribution>& experts,
+    const std::vector<double>& weights);
+
+// One source's report of a value with a positive reliability weight.
+struct SourceReport {
+  double value = 0.0;
+  double reliability = 0.0;  // > 0 (CHECK-enforced)
+};
+
+// Mixture of point reports with probability proportional to reliability;
+// agreeing sources accumulate mass on the shared value.
+DiscreteDistribution ResolveConflictingReports(
+    const std::vector<SourceReport>& reports);
+
+// Coarsens `dist` to at most `max_support` atoms by merging runs of
+// adjacent atoms into their conditional means (equal-mass partition).
+// Identity when the support is already small enough.  Preserves the mean
+// exactly; the variance never increases.
+DiscreteDistribution PoolSupport(const DiscreteDistribution& dist,
+                                 int max_support);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DIST_POOLING_H_

@@ -1,0 +1,165 @@
+// Pooling -> convolution -> EV consistency: re-quantizing supports with
+// PoolSupport must preserve means exactly (pooled bins are conditional
+// means) and can only shrink variances (law of total variance), and those
+// invariants must survive the convolution layer and the exact EV engines
+// that adaptive partial cleaning feeds through
+// CleaningProblem::ReplaceDistribution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ev.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "data/synthetic.h"
+#include "dist/convolution.h"
+#include "dist/normal.h"
+#include "dist/pooling.h"
+#include "util/random.h"
+
+namespace factcheck {
+namespace {
+
+DiscreteDistribution WideDistribution(Rng& rng, int support) {
+  std::vector<double> values(support), probs(support);
+  for (int k = 0; k < support; ++k) {
+    values[k] = rng.Uniform(-50, 150);
+    probs[k] = rng.Uniform(0.01, 1.0);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+TEST(PoolSupportTest, IdentityWhenSupportAlreadySmall) {
+  DiscreteDistribution d({1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  EXPECT_TRUE(PoolSupport(d, 3) == d);
+  EXPECT_TRUE(PoolSupport(d, 10) == d);
+}
+
+TEST(PoolSupportTest, HitsRequestedSupportSize) {
+  DiscreteDistribution d = QuantizeNormal(0.0, 1.0, 32);
+  for (int k : {1, 2, 5, 31}) {
+    EXPECT_EQ(PoolSupport(d, k).support_size(), k) << k;
+  }
+}
+
+TEST(PoolSupportTest, PreservesMeanExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    DiscreteDistribution d = WideDistribution(rng, rng.UniformInt(4, 40));
+    for (int k : {1, 2, 3, 6}) {
+      DiscreteDistribution pooled = PoolSupport(d, k);
+      EXPECT_LE(pooled.support_size(), k);
+      EXPECT_NEAR(pooled.Mean(), d.Mean(), 1e-12 * (1.0 + std::abs(d.Mean())))
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(PoolSupportTest, NeverIncreasesVarianceAndDriftVanishes) {
+  // Law of total variance: pooled variance = Var - E[within-bin Var] <= Var;
+  // as the bin count grows the deficit must fade.
+  DiscreteDistribution d = QuantizeNormal(100.0, 15.0, 64);
+  double full = d.Variance();
+  double prev = -1.0;
+  for (int k : {2, 4, 8, 16, 32}) {
+    double pooled = PoolSupport(d, k).Variance();
+    EXPECT_LE(pooled, full + 1e-9) << k;
+    EXPECT_GE(pooled, prev - 1e-9) << k;  // finer pooling keeps more variance
+    prev = pooled;
+  }
+  EXPECT_NEAR(PoolSupport(d, 32).Variance(), full, 0.05 * full);
+}
+
+TEST(PoolSupportTest, TinyTailMassIsNeverDropped) {
+  // A far-out atom with mass below the bin-quota epsilon must fold into
+  // the last bin, not vanish: dropping it would shift the mean by
+  // ~1e-4 here and break the exact-mean contract.
+  DiscreteDistribution d({0.0, 1.0, 2.0, 3.0, 1e9},
+                         {0.25, 0.25, 0.25, 0.25 - 1e-13, 1e-13});
+  for (int k : {1, 2, 4}) {
+    DiscreteDistribution pooled = PoolSupport(d, k);
+    EXPECT_NEAR(pooled.Mean(), d.Mean(), 1e-9) << k;
+    double total = 0.0;
+    for (double p : pooled.probs()) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << k;
+  }
+}
+
+TEST(PoolSupportTest, PointMassPoolingIsTotalCollapse) {
+  DiscreteDistribution d({1.0, 3.0, 5.0}, {0.25, 0.5, 0.25});
+  DiscreteDistribution pooled = PoolSupport(d, 1);
+  EXPECT_TRUE(pooled.is_point_mass());
+  EXPECT_DOUBLE_EQ(pooled.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(pooled.Variance(), 0.0);
+}
+
+TEST(RoundTripTest, ConvolutionOfPooledTermsKeepsMeanBoundsVariance) {
+  Rng rng(23);
+  std::vector<DiscreteDistribution> originals, pooled;
+  std::vector<double> coeffs = {1.0, -2.0, 0.5, 1.0, 3.0};
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(WideDistribution(rng, 12));
+    pooled.push_back(PoolSupport(originals.back(), 4));
+  }
+  std::vector<WeightedTerm> t_orig, t_pool;
+  for (int i = 0; i < 5; ++i) {
+    t_orig.push_back({&originals[i], coeffs[i]});
+    t_pool.push_back({&pooled[i], coeffs[i]});
+  }
+  SumDistribution s_orig = ConvolveSum(t_orig);
+  SumDistribution s_pool = ConvolveSum(t_pool);
+  // Means are additive and each term's mean survived pooling exactly.
+  EXPECT_NEAR(SumMean(s_pool), SumMean(s_orig),
+              1e-10 * (1.0 + std::abs(SumMean(s_orig))));
+  // Variances are additive in c_i^2 Var[X_i]; each term only shrank.
+  EXPECT_LE(SumVariance(s_pool), SumVariance(s_orig) + 1e-9);
+  // The drift is bounded by the summed per-term losses.
+  double loss = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    loss += coeffs[i] * coeffs[i] *
+            (originals[i].Variance() - pooled[i].Variance());
+  }
+  EXPECT_NEAR(SumVariance(s_orig) - SumVariance(s_pool), loss,
+              1e-8 * (1.0 + loss));
+}
+
+TEST(RoundTripTest, SumToDiscreteRoundTripsThroughPooling) {
+  DiscreteDistribution die({1, 2, 3, 4, 5, 6}, std::vector<double>(6, 1.0 / 6));
+  SumDistribution two_dice = ConvolveSum({{&die, 1.0}, {&die, 1.0}});
+  DiscreteDistribution back = SumToDiscrete(two_dice);
+  DiscreteDistribution coarse = PoolSupport(back, 5);
+  EXPECT_NEAR(coarse.Mean(), 7.0, 1e-12);
+  EXPECT_LE(coarse.Variance(), back.Variance() + 1e-12);
+}
+
+TEST(RoundTripTest, ReplaceDistributionWithPooledKeepsEvInvariants) {
+  // The adaptive partial-cleaning path: swap every distribution for its
+  // pooled coarsening via ReplaceDistribution, then compare the exact EV
+  // engine across the two problems on a linear query.
+  CleaningProblem original = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 29,
+      {.size = 6, .min_support = 5, .max_support = 8});
+  CleaningProblem coarse = original;
+  for (int i = 0; i < coarse.size(); ++i) {
+    coarse.ReplaceDistribution(i, PoolSupport(original.object(i).dist, 3));
+  }
+  LinearQueryFunction f =
+      LinearQueryFunction::FromDense({1.0, -1.0, 2.0, 0.5, -0.5, 1.0});
+  // f is linear, so E[f] depends only on the (exactly preserved) means.
+  EXPECT_NEAR(ExpectedValue(f, coarse), ExpectedValue(f, original), 1e-9);
+  // Prior variance is sum a_i^2 Var[X_i]: pooling can only remove variance.
+  EXPECT_LE(PriorVariance(f, coarse), PriorVariance(f, original) + 1e-9);
+  // And the same ordering holds for EV(T) on every cleaned set tried.
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<int> cleaned =
+        rng.SampleWithoutReplacement(6, rng.UniformInt(0, 6));
+    EXPECT_LE(ExpectedPosteriorVariance(f, coarse, cleaned),
+              ExpectedPosteriorVariance(f, original, cleaned) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace factcheck
