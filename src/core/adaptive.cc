@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/engine.h"
 #include "core/greedy.h"
 #include "core/maxpr.h"
 #include "util/check.h"
@@ -22,7 +23,8 @@ double ScaledProbBelow(const DiscreteDistribution& dist, double coeff,
 AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
                                       const LinearQueryFunction& f,
                                       double tau, double budget,
-                                      const std::vector<double>& truth) {
+                                      const std::vector<double>& truth,
+                                      ThreadPool* pool) {
   FC_CHECK_EQ(static_cast<int>(truth.size()), problem.size());
   FC_CHECK_GE(tau, 0.0);
   std::vector<double> x = problem.CurrentValues();
@@ -37,19 +39,37 @@ AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
       result.succeeded = true;
       return result;
     }
-    // One-step look-ahead: probability that revealing i alone succeeds.
+    // One-step look-ahead: probability that revealing i alone succeeds,
+    // computed as one engine batch over the eligible singletons (the
+    // revealed state changes every step, so each step gets a fresh
+    // engine; memoization is across the step's candidates only).
+    std::vector<int> eligible;
+    std::vector<std::vector<int>> singles;
+    for (int i : f.References()) {
+      if (cleaned[i] || result.cost_used + costs[i] > budget) continue;
+      if (problem.object(i).dist.is_point_mass()) continue;
+      eligible.push_back(i);
+      singles.push_back({i});
+    }
+    if (eligible.empty()) return result;  // out of budget or candidates
+    double value = result.final_value;
+    EvalEngine lookahead(
+        [&](const std::vector<int>& t) {
+          FC_CHECK_EQ(static_cast<int>(t.size()), 1);
+          int i = t[0];
+          double a = f.Coefficient(i);
+          double rest = value - a * x[i];
+          return ScaledProbBelow(problem.object(i).dist, a, target - rest);
+        },
+        OptimizeDirection::kMaximize, pool);
+    std::vector<double> probs = lookahead.EvaluateBatch(singles);
     int best = -1;
     double best_score = -1.0;
     bool best_by_prob = false;
-    for (int i : f.References()) {
-      if (cleaned[i] || result.cost_used + costs[i] > budget) continue;
-      const DiscreteDistribution& dist = problem.object(i).dist;
-      if (dist.is_point_mass()) continue;
-      double a = f.Coefficient(i);
-      double rest = result.final_value - a * x[i];
-      double prob = ScaledProbBelow(dist, a, target - rest);
-      if (prob > 0.0) {
-        double score = prob / costs[i];
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      int i = eligible[j];
+      if (probs[j] > 0.0) {
+        double score = probs[j] / costs[i];
         if (!best_by_prob || score > best_score) {
           best = i;
           best_score = score;
@@ -58,14 +78,15 @@ AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
       } else if (!best_by_prob) {
         // No single reveal can succeed; explore by variance density so a
         // later combination still can.
-        double score = a * a * dist.Variance() / costs[i];
+        double a = f.Coefficient(i);
+        double score = a * a * problem.object(i).dist.Variance() / costs[i];
         if (score > best_score) {
           best = i;
           best_score = score;
         }
       }
     }
-    if (best < 0) return result;  // out of budget or candidates
+    FC_CHECK_GE(best, 0);  // eligible non-empty, so the variance tier set it
     cleaned[best] = true;
     x[best] = truth[best];
     result.cost_used += costs[best];

@@ -18,6 +18,8 @@
 
 namespace factcheck {
 
+class ThreadPool;
+
 struct AdaptiveRunResult {
   bool succeeded = false;      // f dropped below f(u) - tau
   double cost_used = 0.0;
@@ -29,11 +31,14 @@ struct AdaptiveRunResult {
 // Runs the adaptive policy against a hidden `truth` vector (one entry per
 // object).  `f` must be linear; the target is f(current) - tau, fixed at
 // the start.  Each step's one-step success probability is computed exactly
-// from the candidate's discrete error distribution.
+// from the candidate's discrete error distribution; the step's candidates
+// go through the evaluation engine as one batch, spread across `pool`
+// when one is provided (bit-stable for any pool size).
 AdaptiveRunResult AdaptiveMaxPrPolicy(const CleaningProblem& problem,
                                       const LinearQueryFunction& f,
                                       double tau, double budget,
-                                      const std::vector<double>& truth);
+                                      const std::vector<double>& truth,
+                                      ThreadPool* pool = nullptr);
 
 // Non-adaptive baseline with the same interface: commits upfront to the
 // GreedyMaxPr-style set (closed normal form), then reveals it in pick

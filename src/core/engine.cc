@@ -1,0 +1,256 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace {
+
+std::vector<int> CanonicalKey(std::vector<int> cleaned) {
+  std::sort(cleaned.begin(), cleaned.end());
+  cleaned.erase(std::unique(cleaned.begin(), cleaned.end()), cleaned.end());
+  return cleaned;
+}
+
+}  // namespace
+
+std::size_t EvalEngine::KeyHash::operator()(
+    const std::vector<int>& key) const {
+  // FNV-1a over the index sequence.
+  std::size_t h = 1469598103934665603ull;
+  for (int x : key) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(x));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+EvalEngine::EvalEngine(SetObjective objective, OptimizeDirection direction,
+                       ThreadPool* pool)
+    : objective_(std::move(objective)), direction_(direction), pool_(pool) {
+  FC_CHECK(objective_ != nullptr);
+}
+
+double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
+  std::vector<int> key = CanonicalKey(cleaned);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  double value = objective_(key);
+  ++stats_.evaluations;
+  cache_.emplace(std::move(key), value);
+  return value;
+}
+
+std::vector<double> EvalEngine::EvaluateBatch(
+    const std::vector<std::vector<int>>& candidates) {
+  const int n = static_cast<int>(candidates.size());
+  std::vector<double> out(n, 0.0);
+  // Resolve cache hits and dedupe the misses directly in the cache: each
+  // unique miss is inserted once as a pending node and its value filled
+  // in below, so every key is stored exactly once.  Node pointers stay
+  // valid across rehashing; first-seen order keeps evaluation (and the
+  // stats) deterministic.
+  using CacheNode = std::pair<const std::vector<int>, double>;
+  std::vector<int> miss_slot(n, -1);
+  std::vector<CacheNode*> pending;
+  std::unordered_map<const CacheNode*, int> pending_index;
+  for (int j = 0; j < n; ++j) {
+    auto [it, inserted] =
+        cache_.try_emplace(CanonicalKey(candidates[j]), 0.0);
+    if (inserted) {
+      miss_slot[j] = static_cast<int>(pending.size());
+      pending_index.emplace(&*it, miss_slot[j]);
+      pending.push_back(&*it);
+      continue;
+    }
+    auto dup = pending_index.find(&*it);
+    if (dup != pending_index.end()) {
+      miss_slot[j] = dup->second;  // duplicate within this batch
+    } else {
+      ++stats_.cache_hits;
+      out[j] = it->second;
+    }
+  }
+  const int misses = static_cast<int>(pending.size());
+  std::vector<double> miss_values(misses, 0.0);
+  // Each task computes one whole objective value into its own slot; the
+  // gather below walks slots in index order, so the result is bit-stable
+  // for any pool size.  If the objective throws (the pool transports task
+  // exceptions), the still-unfilled pending nodes must not survive as
+  // bogus 0.0 "hits" — drop them before rethrowing.
+  try {
+    if (pool_ != nullptr && misses > 1) {
+      pool_->ParallelFor(misses, [&](int m) {
+        miss_values[m] = objective_(pending[m]->first);
+      });
+    } else {
+      for (int m = 0; m < misses; ++m) {
+        miss_values[m] = objective_(pending[m]->first);
+      }
+    }
+  } catch (...) {
+    for (CacheNode* node : pending) cache_.erase(node->first);
+    throw;
+  }
+  stats_.evaluations += misses;
+  for (int m = 0; m < misses; ++m) pending[m]->second = miss_values[m];
+  for (int j = 0; j < n; ++j) {
+    if (miss_slot[j] >= 0) out[j] = miss_values[miss_slot[j]];
+  }
+  return out;
+}
+
+Selection EvalEngine::PlainGreedy(const std::vector<double>& costs,
+                                  double budget,
+                                  const GreedyOptions& options) {
+  return Greedy(costs, budget, options, /*lazy=*/false);
+}
+
+Selection EvalEngine::LazyGreedy(const std::vector<double>& costs,
+                                 double budget,
+                                 const GreedyOptions& options) {
+  return Greedy(costs, budget, options, /*lazy=*/true);
+}
+
+Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
+                             const GreedyOptions& options, bool lazy) {
+  const int n = static_cast<int>(costs.size());
+  const double sign = direction_ == OptimizeDirection::kMaximize ? 1.0 : -1.0;
+  const bool stop_when_no_gain = direction_ == OptimizeDirection::kMaximize;
+  Selection sel;
+  std::vector<bool> taken(n, false);
+  double current = Evaluate({});
+
+  auto score_of = [&](double value, int i) {
+    double benefit = sign * (value - current);
+    return options.cost_aware ? benefit / costs[i] : benefit;
+  };
+
+  if (!lazy) {
+    // Full rescan every round, exactly the Algorithm-1 adaptive loop; the
+    // round's candidates go through the engine as one batch.
+    while (true) {
+      std::vector<int> cand;
+      std::vector<std::vector<int>> sets;
+      for (int i = 0; i < n; ++i) {
+        if (taken[i] || sel.cost + costs[i] > budget) continue;
+        cand.push_back(i);
+        std::vector<int> with = sel.cleaned;
+        with.push_back(i);
+        sets.push_back(std::move(with));
+      }
+      if (cand.empty()) break;  // nothing affordable remains
+      std::vector<double> values = EvaluateBatch(sets);
+      int best = -1;
+      double best_score = 0.0, best_value = 0.0;
+      for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
+        double score = score_of(values[j], cand[j]);
+        if (best < 0 || score > best_score) {
+          best = j;
+          best_score = score;
+          best_value = values[j];
+        }
+      }
+      if (stop_when_no_gain && sign * (best_value - current) <= 0.0) break;
+      int pick = cand[best];
+      taken[pick] = true;
+      sel.cleaned.push_back(pick);
+      sel.cost += costs[pick];
+      current = best_value;
+    }
+  } else {
+    // CELF: `gen` counts picks; an entry is fresh iff its score was
+    // computed against the current cleaned set.  Stale entries are upper
+    // bounds under submodularity, so a fresh entry at the top of the heap
+    // is the round's argmax.  Ties break toward the lower index, matching
+    // the ascending scan of the plain loop.
+    struct Entry {
+      double score;
+      double value;
+      int index;
+      int gen;
+    };
+    auto worse = [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return a.index > b.index;
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(
+        worse);
+    {
+      std::vector<int> cand;
+      std::vector<std::vector<int>> sets;
+      for (int i = 0; i < n; ++i) {
+        if (costs[i] > budget) continue;
+        cand.push_back(i);
+        sets.push_back({i});
+      }
+      std::vector<double> values = EvaluateBatch(sets);
+      for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
+        heap.push({score_of(values[j], cand[j]), values[j], cand[j], 0});
+      }
+    }
+    int gen = 0;
+    while (true) {
+      int pick = -1;
+      double pick_value = 0.0;
+      while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        // The accumulated cost only grows, so an unaffordable candidate
+        // can be dropped permanently.
+        if (taken[e.index] || sel.cost + costs[e.index] > budget) continue;
+        if (e.gen == gen) {
+          pick = e.index;
+          pick_value = e.value;
+          break;
+        }
+        std::vector<int> with = sel.cleaned;
+        with.push_back(e.index);
+        double value = Evaluate(with);
+        heap.push({score_of(value, e.index), value, e.index, gen});
+      }
+      if (pick < 0) break;
+      if (stop_when_no_gain && sign * (pick_value - current) <= 0.0) break;
+      taken[pick] = true;
+      sel.cleaned.push_back(pick);
+      sel.cost += costs[pick];
+      current = pick_value;
+      ++gen;
+    }
+  }
+
+  if (options.final_check && !sel.cleaned.empty()) {
+    // Lines 5-8 of Algorithm 1: if some affordable single object alone
+    // beats the accumulated set, take it instead.  The singletons were
+    // evaluated in round one, so this batch is all cache hits.
+    std::vector<int> cand;
+    std::vector<std::vector<int>> sets;
+    for (int i = 0; i < n; ++i) {
+      if (taken[i] || costs[i] > budget) continue;
+      cand.push_back(i);
+      sets.push_back({i});
+    }
+    std::vector<double> values = EvaluateBatch(sets);
+    int best = -1;
+    double best_value = 0.0;
+    for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
+      if (best < 0 || sign * values[j] > sign * best_value) {
+        best = j;
+        best_value = values[j];
+      }
+    }
+    if (best >= 0 && sign * best_value > sign * current) {
+      sel.cleaned = {cand[best]};
+      sel.cost = costs[cand[best]];
+    }
+  }
+  FinishSelection(sel);
+  return sel;
+}
+
+}  // namespace factcheck

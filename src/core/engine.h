@@ -1,0 +1,106 @@
+// EvalEngine: the shared scenario-evaluation engine behind every adaptive
+// selection algorithm (greedy, MaxPr, Monte Carlo greedy, adaptive
+// policies).  It centralizes the three concerns the algorithms used to
+// reimplement privately:
+//
+//   * memoization — EV / surprise-probability values are cached keyed by
+//     the canonical (sorted, duplicate-free) cleaned-set signature, so the
+//     Algorithm-1 final check and repeated candidate probes are free;
+//   * batch evaluation — each greedy round's candidate sets are evaluated
+//     as one batch, optionally spread across a fixed-size ThreadPool.
+//     Every objective value is computed entirely inside one task and the
+//     batch is reduced in candidate-index order, so results are
+//     bit-identical for any pool size (including none);
+//   * lazy (CELF) greedy — a max-heap of stale upper bounds on the
+//     benefit-per-cost score; a candidate is only re-evaluated when it
+//     reaches the top of the heap, which on submodular objectives selects
+//     exactly the plain greedy's set with far fewer evaluations.
+//
+// The engine itself is single-threaded at the API level (call it from one
+// thread); the objective must tolerate concurrent invocations when a pool
+// is attached (the exact evaluators are pure, and the Monte Carlo
+// objectives re-seed a local Rng per call, so all shipped objectives do).
+// brute_force stays off the engine on purpose: it is the oracle the
+// equivalence tests compare against.
+
+#ifndef FACTCHECK_CORE_ENGINE_H_
+#define FACTCHECK_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/greedy.h"
+#include "util/thread_pool.h"
+
+namespace factcheck {
+
+// Whether the driver seeks the smallest (MinVar) or largest (MaxPr)
+// objective value.  Maximize mode stops early once no candidate improves
+// the objective, matching AdaptiveGreedyMaximize.
+enum class OptimizeDirection { kMinimize, kMaximize };
+
+struct EngineStats {
+  std::int64_t evaluations = 0;  // objective invocations (cache misses)
+  std::int64_t cache_hits = 0;   // lookups served from the memo table
+};
+
+class EvalEngine {
+ public:
+  // `objective` maps a canonical cleaned set to the objective value; it is
+  // retained for the engine's lifetime.  `pool` (optional, not owned) must
+  // outlive the engine.
+  EvalEngine(SetObjective objective, OptimizeDirection direction,
+             ThreadPool* pool = nullptr);
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  // Memoized objective value of `cleaned` (any order, duplicates ok).
+  double Evaluate(const std::vector<int>& cleaned);
+
+  // Memoized values for a batch of candidate sets; duplicates within the
+  // batch are computed once.  With a pool attached, uncached candidates
+  // are evaluated concurrently; the result vector is always in candidate
+  // order and bit-identical to the serial evaluation.
+  std::vector<double> EvaluateBatch(
+      const std::vector<std::vector<int>>& candidates);
+
+  // The Algorithm-1 adaptive greedy, evaluating every remaining candidate
+  // each round (as one engine batch).  Behaviourally identical to the
+  // pre-engine private loops.
+  Selection PlainGreedy(const std::vector<double>& costs, double budget,
+                        const GreedyOptions& options = {});
+
+  // CELF lazy greedy: seeds the heap with every candidate's first-round
+  // benefit (one pooled batch), then only refreshes the entries whose
+  // stale bound reaches the top.  Refreshes are one-at-a-time by
+  // construction, so the pool accelerates the seeding round only; the
+  // lazy win itself is the drop in evaluation count.  Selects the same
+  // set as PlainGreedy whenever marginal benefits are non-increasing in
+  // the growing cleaned set (submodularity; the property suite checks
+  // the paper's instance families).
+  Selection LazyGreedy(const std::vector<double>& costs, double budget,
+                       const GreedyOptions& options = {});
+
+  const EngineStats& stats() const { return stats_; }
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<int>& key) const;
+  };
+
+  Selection Greedy(const std::vector<double>& costs, double budget,
+                   const GreedyOptions& options, bool lazy);
+
+  SetObjective objective_;
+  OptimizeDirection direction_;
+  ThreadPool* pool_;
+  std::unordered_map<std::vector<int>, double, KeyHash> cache_;
+  EngineStats stats_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_ENGINE_H_

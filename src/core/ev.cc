@@ -123,4 +123,11 @@ double MarginalVarianceReduction(const QueryFunction& f,
          ExpectedPosteriorVariance(f, problem, with);
 }
 
+SetObjective MinVarObjective(const QueryFunction& f,
+                             const CleaningProblem& problem) {
+  return [&f, &problem](const std::vector<int>& cleaned) {
+    return ExpectedPosteriorVariance(f, problem, cleaned);
+  };
+}
+
 }  // namespace factcheck

@@ -46,6 +46,17 @@ double MarginalVarianceReduction(const QueryFunction& f,
                                  const CleaningProblem& problem,
                                  const std::vector<int>& cleaned, int i);
 
+// Maps a candidate cleaning set T to an objective value (e.g. EV(T)).
+// The evaluation engine always invokes it with a canonical (sorted,
+// duplicate-free) set.
+using SetObjective = std::function<double(const std::vector<int>&)>;
+
+// EV(T) packaged as an engine-pluggable objective.  `f` and `problem` are
+// captured by reference and must outlive the callable; it is pure, so it
+// is safe for the engine's thread pool to invoke concurrently.
+SetObjective MinVarObjective(const QueryFunction& f,
+                             const CleaningProblem& problem);
+
 }  // namespace factcheck
 
 #endif  // FACTCHECK_CORE_EV_H_

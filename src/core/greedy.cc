@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace factcheck {
-namespace {
 
 void FinishSelection(Selection& sel) {
   sel.order = sel.cleaned;
   std::sort(sel.cleaned.begin(), sel.cleaned.end());
 }
+
+namespace {
 
 std::vector<double> ReferencedVariances(const QueryFunction& f,
                                         const CleaningProblem& problem) {
@@ -81,62 +83,16 @@ Selection StaticGreedy(const std::vector<double>& benefits,
 
 namespace {
 
-// Shared engine for the adaptive variants; `sign` is +1 for maximize and
-// -1 for minimize; stops early in maximize mode once nothing improves.
+// Both adaptive variants run on the shared evaluation engine: memoized
+// objective values, one batch per round (parallel when options.pool is
+// set), and optionally the CELF lazy driver.
 Selection AdaptiveGreedy(const std::vector<double>& costs, double budget,
-                         const SetObjective& objective, double sign,
-                         bool stop_when_no_gain,
+                         const SetObjective& objective,
+                         OptimizeDirection direction,
                          const GreedyOptions& options) {
-  int n = static_cast<int>(costs.size());
-  Selection sel;
-  std::vector<bool> taken(n, false);
-  double current = objective({});
-  while (true) {
-    int best = -1;
-    double best_score = 0.0;  // benefit / cost of best candidate
-    double best_value = 0.0;  // objective after adding best
-    for (int i = 0; i < n; ++i) {
-      if (taken[i] || sel.cost + costs[i] > budget) continue;
-      std::vector<int> candidate = sel.cleaned;
-      candidate.push_back(i);
-      double value = objective(candidate);
-      double benefit = sign * (value - current);
-      double score =
-          options.cost_aware ? benefit / costs[i] : benefit;
-      if (best < 0 || score > best_score) {
-        best = i;
-        best_score = score;
-        best_value = value;
-      }
-    }
-    if (best < 0) break;  // nothing affordable remains
-    if (stop_when_no_gain && sign * (best_value - current) <= 0.0) break;
-    taken[best] = true;
-    sel.cleaned.push_back(best);
-    sel.cost += costs[best];
-    current = best_value;
-  }
-  if (options.final_check && !sel.cleaned.empty()) {
-    // Lines 5-8 of Algorithm 1, interpreted on the objective directly: if
-    // some affordable single object alone beats the accumulated set, take
-    // it instead.
-    int best = -1;
-    double best_value = 0.0;
-    for (int i = 0; i < n; ++i) {
-      if (taken[i] || costs[i] > budget) continue;
-      double value = objective({i});
-      if (best < 0 || sign * value > sign * best_value) {
-        best = i;
-        best_value = value;
-      }
-    }
-    if (best >= 0 && sign * best_value > sign * current) {
-      sel.cleaned = {best};
-      sel.cost = costs[best];
-    }
-  }
-  FinishSelection(sel);
-  return sel;
+  EvalEngine engine(objective, direction, options.pool);
+  return options.lazy ? engine.LazyGreedy(costs, budget, options)
+                      : engine.PlainGreedy(costs, budget, options);
 }
 
 }  // namespace
@@ -144,15 +100,15 @@ Selection AdaptiveGreedy(const std::vector<double>& costs, double budget,
 Selection AdaptiveGreedyMinimize(const std::vector<double>& costs,
                                  double budget, const SetObjective& objective,
                                  const GreedyOptions& options) {
-  return AdaptiveGreedy(costs, budget, objective, /*sign=*/-1.0,
-                        /*stop_when_no_gain=*/false, options);
+  return AdaptiveGreedy(costs, budget, objective,
+                        OptimizeDirection::kMinimize, options);
 }
 
 Selection AdaptiveGreedyMaximize(const std::vector<double>& costs,
                                  double budget, const SetObjective& objective,
                                  const GreedyOptions& options) {
-  return AdaptiveGreedy(costs, budget, objective, /*sign=*/+1.0,
-                        /*stop_when_no_gain=*/true, options);
+  return AdaptiveGreedy(costs, budget, objective,
+                        OptimizeDirection::kMaximize, options);
 }
 
 Selection GreedyNaive(const QueryFunction& f, const CleaningProblem& problem,
@@ -170,19 +126,16 @@ Selection GreedyNaiveCostBlind(const QueryFunction& f,
 }
 
 Selection GreedyMinVar(const QueryFunction& f, const CleaningProblem& problem,
-                       double budget) {
-  return AdaptiveGreedyMinimize(
-      problem.Costs(), budget, [&](const std::vector<int>& t) {
-        return ExpectedPosteriorVariance(f, problem, t);
-      });
+                       double budget, const GreedyOptions& options) {
+  return AdaptiveGreedyMinimize(problem.Costs(), budget,
+                                MinVarObjective(f, problem), options);
 }
 
 Selection GreedyMaxPr(const QueryFunction& f, const CleaningProblem& problem,
-                      double budget, double tau) {
-  return AdaptiveGreedyMaximize(
-      problem.Costs(), budget, [&](const std::vector<int>& t) {
-        return SurpriseProbabilityExact(f, problem, t, tau);
-      });
+                      double budget, double tau,
+                      const GreedyOptions& options) {
+  return AdaptiveGreedyMaximize(problem.Costs(), budget,
+                                MaxPrObjective(f, problem, tau), options);
 }
 
 Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
@@ -190,21 +143,23 @@ Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
                             const std::vector<double>& stddevs,
                             const std::vector<double>& current,
                             const std::vector<double>& costs, double budget,
-                            double tau) {
+                            double tau, const GreedyOptions& options) {
   return AdaptiveGreedyMaximize(
-      costs, budget, [&](const std::vector<int>& t) {
-        return SurpriseProbabilityNormal(f, means, stddevs, current, t, tau);
-      });
+      costs, budget, MaxPrNormalObjective(f, means, stddevs, current, tau),
+      options);
 }
 
 Selection GreedyDep(const LinearQueryFunction& f,
                     const MultivariateNormal& model,
-                    const std::vector<double>& costs, double budget) {
+                    const std::vector<double>& costs, double budget,
+                    const GreedyOptions& options) {
   std::vector<double> a = f.DenseWeights(model.dim());
   return AdaptiveGreedyMinimize(
-      costs, budget, [&](const std::vector<int>& t) {
+      costs, budget,
+      [&model, a = std::move(a)](const std::vector<int>& t) {
         return model.ExpectedConditionalVariance(a, t);
-      });
+      },
+      options);
 }
 
 Selection GreedyMinVarLinearIndependent(const LinearQueryFunction& f,

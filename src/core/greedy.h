@@ -25,6 +25,8 @@
 
 namespace factcheck {
 
+class ThreadPool;
+
 // The outcome of a selection algorithm.
 struct Selection {
   std::vector<int> cleaned;  // object indices, ascending
@@ -32,8 +34,12 @@ struct Selection {
   double cost = 0.0;         // sum of their cleaning costs
 };
 
-// Maps a candidate cleaning set T to the objective value (e.g. EV(T)).
-using SetObjective = std::function<double(const std::vector<int>&)>;
+// SetObjective (the T -> objective-value map the adaptive variants drive)
+// lives in core/ev.h, next to the evaluators that implement it.
+
+// Establishes the Selection post-condition shared by every driver:
+// `order` holds the pick order, `cleaned` the same indices sorted.
+void FinishSelection(Selection& sel);
 
 struct GreedyOptions {
   // Run the Algorithm-1 lines 5-8 single-item check.
@@ -41,6 +47,15 @@ struct GreedyOptions {
   // Divide benefits by cost when ranking (beta(o)/c_o); the cost-blind
   // baseline disables this.
   bool cost_aware = true;
+  // Drive the selection with the CELF lazy evaluator (core/engine) instead
+  // of a full candidate rescan per round.  Selects the same set whenever
+  // marginal benefits are non-increasing (submodular objectives).
+  bool lazy = false;
+  // Optional evaluation pool (not owned); each round's candidate batch is
+  // spread across it with bit-stable results for any pool size.  In lazy
+  // mode only the seeding round is a batch — CELF refreshes are
+  // inherently one-at-a-time, so the pool does not speed up later rounds.
+  ThreadPool* pool = nullptr;
 };
 
 // Uniformly random selection (skips objects that no longer fit).
@@ -52,10 +67,14 @@ Selection StaticGreedy(const std::vector<double>& benefits,
                        const std::vector<double>& costs, double budget,
                        const GreedyOptions& options = {});
 
-// Adaptive greedy that re-estimates marginal benefits after every pick.
-// `objective` is evaluated O(n^2) times.  Minimize: picks by
-// (obj(T) - obj(T+{i})) / c_i, stops when the budget is exhausted; the
-// final check swaps to the best single item if it alone beats T.
+// Adaptive greedy that re-estimates marginal benefits after every pick,
+// running on the shared evaluation engine (core/engine): objective values
+// are memoized per cleaned set, each round is evaluated as one batch
+// (parallel when options.pool is set), and options.lazy switches to the
+// CELF driver.  Without the lazy flag `objective` is evaluated O(n^2)
+// times.  Minimize: picks by (obj(T) - obj(T+{i})) / c_i, stops when the
+// budget is exhausted; the final check swaps to the best single item if it
+// alone beats T.
 Selection AdaptiveGreedyMinimize(const std::vector<double>& costs,
                                  double budget, const SetObjective& objective,
                                  const GreedyOptions& options = {});
@@ -78,11 +97,12 @@ Selection GreedyNaiveCostBlind(const QueryFunction& f,
 
 // GreedyMinVar over the exact enumeration EV (general f, independent X).
 Selection GreedyMinVar(const QueryFunction& f, const CleaningProblem& problem,
-                       double budget);
+                       double budget, const GreedyOptions& options = {});
 
 // GreedyMaxPr over exact enumeration (general f, independent discrete X).
 Selection GreedyMaxPr(const QueryFunction& f, const CleaningProblem& problem,
-                      double budget, double tau);
+                      double budget, double tau,
+                      const GreedyOptions& options = {});
 
 // GreedyMaxPr in the normal closed form (affine f, independent normals).
 Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
@@ -90,13 +110,14 @@ Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
                             const std::vector<double>& stddevs,
                             const std::vector<double>& current,
                             const std::vector<double>& costs, double budget,
-                            double tau);
+                            double tau, const GreedyOptions& options = {});
 
 // GreedyDep: adaptive MinVar greedy that knows the full covariance matrix
 // (linear f); EV is the Schur-complement conditional variance.
 Selection GreedyDep(const LinearQueryFunction& f,
                     const MultivariateNormal& model,
-                    const std::vector<double>& costs, double budget);
+                    const std::vector<double>& costs, double budget,
+                    const GreedyOptions& options = {});
 
 // Covariance-unaware MinVar greedy for linear f under an MVN whose off-
 // diagonal entries it cannot see (treats values as independent).

@@ -49,6 +49,24 @@ double SurpriseProbabilityNormal(const LinearQueryFunction& f,
   return StdNormalCdf((-tau - shift) / std::sqrt(variance));
 }
 
+SetObjective MaxPrObjective(const QueryFunction& f,
+                            const CleaningProblem& problem, double tau) {
+  return [&f, &problem, tau](const std::vector<int>& cleaned) {
+    return SurpriseProbabilityExact(f, problem, cleaned, tau);
+  };
+}
+
+SetObjective MaxPrNormalObjective(const LinearQueryFunction& f,
+                                  std::vector<double> means,
+                                  std::vector<double> stddevs,
+                                  std::vector<double> current, double tau) {
+  return [&f, means = std::move(means), stddevs = std::move(stddevs),
+          current = std::move(current), tau](const std::vector<int>& cleaned) {
+    return SurpriseProbabilityNormal(f, means, stddevs, current, cleaned,
+                                     tau);
+  };
+}
+
 std::vector<double> MaxPrModularWeights(const LinearQueryFunction& f,
                                         const std::vector<double>& stddevs,
                                         int n) {

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/ev.h"
 #include "core/problem.h"
 #include "core/query_function.h"
 
@@ -36,6 +37,21 @@ double SurpriseProbabilityNormal(const LinearQueryFunction& f,
                                  const std::vector<double>& stddevs,
                                  const std::vector<double>& current,
                                  const std::vector<int>& cleaned, double tau);
+
+// The exact MaxPr objective packaged for the evaluation engine: T maps to
+// SurpriseProbabilityExact(f, problem, T, tau).  `f` and `problem` are
+// captured by reference and must outlive the callable; pure, so safe for
+// concurrent invocation by the engine's thread pool.
+SetObjective MaxPrObjective(const QueryFunction& f,
+                            const CleaningProblem& problem, double tau);
+
+// The normal closed-form MaxPr objective for the engine; all vectors are
+// captured by value so the callable is self-contained (apart from `f`).
+SetObjective MaxPrNormalObjective(const LinearQueryFunction& f,
+                                  std::vector<double> means,
+                                  std::vector<double> stddevs,
+                                  std::vector<double> current,
+                                  double tau);
 
 // The modular MaxPr weights w_i = a_i^2 sigma_i^2 of Lemma 3.1 (dense,
 // length n).

@@ -5,29 +5,34 @@ namespace factcheck {
 Selection GreedyMinVarMonteCarlo(const QueryFunction& f,
                                  const CleaningProblem& problem,
                                  double budget, int outer, int inner,
-                                 Rng& rng) {
+                                 Rng& rng, const GreedyOptions& options) {
   uint64_t run_seed = rng.engine()();
   return AdaptiveGreedyMinimize(
-      problem.Costs(), budget, [&, run_seed](const std::vector<int>& t) {
+      problem.Costs(), budget,
+      [&, run_seed](const std::vector<int>& t) {
         // Common random numbers: every evaluation replays the same
         // substream, so the greedy compares candidates on correlated
-        // estimates instead of independent noise.
+        // estimates instead of independent noise.  The Rng is local to
+        // the call, so concurrent engine batches stay deterministic.
         Rng eval_rng(run_seed);
         return MonteCarloEV(f, problem, t, outer, inner, eval_rng);
-      });
+      },
+      options);
 }
 
 Selection GreedyMaxPrMonteCarlo(const QueryFunction& f,
                                 const CleaningProblem& problem,
                                 double budget, double tau, int samples,
-                                Rng& rng) {
+                                Rng& rng, const GreedyOptions& options) {
   uint64_t run_seed = rng.engine()();
   return AdaptiveGreedyMaximize(
-      problem.Costs(), budget, [&, run_seed](const std::vector<int>& t) {
+      problem.Costs(), budget,
+      [&, run_seed](const std::vector<int>& t) {
         Rng eval_rng(run_seed);
         return MonteCarloSurpriseProbability(f, problem, t, tau, samples,
                                              eval_rng);
-      });
+      },
+      options);
 }
 
 }  // namespace factcheck

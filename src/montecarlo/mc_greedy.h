@@ -15,17 +15,20 @@ namespace factcheck {
 // Adaptive greedy on the Monte Carlo EV estimate.  `outer`/`inner` are the
 // sample counts of MonteCarloEV per objective evaluation; the same seeded
 // substream is replayed for every evaluation within one run (common random
-// numbers), which keeps the greedy's comparisons low-variance.
+// numbers), which keeps the greedy's comparisons low-variance.  Because the
+// estimator re-seeds a local Rng per evaluation, the objective is safe for
+// the engine's thread pool and its memoized values equal recomputation, so
+// `options` (lazy driver, pool) behaves exactly as in core/greedy.
 Selection GreedyMinVarMonteCarlo(const QueryFunction& f,
                                  const CleaningProblem& problem,
                                  double budget, int outer, int inner,
-                                 Rng& rng);
+                                 Rng& rng, const GreedyOptions& options = {});
 
 // Adaptive greedy on the Monte Carlo surprise-probability estimate.
 Selection GreedyMaxPrMonteCarlo(const QueryFunction& f,
                                 const CleaningProblem& problem,
                                 double budget, double tau, int samples,
-                                Rng& rng);
+                                Rng& rng, const GreedyOptions& options = {});
 
 }  // namespace factcheck
 

@@ -63,11 +63,17 @@ double MonteCarloSurpriseProbability(const QueryFunction& f,
                                      double tau, int samples, Rng& rng) {
   FC_CHECK_GE(samples, 1);
   if (cleaned.empty()) return 0.0;
+  // Canonicalize so the RNG draw sequence — and therefore the estimate —
+  // depends only on the set, not the order the caller lists it in (the
+  // evaluation engine relies on this for sound memoization).
+  std::vector<int> t = cleaned;
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
   std::vector<double> x = problem.CurrentValues();
   double threshold = f.Evaluate(x) - tau;
   int hits = 0;
   for (int s = 0; s < samples; ++s) {
-    for (int i : cleaned) x[i] = SampleFrom(problem.object(i).dist, rng);
+    for (int i : t) x[i] = SampleFrom(problem.object(i).dist, rng);
     if (f.Evaluate(x) < threshold) ++hits;
   }
   return static_cast<double>(hits) / samples;

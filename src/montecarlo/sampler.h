@@ -24,6 +24,8 @@ double MonteCarloEV(const QueryFunction& f, const CleaningProblem& problem,
                     Rng& rng);
 
 // MC estimate of Pr[f(X) < f(u) - tau | rest = u] after cleaning T.
+// `cleaned` is canonicalized internally, so the estimate (given one Rng
+// state) depends only on the set, never on the caller's ordering.
 double MonteCarloSurpriseProbability(const QueryFunction& f,
                                      const CleaningProblem& problem,
                                      const std::vector<int>& cleaned,

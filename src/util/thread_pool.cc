@@ -1,0 +1,68 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+ThreadPool::ThreadPool(int num_threads) {
+  FC_CHECK_GE(num_threads, 1);
+  threads_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this]() { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FC_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Worker() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  FC_CHECK_GE(count, 0);
+  if (count == 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    futures.push_back(Submit([&fn, i]() { fn(i); }));
+  }
+  // Collect every task before rethrowing so no task is left referencing
+  // `fn` or caller state; the lowest failing index wins.
+  std::exception_ptr first_error;
+  for (int i = 0; i < count; ++i) {
+    try {
+      futures[i].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace factcheck

@@ -1,0 +1,70 @@
+// Fixed-size worker pool for the evaluation engine (core/engine).
+//
+// Tasks are plain callables pushed onto one shared queue; Submit returns a
+// std::future so callers can collect results (and any exception a task
+// threw — the one place the library tolerates exceptions, because futures
+// are the natural transport across thread boundaries).  ParallelFor is the
+// deterministic building block the engine uses: fn(i) writes only to slot
+// i of a caller-owned output, the pool blocks until every index finished,
+// and the caller reduces the slots in index order — so results are
+// bit-stable regardless of the pool size or task interleaving.
+
+#ifndef FACTCHECK_UTIL_THREAD_POOL_H_
+#define FACTCHECK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace factcheck {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` >= 1 workers; they live until destruction.
+  explicit ThreadPool(int num_threads);
+
+  // Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `f` and returns a future for its result; a task that throws
+  // stores the exception in the future (rethrown by future::get).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  // Runs fn(0), ..., fn(count - 1) across the pool and blocks until all
+  // complete.  If any invocation throws, the exception of the lowest
+  // failing index is rethrown (after every task has finished), so error
+  // reporting is as deterministic as the results.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void Worker();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_THREAD_POOL_H_

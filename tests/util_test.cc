@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace factcheck {
 namespace {
@@ -153,6 +158,85 @@ TEST(TablePrinterDeathTest, MismatchedRowAborts) {
   TablePrinter printer({"a", "b"});
   printer.AddCell(1);
   EXPECT_DEATH(printer.EndRow(), "CHECK failed");
+}
+
+// --- ThreadPool stress (labelled `stress`; runs under ASan/UBSan in CI) ----
+
+TEST(ThreadPoolTest, ManySmallTasksAllRunAndReturnTheirValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    futures.push_back(pool.Submit([&ran, i]() {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(ran.load(), 2000);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(997, 0);  // disjoint slots, no synchronization
+  pool.ParallelFor(static_cast<int>(hits.size()),
+                   [&hits](int i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  pool.ParallelFor(0, [](int) { FAIL() << "empty range must not run"; });
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionsAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.Submit([]() { return 7; });
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  EXPECT_EQ(pool.Submit([]() { return 41; }).get(), 41);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTheLowestFailingIndex) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [](int i) {
+      if (i % 7 == 3) throw std::runtime_error("idx " + std::to_string(i));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx 3");
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManySubmissionWaves) {
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 60; ++wave) {
+    std::atomic<long> sum{0};
+    pool.ParallelFor(64, [&sum](int i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2) << "wave " << wave;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerDrainsEverything) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i]() { order.push_back(i); }));
+  }
+  for (auto& fut : futures) fut.get();
+  // One worker consumes the FIFO queue in submission order.
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolDeathTest, ZeroWorkersAborts) {
+  EXPECT_DEATH(ThreadPool(0), "CHECK failed");
 }
 
 }  // namespace
