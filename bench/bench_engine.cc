@@ -1,6 +1,9 @@
 // Engine benchmark: plain full-rescan greedy vs the CELF lazy driver, and
 // thread-pool scaling of the candidate batches, on the synthetic
-// generator's problem sizes.
+// generator's problem sizes.  Since the Planner facade landed, every
+// configuration runs through one PlanRequest (algo "greedy_minvar" with
+// EngineOptions{threads, lazy}) — the same path the CLI and the examples
+// use — so this benchmark also guards the facade's overhead.
 //
 // The workload is GreedyMinVar on a URx problem whose query references a
 // fixed window of objects (support 3 each, so one EV evaluation
@@ -12,19 +15,21 @@
 // every configuration the selected set is checked against the plain
 // single-threaded run; the `match` column must be 1 everywhere.
 //
+// `--json out.json` additionally writes one machine-readable record per
+// configuration — {algo, n, threads, evaluations, wall_ms, match} — so
+// successive PRs can track the performance trajectory.
+//
 // The last line prints the headline ratio the issue tracks:
 // lazy greedy on an 8-thread pool vs plain single-threaded, largest size.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "core/engine.h"
-#include "core/ev.h"
-#include "core/greedy.h"
+#include "core/planner.h"
 #include "data/synthetic.h"
-#include "util/stopwatch.h"
+#include "util/json.h"
 #include "util/table_printer.h"
-#include "util/thread_pool.h"
 
 using namespace factcheck;
 
@@ -56,32 +61,49 @@ Workload MakeWorkload(int n, int num_refs) {
   return w;
 }
 
-struct RunResult {
-  Selection sel;
-  double seconds = 0.0;
-  std::int64_t evaluations = 0;
-};
-
-RunResult Run(const Workload& w, const QueryFunction& f, bool lazy,
-              ThreadPool* pool) {
-  Stopwatch sw;
-  EvalEngine engine(MinVarObjective(f, w.problem),
-                    OptimizeDirection::kMinimize, pool);
-  RunResult r;
-  r.sel = lazy ? engine.LazyGreedy(w.problem.Costs(), w.budget)
-               : engine.PlainGreedy(w.problem.Costs(), w.budget);
-  r.seconds = sw.ElapsedSeconds();
-  r.evaluations = engine.stats().evaluations;
-  return r;
+PlanResult Run(const Workload& w, const QueryFunction& f, bool lazy,
+               int threads) {
+  PlanRequest request;
+  request.problem = &w.problem;
+  request.query = &f;
+  request.objective = ObjectiveKind::kMinVar;
+  request.budget = w.budget;
+  request.engine.threads = threads;
+  request.engine.lazy = lazy;
+  request.with_trajectory = false;  // keep the timing pure selection work
+  return Planner().Plan(request, "greedy_minvar");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_engine [--json out.json]\n");
+      return 1;
+    }
+  }
+  // Fail on an unwritable path before the sweep, not after minutes of work.
+  std::FILE* json_out = nullptr;
+  if (!json_path.empty()) {
+    json_out = std::fopen(json_path.c_str(), "w");
+    if (json_out == nullptr) {
+      std::fprintf(stderr, "bench_engine: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+
   std::printf(
-      "# EvalEngine: plain vs CELF lazy GreedyMinVar, thread scaling\n");
+      "# EvalEngine via Planner: plain vs CELF lazy greedy_minvar, "
+      "thread scaling\n");
   TablePrinter table({"n", "refs", "variant", "threads", "evaluations",
                       "picked", "seconds", "speedup_vs_plain1", "match"});
+  JsonWriter json;
+  json.BeginArray();
   double headline = 0.0;
   const std::vector<int> sizes = {16, 28, 40};
   for (int n : sizes) {
@@ -93,36 +115,50 @@ int main() {
                             for (double v : x) s += v;
                             return s < t ? 1.0 : 0.0;
                           });
-    RunResult plain1 = Run(w, f, /*lazy=*/false, nullptr);
+    PlanResult plain1 = Run(w, f, /*lazy=*/false, 1);
     auto add_row = [&](const char* variant, int threads,
-                       const RunResult& r) {
-      bool match = r.sel.cleaned == plain1.sel.cleaned;
-      double speedup = r.seconds > 0.0 ? plain1.seconds / r.seconds : 0.0;
+                       const PlanResult& r) {
+      bool match = r.selection.cleaned == plain1.selection.cleaned;
+      double speedup = r.wall_seconds > 0.0
+                           ? plain1.wall_seconds / r.wall_seconds
+                           : 0.0;
       table.AddCell(n)
           .AddCell(num_refs)
           .AddCell(variant)
           .AddCell(threads)
-          .AddCell(static_cast<int>(r.evaluations))
-          .AddCell(static_cast<int>(r.sel.cleaned.size()))
-          .AddCell(r.seconds)
+          .AddCell(static_cast<int>(r.stats.evaluations))
+          .AddCell(static_cast<int>(r.selection.cleaned.size()))
+          .AddCell(r.wall_seconds)
           .AddCell(speedup)
           .AddCell(match ? 1 : 0);
       table.EndRow();
+      json.BeginObject();
+      json.Key("algo").String(variant);
+      json.Key("n").Int(n);
+      json.Key("threads").Int(threads);
+      json.Key("evaluations").Int(r.stats.evaluations);
+      json.Key("wall_ms").Number(r.wall_seconds * 1e3);
+      json.Key("match").Bool(match);
+      json.EndObject();
       return speedup;
     };
     add_row("plain", 1, plain1);
     for (int threads : {2, 4, 8}) {
-      ThreadPool pool(threads);
-      add_row("plain", threads, Run(w, f, /*lazy=*/false, &pool));
+      add_row("plain", threads, Run(w, f, /*lazy=*/false, threads));
     }
-    add_row("lazy", 1, Run(w, f, /*lazy=*/true, nullptr));
+    add_row("lazy", 1, Run(w, f, /*lazy=*/true, 1));
     {
-      ThreadPool pool(8);
-      double speedup = add_row("lazy", 8, Run(w, f, /*lazy=*/true, &pool));
+      double speedup = add_row("lazy", 8, Run(w, f, /*lazy=*/true, 8));
       if (n == sizes.back()) headline = speedup;
     }
   }
   table.Print();
+  json.EndArray();
+  if (json_out != nullptr) {
+    std::fprintf(json_out, "%s\n", json.str().c_str());
+    std::fclose(json_out);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
   std::printf(
       "\n# headline: lazy 8-thread vs plain 1-thread at n=%d: %.2fx "
       "(target >= 3x)\n",

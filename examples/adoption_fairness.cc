@@ -6,16 +6,15 @@
 //
 // This example also demonstrates the relational path: the claim is written
 // as an aggregate query over a (year, adoptions) table and compiled into a
-// linear claim.
+// linear claim.  All four competitors run through the Planner facade by
+// registry name — the same entry point factcheck_cli exposes.
 
 #include <cstdio>
 
 #include "claims/quality.h"
-#include "core/greedy.h"
+#include "core/planner.h"
 #include "data/adoptions.h"
-#include "knapsack/knapsack.h"
 #include "relational/query.h"
-#include "util/random.h"
 
 using namespace factcheck;
 
@@ -55,39 +54,44 @@ int main() {
               context.size());
 
   LinearQueryFunction bias = BiasLinearFunction(context, reference);
+  ClaimQualityFunction quality(&context, QualityMeasure::kBias, reference);
   std::vector<double> variances = problem.Variances();
-  std::vector<double> costs = problem.Costs();
   int n = problem.size();
+
+  Planner planner;
+  PlanRequest request;
+  request.problem = &problem;
+  request.linear_query = &bias;
+  request.objective = ObjectiveKind::kMinVar;
+  request.with_trajectory = false;  // exact EV enumeration is too wide here
 
   std::printf("%-10s %-14s %-14s %-14s %-14s\n", "budget", "Random",
               "GreedyNaive", "GreedyMinVar", "Optimum");
-  Rng rng(7);
   for (double frac : {0.02, 0.05, 0.10, 0.20, 0.40}) {
-    double budget = problem.TotalCost() * frac;
-    // Random baseline (averaged over 50 runs).
+    request.budget = problem.TotalCost() * frac;
+    // Random baseline (averaged over 50 seeded runs).
+    request.query = &bias;
     double random_var = 0;
     for (int r = 0; r < 50; ++r) {
-      Selection sel = RandomSelect(costs, budget, rng);
-      random_var += RemainingVariance(bias, variances, sel.cleaned, n);
+      request.engine.seed = 7 + r;
+      random_var += RemainingVariance(
+          bias, variances, planner.Plan(request, "random").selection.cleaned,
+          n);
     }
     random_var /= 50;
-    ClaimQualityFunction quality(&context, QualityMeasure::kBias, reference);
-    Selection naive = GreedyNaive(quality, problem, budget);
+    // The three named competitors, by registry name.
+    request.query = &quality;
+    Selection naive = planner.Plan(request, "greedy_naive").selection;
+    request.query = &bias;
     Selection minvar =
-        GreedyMinVarLinearIndependent(bias, variances, costs, budget);
+        planner.Plan(request, "greedy_minvar_linear").selection;
     // Optimum: pseudo-polynomial knapsack DP on scaled costs.
-    std::vector<double> weights(n);
-    for (int i = 0; i < n; ++i) {
-      double a = bias.Coefficient(i);
-      weights[i] = a * a * variances[i];
-    }
-    KnapsackSolution dp = MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10),
-                                        static_cast<int>(budget * 10));
+    Selection dp = planner.Plan(request, "knapsack_dp_minvar").selection;
     std::printf("%-10.2f %-14.1f %-14.1f %-14.1f %-14.1f\n", frac,
                 random_var,
                 RemainingVariance(bias, variances, naive.cleaned, n),
                 RemainingVariance(bias, variances, minvar.cleaned, n),
-                RemainingVariance(bias, variances, dp.selected, n));
+                RemainingVariance(bias, variances, dp.cleaned, n));
   }
   std::printf(
       "\nGreedyMinVar should be nearly indistinguishable from Optimum and "

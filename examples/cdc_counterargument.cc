@@ -9,8 +9,8 @@
 
 #include "claims/counter.h"
 #include "claims/quality.h"
-#include "core/greedy.h"
 #include "core/maxpr.h"
+#include "core/planner.h"
 #include "data/cdc.h"
 #include "montecarlo/simulator.h"
 
@@ -56,11 +56,22 @@ int main() {
     for (int i = 0; i < n; ++i) {
       stddevs[i] = std::sqrt(noisy.object(i).dist.Variance());
     }
-    Selection maxpr = GreedyMaxPrNormal(bias, noisy.Means(), stddevs,
-                                        current, noisy.Costs(),
-                                        noisy.TotalCost(), /*tau=*/margin);
+    // Both orderings come from the Planner facade, by registry name.
+    Planner planner;
+    PlanRequest request;
+    request.problem = &noisy;
+    request.linear_query = &bias;
+    request.budget = noisy.TotalCost();
+    request.with_trajectory = false;  // wide references: EV enumeration
+    request.query = &bias;
+    request.objective = ObjectiveKind::kMaxPr;
+    request.tau = margin;
+    Selection maxpr =
+        planner.Plan(request, "greedy_maxpr_normal").selection;
     ClaimQualityFunction quality(&context, QualityMeasure::kBias, reference);
-    Selection naive = GreedyNaive(quality, noisy, noisy.TotalCost());
+    request.query = &quality;
+    request.objective = ObjectiveKind::kMinVar;
+    Selection naive = planner.Plan(request, "greedy_naive").selection;
 
     std::vector<double> fallback =
         MaxPrModularWeights(bias, stddevs, n);

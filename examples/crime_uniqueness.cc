@@ -10,7 +10,7 @@
 
 #include "claims/ev_fast.h"
 #include "claims/explain.h"
-#include "core/greedy.h"
+#include "core/planner.h"
 #include "data/cdc.h"
 #include "montecarlo/simulator.h"
 
@@ -51,12 +51,25 @@ int main() {
   double true_dup = dup.Evaluate(scenario.truth);
   std::printf("hidden true duplicity: %.0f\n\n", true_dup);
 
+  // Both algorithms run through the Planner facade.  GreedyMinVar's EV
+  // comes from the Theorem-3.8 fast evaluator via the request's
+  // custom-objective hook (exact enumeration over all of CDC's references
+  // would be intractable).
+  Planner planner;
+  PlanRequest request;
+  request.problem = &problem;
+  request.query = &dup;
+  request.objective = ObjectiveKind::kMinVar;
+  request.custom_objective = [&evaluator](const std::vector<int>& cleaned) {
+    return evaluator.EV(cleaned);
+  };
+
   std::printf("%-8s %-22s %-22s\n", "budget", "GreedyNaive (EV | est)",
               "GreedyMinVar (EV | est)");
   for (double frac : {0.1, 0.2, 0.4, 0.6}) {
-    double budget = problem.TotalCost() * frac;
-    Selection naive = GreedyNaive(dup, problem, budget);
-    Selection minvar = evaluator.GreedyMinVar(budget);
+    request.budget = problem.TotalCost() * frac;
+    Selection naive = planner.Plan(request, "greedy_naive").selection;
+    Selection minvar = planner.Plan(request, "greedy_minvar").selection;
     QualityMoments naive_est = EstimateAfterCleaning(
         scenario, context, QualityMeasure::kDuplicity, reference,
         naive.cleaned, direction);
@@ -74,7 +87,8 @@ int main() {
       "less budget (Figs 2/8 of the paper).\n\n");
 
   // Show the fact-checker *why* the 40%-budget plan picks what it picks.
-  Selection plan = evaluator.GreedyMinVar(problem.TotalCost() * 0.4);
+  request.budget = problem.TotalCost() * 0.4;
+  Selection plan = planner.Plan(request, "greedy_minvar").selection;
   std::printf("%s", ExplainSelection(problem, evaluator, plan)
                         .ToText()
                         .c_str());

@@ -12,6 +12,7 @@
 
 #include "claims/quality.h"
 #include "core/modular.h"
+#include "core/planner.h"
 #include "dist/pooling.h"
 #include "relational/csv.h"
 #include "relational/query.h"
@@ -82,13 +83,20 @@ int main(int argc, char** argv) {
   std::printf("perturbations considered: %d\n\n", context.size());
 
   // 4. Budgeted plan: Lemma 3.1/3.2 — the fairness (bias) query is affine,
-  // so the optimal plan is a knapsack over w_i = a_i^2 Var[X_i].
+  // so the optimal plan is a knapsack over w_i = a_i^2 Var[X_i], solved by
+  // the "knapsack_dp_minvar" registry algorithm through the Planner.
   LinearQueryFunction bias = BiasLinearFunction(context, reference);
   std::vector<double> weights =
       MinVarModularWeights(bias, problem.Variances(), n);
-  double budget = problem.TotalCost() * 0.25;
-  Selection plan = MinVarOptimumDp(bias, problem.Variances(),
-                                   problem.Costs(), budget);
+  PlanRequest request;
+  request.problem = &problem;
+  request.query = &bias;
+  request.linear_query = &bias;
+  request.objective = ObjectiveKind::kMinVar;
+  request.budget = problem.TotalCost() * 0.25;
+  request.with_trajectory = false;  // the modular weights below tell the story
+  Selection plan = Planner().Plan(request, "knapsack_dp_minvar").selection;
+  double budget = request.budget;
   std::printf("budget: %.0f (25%% of total %.0f)\n", budget,
               problem.TotalCost());
   std::printf("clean these values, in any order:\n");

@@ -1,4 +1,5 @@
-// Quickstart: the crime-count scenario of the paper's Example 2.
+// Quickstart: the crime-count scenario of the paper's Example 2, driven
+// through the Planner facade (the library's public entry point).
 //
 // Five yearly crime counts carry measurement uncertainty; the claim under
 // check is "crimes went up by more than 300 cases from last year"
@@ -10,8 +11,7 @@
 
 #include "claims/ev_fast.h"
 #include "claims/perturbation.h"
-#include "core/greedy.h"
-#include "core/maxpr.h"
+#include "core/planner.h"
 #include "dist/normal.h"
 
 using namespace factcheck;
@@ -37,32 +37,49 @@ int main() {
   std::printf("original claim: crimes rose by %.0f (threshold 300)\n\n",
               original);
 
+  Planner planner;
+
   // Objective 1 — ascertain uniqueness: minimize expected variance in the
   // duplicity measure (how many year-over-year increases are as large).
+  ClaimQualityFunction duplicity(&context, QualityMeasure::kDuplicity,
+                                 original);
   ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
                              original);
   std::printf("duplicity now: mean %.3f, variance %.3f\n",
               evaluator.Moments().mean, evaluator.Moments().variance);
-  Selection minvar = evaluator.GreedyMinVar(/*budget=*/1.0);
-  for (int i : minvar.cleaned) {
-    std::printf("GreedyMinVar cleans %s  (EV %.4f -> %.4f)\n",
-                problem.object(i).label.c_str(), evaluator.PriorVariance(),
-                evaluator.EV(minvar.cleaned));
+  PlanRequest minvar_request;
+  minvar_request.problem = &problem;
+  minvar_request.query = &duplicity;
+  minvar_request.objective = ObjectiveKind::kMinVar;
+  minvar_request.budget = 1.0;
+  PlanResult minvar = planner.Plan(minvar_request, "greedy_minvar");
+  for (const std::string& label : minvar.labels) {
+    std::printf("GreedyMinVar cleans %s  (EV %.4f -> %.4f)\n", label.c_str(),
+                minvar.trajectory.front(), minvar.objective_value);
   }
 
   // Objective 2 — counter the claim: maximize the chance that cleaning
   // drops the bias below its baseline by tau = 50.
   LinearQueryFunction bias = BiasLinearFunction(context, original);
-  Selection maxpr = GreedyMaxPr(bias, problem, /*budget=*/1.0, /*tau=*/50.0);
-  for (int i : maxpr.cleaned) {
+  PlanRequest maxpr_request;
+  maxpr_request.problem = &problem;
+  maxpr_request.query = &bias;
+  maxpr_request.linear_query = &bias;
+  maxpr_request.objective = ObjectiveKind::kMaxPr;
+  maxpr_request.budget = 1.0;
+  maxpr_request.tau = 50.0;
+  PlanResult maxpr = planner.Plan(maxpr_request, "greedy_maxpr");
+  for (const std::string& label : maxpr.labels) {
     std::printf("GreedyMaxPr cleans  %s  (surprise probability %.3f)\n",
-                problem.object(i).label.c_str(),
-                SurpriseProbabilityExact(bias, problem, maxpr.cleaned, 50.0));
+                label.c_str(), maxpr.objective_value);
   }
-  if (minvar.cleaned != maxpr.cleaned) {
+  if (minvar.selection.cleaned != maxpr.selection.cleaned) {
     std::printf(
         "\nThe two objectives pick different values to clean - the paper's "
         "central caution.\n");
   }
+
+  // Every result serializes for logging/replay:
+  std::printf("\nPlanResult JSON:\n%s\n", maxpr.ToJson().c_str());
   return 0;
 }

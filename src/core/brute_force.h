@@ -1,6 +1,8 @@
 // Exhaustive subset search ("OPT" in Section 4.5): the yardstick used when
 // no efficient algorithm with guarantees exists (e.g., correlated errors).
-// Exponential in n; guarded to small instances.
+// Exponential in n; guarded to small instances.  Registered with the
+// Planner facade as "brute_force" (the request's objective kind picks the
+// direction).
 
 #ifndef FACTCHECK_CORE_BRUTE_FORCE_H_
 #define FACTCHECK_CORE_BRUTE_FORCE_H_

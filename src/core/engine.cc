@@ -250,6 +250,7 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     }
   }
   FinishSelection(sel);
+  if (options.stats_out != nullptr) *options.stats_out = stats_;
   return sel;
 }
 

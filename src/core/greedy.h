@@ -26,6 +26,7 @@
 namespace factcheck {
 
 class ThreadPool;
+struct EngineStats;
 
 // The outcome of a selection algorithm.
 struct Selection {
@@ -56,6 +57,10 @@ struct GreedyOptions {
   // mode only the seeding round is a batch — CELF refreshes are
   // inherently one-at-a-time, so the pool does not speed up later rounds.
   ThreadPool* pool = nullptr;
+  // When set, the engine-backed drivers copy their EvalEngine's final
+  // counters here (evaluations / cache hits); engine-free algorithms
+  // leave it untouched.  Borrowed, must outlive the call.
+  EngineStats* stats_out = nullptr;
 };
 
 // Uniformly random selection (skips objects that no longer fit).

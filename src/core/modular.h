@@ -1,7 +1,10 @@
 // The complete modular-objective pipeline of Section 3.2 in one place:
 // Lemma 3.1's weight reductions plus Lemma 3.2/3.3's exact
 // pseudo-polynomial ("Optimum") and FPTAS solvers, returning cleaning
-// selections directly.
+// selections directly.  Registered with the Planner facade as
+// "knapsack_dp_minvar" / "knapsack_fptas_minvar" / "knapsack_dp_maxpr" /
+// "knapsack_fptas_maxpr" (PlanRequest::cost_scale and fptas_eps carry the
+// solver parameters).
 
 #ifndef FACTCHECK_CORE_MODULAR_H_
 #define FACTCHECK_CORE_MODULAR_H_

@@ -1,0 +1,138 @@
+// The unified Planner facade over every selection algorithm in the
+// library.  A caller builds one typed PlanRequest — problem, query
+// (optionally linear), objective kind, budget, engine options — and asks
+// for any algorithm by its registry name; the Planner adapts the request
+// to the algorithm's native calling convention, runs it, and packages the
+// outcome as a PlanResult (selection + objective trajectory + engine
+// stats + timing, JSON-serializable).
+//
+// The algorithm catalogue lives in core/registry.h; tools/factcheck_cli.cc
+// is the command-line driver.  The registry-equivalence suite
+// (tests/planner_test.cc) pins every adapter to its direct free-function
+// call bit-for-bit, including with a thread pool and the lazy driver.
+
+#ifndef FACTCHECK_CORE_PLANNER_H_
+#define FACTCHECK_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/plan_result.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "util/random.h"
+
+namespace factcheck {
+
+class AlgorithmRegistry;
+
+// Which paper objective the plan optimizes (Section 2.2).
+enum class ObjectiveKind {
+  kMinVar,  // minimize EV(T), the expected posterior variance
+  kMaxPr,   // maximize Pr[f drops by more than tau]
+};
+
+// "minvar" / "maxpr".
+const char* ObjectiveKindName(ObjectiveKind kind);
+std::optional<ObjectiveKind> ParseObjectiveKind(const std::string& name);
+
+// Execution knobs shared by every algorithm run.
+struct EngineOptions {
+  int threads = 1;        // >1 attaches a ThreadPool to the evaluation engine
+  bool lazy = false;      // CELF lazy greedy instead of full rescans
+  int mc_samples = 200;   // outer sample count of the Monte Carlo algorithms
+  int mc_inner = 64;      // inner sample count of the Monte Carlo EV estimate
+  std::uint64_t seed = 2019;  // RNG seed (random / Monte Carlo algorithms)
+};
+
+// One selection task.  Pointers are borrowed and must outlive the call.
+struct PlanRequest {
+  const CleaningProblem* problem = nullptr;  // required
+  const QueryFunction* query = nullptr;      // required
+  // Optional: the same query in affine form; enables the closed-form /
+  // knapsack algorithms (their registry entries set needs_linear).
+  const LinearQueryFunction* linear_query = nullptr;
+
+  // Optional objective override for the SetObjective-driven algorithms
+  // (greedy_minvar, greedy_maxpr, best_minvar, brute_force) and the
+  // trajectory: when set, it replaces the exact enumeration objective.
+  // Used by claims-level callers whose EV comes from the Theorem-3.8 fast
+  // evaluator instead of support enumeration.  Must accept canonical
+  // (sorted, duplicate-free) sets and be safe for concurrent invocation
+  // when threads > 1.
+  SetObjective custom_objective;
+
+  ObjectiveKind objective = ObjectiveKind::kMinVar;
+  double budget = 0.0;
+  double tau = 0.0;  // MaxPr surprise threshold
+
+  // Parameters of individual algorithm families (defaults match the
+  // direct-call defaults; the equivalence suite relies on that).
+  double fptas_eps = 0.1;     // knapsack_fptas_* accuracy
+  double cost_scale = 10.0;   // knapsack_dp_* cost-rounding resolution
+
+  EngineOptions engine;
+  // Re-evaluate the objective on every pick prefix for
+  // PlanResult::trajectory.  Skipped automatically when the exact
+  // objective is infeasible (see Planner::kTrajectoryScenarioLimit).
+  // This runs AFTER the timed selection (wall_seconds covers the
+  // algorithm only) and recomputes values the engine may already have
+  // seen — up to (picks + 1) extra objective evaluations; disable it for
+  // timing-sensitive sweeps (bench_engine does).
+  bool with_trajectory = true;
+};
+
+// Everything an algorithm adapter receives: the request plus the
+// pre-built SetObjective, costs, seeded RNG, and engine options already
+// folded into GreedyOptions.  This is the one calling convention every
+// registered algorithm adapts to.
+struct PlanContext {
+  const PlanRequest& request;
+  const CleaningProblem& problem;
+  const QueryFunction& query;
+  const LinearQueryFunction* linear;  // null unless the request provided it
+  // The request's objective: custom_objective if set, else the exact
+  // MinVar / MaxPr evaluator.
+  SetObjective objective;
+  OptimizeDirection direction;
+  std::vector<double> costs;
+  // lazy / pool / stats_out prefilled from EngineOptions; adapters pass
+  // this straight to the engine-backed drivers.
+  GreedyOptions greedy;
+  Rng* rng;  // seeded with request.engine.seed
+};
+
+class Planner {
+ public:
+  // Uses the process-wide registry (with all built-in algorithms) when
+  // `registry` is null.
+  explicit Planner(const AlgorithmRegistry* registry = nullptr);
+
+  // Runs the named algorithm.  Returns nullopt (and a diagnostic in
+  // `error`) on an unknown name, an objective-kind mismatch, a missing
+  // linear query, or an instance larger than the algorithm supports.
+  std::optional<PlanResult> TryPlan(const PlanRequest& request,
+                                    const std::string& algorithm,
+                                    std::string* error = nullptr) const;
+
+  // As TryPlan, but aborts on error (programmer-error convention).
+  PlanResult Plan(const PlanRequest& request,
+                  const std::string& algorithm) const;
+
+  const AlgorithmRegistry& registry() const { return *registry_; }
+
+  // The trajectory is only recomputed exactly when the enumeration cost —
+  // the product of the support sizes of the query's references — stays
+  // below this bound (custom objectives are always trusted).
+  static constexpr double kTrajectoryScenarioLimit = 1 << 20;
+
+ private:
+  const AlgorithmRegistry* registry_;  // not owned
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_PLANNER_H_

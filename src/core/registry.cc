@@ -1,0 +1,49 @@
+#include "core/registry.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  // Installing the builtins inside the initializer (instead of relying on
+  // static registrar objects in planner.cc) keeps the catalogue complete
+  // even when the linker would otherwise drop an unreferenced
+  // registration TU from the static library.
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    internal::RegisterBuiltinAlgorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AlgorithmRegistry::Register(Algorithm algorithm) {
+  FC_CHECK(!algorithm.name.empty());
+  FC_CHECK(algorithm.run != nullptr);
+  auto [it, inserted] =
+      algorithms_.emplace(algorithm.name, std::move(algorithm));
+  (void)it;
+  FC_CHECK(inserted);  // duplicate algorithm name
+}
+
+const AlgorithmRegistry::Algorithm* AlgorithmRegistry::Find(
+    const std::string& name) const {
+  auto it = algorithms_.find(name);
+  return it == algorithms_.end() ? nullptr : &it->second;
+}
+
+std::vector<const AlgorithmRegistry::Algorithm*> AlgorithmRegistry::Sorted()
+    const {
+  std::vector<const Algorithm*> out;
+  out.reserve(algorithms_.size());
+  for (const auto& [name, algorithm] : algorithms_) out.push_back(&algorithm);
+  return out;  // std::map iterates in key order
+}
+
+AlgorithmRegistrar::AlgorithmRegistrar(AlgorithmRegistry::Algorithm algorithm,
+                                       AlgorithmRegistry* registry) {
+  (registry != nullptr ? *registry : AlgorithmRegistry::Global())
+      .Register(std::move(algorithm));
+}
+
+}  // namespace factcheck

@@ -1,0 +1,76 @@
+// AlgorithmRegistry: the string-keyed catalogue of selection algorithms
+// behind the Planner facade.  Every algorithm is one entry — a name, its
+// requirements (objective kind, linear query, instance-size cap), and a
+// factory adapting the shared PlanContext calling convention to the
+// algorithm's native free function.
+//
+// The built-in algorithms are installed the first time Global() is used;
+// additional algorithms self-register with an AlgorithmRegistrar at
+// namespace scope:
+//
+//   AlgorithmRegistrar my_algo({.name = "my_algo", .summary = "...",
+//                               .run = RunMyAlgo});
+
+#ifndef FACTCHECK_CORE_REGISTRY_H_
+#define FACTCHECK_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace factcheck {
+
+class AlgorithmRegistry {
+ public:
+  struct Algorithm {
+    std::string name;     // registry key, e.g. "greedy_minvar"
+    std::string summary;  // one line for list-algos / docs
+    // The objective kind the algorithm optimizes; unset means it runs
+    // under either kind (the request's kind picks the direction).
+    std::optional<ObjectiveKind> objective;
+    // Requires PlanRequest::linear_query (closed-form / knapsack algos).
+    bool needs_linear = false;
+    // Largest supported problem size; 0 means unlimited.
+    int max_n = 0;
+    std::function<Selection(const PlanContext&)> run;
+  };
+
+  // The process-wide registry; built-in algorithms are installed on first
+  // use.
+  static AlgorithmRegistry& Global();
+
+  // Registers an algorithm; duplicate names abort.
+  void Register(Algorithm algorithm);
+
+  // Null when the name is unknown.
+  const Algorithm* Find(const std::string& name) const;
+
+  // All entries, sorted by name.
+  std::vector<const Algorithm*> Sorted() const;
+
+  int size() const { return static_cast<int>(algorithms_.size()); }
+
+ private:
+  std::map<std::string, Algorithm> algorithms_;
+};
+
+// Registers an algorithm at static-initialization time (into the global
+// registry unless one is passed explicitly).
+class AlgorithmRegistrar {
+ public:
+  explicit AlgorithmRegistrar(AlgorithmRegistry::Algorithm algorithm,
+                              AlgorithmRegistry* registry = nullptr);
+};
+
+namespace internal {
+// Defined in planner.cc; installs the built-in algorithm entries.
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+}  // namespace internal
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_REGISTRY_H_

@@ -1,9 +1,9 @@
 #include "data/problem_io.h"
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
+
+#include "util/parse.h"
 
 namespace factcheck {
 namespace data {
@@ -13,11 +13,29 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
-std::vector<std::string> Split(const std::string& s, char sep) {
+// Comma split with RFC-4180 quoting: a `"` toggles quoted mode, in which
+// commas are literal and `""` is an escaped quote.  Labels containing the
+// cell or list separators round-trip through this (see EscapeLabel).
+std::vector<std::string> SplitRow(const std::string& s) {
   std::vector<std::string> out;
   std::string current;
-  for (char c : s) {
-    if (c == sep) {
+  bool in_quotes = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < s.size() && s[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
       out.push_back(current);
       current.clear();
     } else if (c != '\r') {
@@ -28,19 +46,32 @@ std::vector<std::string> Split(const std::string& s, char sep) {
   return out;
 }
 
-bool ParseDouble(const std::string& s, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  // Reject "nan"/"inf": non-finite numbers are malformed input here, and
-  // letting them through would turn a parse error into a CHECK abort in
-  // the DiscreteDistribution constructor.
-  return end != s.c_str() && *end == '\0' && std::isfinite(*out);
+// Quotes a label when it contains a separator (`,` or `;`), a quote, or a
+// newline, doubling embedded quotes.  Newlines are replaced by spaces —
+// the parser is line-based and labels are display strings.
+std::string EscapeLabel(const std::string& label) {
+  if (label.find_first_of(",;\"\n\r") == std::string::npos) return label;
+  std::string out = "\"";
+  for (char c : label) {
+    if (c == '"') {
+      out += "\"\"";
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
 }
 
+// ParseFiniteDouble rejects "nan"/"inf": non-finite numbers are malformed
+// input here, and letting them through would turn a parse error into a
+// CHECK abort in the DiscreteDistribution constructor.
 bool ParseList(const std::string& s, std::vector<double>* out) {
   for (const std::string& cell : Split(s, ';')) {
     double v;
-    if (!ParseDouble(cell, &v)) return false;
+    if (!ParseFiniteDouble(cell, &v)) return false;
     out->push_back(v);
   }
   return true;
@@ -64,7 +95,7 @@ std::string ProblemToCsv(const CleaningProblem& problem) {
   char buf[128];
   for (int i = 0; i < problem.size(); ++i) {
     const UncertainObject& obj = problem.object(i);
-    out += obj.label;
+    out += EscapeLabel(obj.label);
     std::snprintf(buf, sizeof(buf), ",%.17g,%.17g,", obj.current_value,
                   obj.cost);
     out += buf;
@@ -89,7 +120,7 @@ std::optional<CleaningProblem> ProblemFromCsv(const std::string& csv,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line == "\r") continue;
-    std::vector<std::string> cells = Split(line, ',');
+    std::vector<std::string> cells = SplitRow(line);
     if (cells.size() != 5) {
       SetError(error, "line " + std::to_string(line_no) + ": expected 5 "
                           "cells, got " + std::to_string(cells.size()));
@@ -98,9 +129,9 @@ std::optional<CleaningProblem> ProblemFromCsv(const std::string& csv,
     UncertainObject obj;
     obj.label = cells[0];
     std::vector<double> values, probs;
-    if (!ParseDouble(cells[1], &obj.current_value) ||
-        !ParseDouble(cells[2], &obj.cost) || !ParseList(cells[3], &values) ||
-        !ParseList(cells[4], &probs)) {
+    if (!ParseFiniteDouble(cells[1], &obj.current_value) ||
+        !ParseFiniteDouble(cells[2], &obj.cost) ||
+        !ParseList(cells[3], &values) || !ParseList(cells[4], &probs)) {
       SetError(error, "line " + std::to_string(line_no) + ": bad number");
       return std::nullopt;
     }

@@ -4,6 +4,9 @@
 // Format (one row per object):
 //   label,current,cost,support,probs
 // where `support` and `probs` are ';'-joined numeric lists of equal length.
+// Labels containing `,`, `;`, or `"` are written RFC-4180 style (wrapped
+// in double quotes, embedded quotes doubled) and unescaped on parse, so
+// arbitrary labels round-trip; newlines in labels become spaces.
 
 #ifndef FACTCHECK_DATA_PROBLEM_IO_H_
 #define FACTCHECK_DATA_PROBLEM_IO_H_

@@ -2,7 +2,9 @@
 // "one possibility is to estimate delta_i using Monte Carlo methods").
 // These are the fallback when exact enumeration of the benefit is
 // intractable — wide references, huge supports, or black-box query
-// functions.
+// functions.  Registered with the Planner facade as "mc_greedy_minvar" /
+// "mc_greedy_maxpr" (EngineOptions::mc_samples / mc_inner set the sample
+// counts, EngineOptions::seed the stream).
 
 #ifndef FACTCHECK_MONTECARLO_MC_GREEDY_H_
 #define FACTCHECK_MONTECARLO_MC_GREEDY_H_

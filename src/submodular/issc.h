@@ -7,6 +7,7 @@
 // We solve it by majorize-minimize over modular upper bounds of the
 // submodular objective (the two standard Nemhauser-style bounds), each
 // iteration reducing to a min-knapsack solved exactly (DP) or greedily.
+// Registered with the Planner facade as "best_minvar".
 
 #ifndef FACTCHECK_SUBMODULAR_ISSC_H_
 #define FACTCHECK_SUBMODULAR_ISSC_H_

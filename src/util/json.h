@@ -1,0 +1,57 @@
+// Minimal append-style JSON writer used by the Planner result
+// serialization and the machine-readable benchmark output.
+//
+// The writer tracks the container stack so commas and colons are inserted
+// automatically; misuse (a value in an object without a preceding Key,
+// unbalanced End calls) aborts via FC_CHECK.  Doubles are emitted with the
+// shortest representation that round-trips through strtod; non-finite
+// values become JSON null.
+
+#ifndef FACTCHECK_UTIL_JSON_H_
+#define FACTCHECK_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factcheck {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Writes the key of the next object member (must be inside an object).
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // The serialized document; valid once every container has been closed.
+  const std::string& str() const;
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(const std::string& s);
+
+  struct Frame {
+    bool is_object = false;
+    int count = 0;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+// Formats a double as the shortest decimal string that parses back to the
+// same value ("null" for NaN/inf).  Exposed for tests and ad-hoc output.
+std::string JsonNumber(double value);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_JSON_H_

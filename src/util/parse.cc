@@ -1,0 +1,35 @@
+#include "util/parse.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace factcheck {
+
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0' && std::isfinite(*out);
+}
+
+bool ParseInt64(const std::string& s, std::int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0';
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace factcheck

@@ -1,0 +1,26 @@
+// Shared string-parsing helpers for CSV loaders and CLI argument parsing.
+
+#ifndef FACTCHECK_UTIL_PARSE_H_
+#define FACTCHECK_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factcheck {
+
+// Parses a finite double, requiring the whole string to be consumed.
+// "nan"/"inf" are rejected: every caller treats non-finite numbers as
+// malformed input.
+bool ParseFiniteDouble(const std::string& s, double* out);
+
+// Parses a base-10 integer, requiring the whole string to be consumed.
+bool ParseInt64(const std::string& s, std::int64_t* out);
+
+// Splits on `sep`, keeping empty cells; '\r' characters are dropped so
+// CRLF input parses like LF.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_PARSE_H_

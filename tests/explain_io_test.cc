@@ -94,6 +94,42 @@ TEST(ProblemIoTest, RoundTripPreservesEverything) {
   }
 }
 
+TEST(ProblemIoTest, RoundTripQuotesSeparatorsInLabels) {
+  // Labels containing the cell separator, the list separator, or quotes
+  // used to corrupt the row structure on write; they must round-trip.
+  const std::vector<std::string> labels = {
+      "crimes, rev.",      // cell separator
+      "a;b;c",             // list separator
+      "said \"hi\"",       // embedded quotes
+      ",leading",          // separator at the edge
+      "trailing;",         //
+      "\"already,quoted\"",  // quotes plus separator
+      "plain",             //
+  };
+  std::vector<UncertainObject> objects;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    UncertainObject obj;
+    obj.label = labels[i];
+    obj.current_value = 10.0 + i;
+    obj.cost = 1.0 + i;
+    obj.dist = DiscreteDistribution({9.0 + i, 11.0 + i}, {0.5, 0.5});
+    objects.push_back(std::move(obj));
+  }
+  CleaningProblem p(std::move(objects));
+  std::string csv = data::ProblemToCsv(p);
+  std::string error;
+  auto back = data::ProblemFromCsv(csv, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->size(), p.size());
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(back->object(i).label, labels[i]) << i;
+    EXPECT_DOUBLE_EQ(back->object(i).current_value,
+                     p.object(i).current_value);
+    EXPECT_DOUBLE_EQ(back->object(i).cost, p.object(i).cost);
+    ASSERT_EQ(back->object(i).dist.support_size(), 2) << i;
+  }
+}
+
 TEST(ProblemIoTest, RejectsMalformedRows) {
   std::string error;
   EXPECT_FALSE(data::ProblemFromCsv("", &error).has_value());

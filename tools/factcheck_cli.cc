@@ -1,0 +1,6 @@
+// factcheck_cli: the command-line driver over the Planner facade.
+// All logic lives in src/cli/cli.cc so tests can call it in-process.
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return factcheck::cli::Main(argc, argv); }
