@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "claims/ev_fast.h"
+#include "knapsack/knapsack.h"
 #include "core/modular.h"
 #include "data/adoptions.h"
 #include "data/synthetic.h"

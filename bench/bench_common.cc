@@ -1,134 +1,85 @@
 #include "bench/bench_common.h"
 
-#include <algorithm>
-
 namespace factcheck {
 namespace bench {
 
 std::vector<double> BudgetFractions() {
-  return {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.60, 0.80, 1.00};
+  return exp::EffectivenessBudgetFractions();
 }
 
-double RemainingBiasVariance(const ModularFairnessWorkload& w,
-                             const std::vector<int>& cleaned) {
-  std::vector<bool> is_cleaned(w.problem.size(), false);
-  for (int i : cleaned) is_cleaned[i] = true;
-  double acc = 0.0;
-  for (int i = 0; i < w.problem.size(); ++i) {
-    if (is_cleaned[i]) continue;
-    double a = w.bias.Coefficient(i);
-    acc += a * a * w.problem.object(i).dist.Variance();
+std::string DisplayName(const std::string& registry_name) {
+  if (registry_name == "random") return "Random";
+  if (registry_name == "greedy_naive") return "GreedyNaive";
+  if (registry_name == "greedy_naive_cost_blind") {
+    return "GreedyNaiveCostBlind";
   }
-  return acc;
+  if (registry_name == "greedy_minvar_linear") return "GreedyMinVar";
+  if (registry_name == "claims_greedy_minvar") return "GreedyMinVar";
+  if (registry_name == "best_minvar") return "Best";
+  if (registry_name == "knapsack_dp_minvar") return "Optimum";
+  if (registry_name == "greedy_dep") return "GreedyDep";
+  if (registry_name == "opt_exhaustive_cov") return "OPT";
+  if (registry_name == "greedy_maxpr_normal") return "GreedyMaxPr";
+  return registry_name;
 }
 
 void RunModularFairness(const std::string& dataset_name,
-                        const ModularFairnessWorkload& w,
-                        TablePrinter& table, bool include_random) {
-  std::vector<double> costs = w.problem.Costs();
-  std::vector<double> variances = w.problem.Variances();
-  int n = w.problem.size();
-  std::vector<double> weights(n, 0.0);
-  for (int i = 0; i < n; ++i) {
-    double a = w.bias.Coefficient(i);
-    weights[i] = a * a * variances[i];
-  }
-  ClaimQualityFunction quality(&w.context, QualityMeasure::kBias,
-                               w.reference);
-  Rng rng(2019);
+                        const exp::Workload& workload, TablePrinter& table,
+                        bool include_random) {
+  exp::ExperimentRunner runner;
   for (double frac : BudgetFractions()) {
-    double budget = w.problem.TotalCost() * frac;
-    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+    double budget = workload.TotalCost() * frac;
+    auto emit = [&](const std::string& algo, double value) {
       table.AddCell(dataset_name)
           .AddCell(frac)
-          .AddCell(algo)
-          .AddCell(RemainingBiasVariance(w, set));
+          .AddCell(DisplayName(algo))
+          .AddCell(value);
       table.EndRow();
     };
     if (include_random) {
-      // Random is averaged over 100 runs (footnote 2 of the paper).
+      // Random is averaged over 100 runs (footnote 2 of the paper), one
+      // Planner run per seed.
       double avg = 0.0;
       const int kRuns = 100;
       for (int r = 0; r < kRuns; ++r) {
-        avg += RemainingBiasVariance(
-            w, RandomSelect(costs, budget, rng).cleaned);
+        EngineOptions engine;
+        engine.seed = 2019 + static_cast<std::uint64_t>(r);
+        avg += runner.RunCell(workload, "random", budget, engine).objective;
       }
-      table.AddCell(dataset_name)
-          .AddCell(frac)
-          .AddCell("Random")
-          .AddCell(avg / kRuns);
-      table.EndRow();
+      emit("random", avg / kRuns);
     }
-    emit("GreedyNaiveCostBlind",
-         GreedyNaiveCostBlind(quality, w.problem, budget).cleaned);
-    emit("GreedyNaive", GreedyNaive(quality, w.problem, budget).cleaned);
-    emit("GreedyMinVar",
-         GreedyMinVarLinearIndependent(w.bias, variances, costs, budget)
-             .cleaned);
-    // Optimum: pseudo-polynomial knapsack DP (Lemma 3.2).
-    KnapsackSolution dp =
-        MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10.0),
-                      static_cast<int>(budget * 10.0));
-    emit("Optimum", dp.selected);
+    for (const char* algo :
+         {"greedy_naive_cost_blind", "greedy_naive", "greedy_minvar_linear",
+          "knapsack_dp_minvar"}) {
+      emit(algo, runner.RunCell(workload, algo, budget).objective);
+    }
   }
 }
 
 void RunQualitySweep(const std::string& dataset_name, double gamma,
-                     const QualityWorkload& w, TablePrinter& table) {
-  ClaimEvEvaluator evaluator(&w.problem, &w.context, w.measure, w.reference,
-                             w.direction);
-  ClaimQualityFunction quality(&w.context, w.measure, w.reference,
-                               w.direction);
-  SetObjective ev = [&](const std::vector<int>& t) {
-    return evaluator.EV(t);
-  };
+                     const exp::Workload& workload, TablePrinter& table) {
+  exp::ExperimentRunner runner;
   for (double frac : BudgetFractions()) {
-    double budget = w.problem.TotalCost() * frac;
-    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+    double budget = workload.TotalCost() * frac;
+    for (const char* algo :
+         {"greedy_naive", "claims_greedy_minvar", "best_minvar"}) {
       table.AddCell(dataset_name)
           .AddCell(gamma)
           .AddCell(frac)
-          .AddCell(algo)
-          .AddCell(evaluator.EV(set));
+          .AddCell(DisplayName(algo))
+          .AddCell(runner.RunCell(workload, algo, budget).objective);
       table.EndRow();
-    };
-    emit("GreedyNaive", GreedyNaive(quality, w.problem, budget).cleaned);
-    emit("GreedyMinVar", evaluator.GreedyMinVar(budget).cleaned);
-    emit("Best", BestMinVar(ev, w.problem.Costs(), budget).cleaned);
+    }
   }
 }
 
-QualityWorkload MakeSyntheticQualityWorkload(const CleaningProblem& problem,
-                                             int width, int original_start,
-                                             double gamma,
-                                             QualityMeasure measure,
-                                             int max_perturbations) {
-  QualityWorkload w{problem,
-                    NonOverlappingWindowSumPerturbations(
-                        problem.size(), width, original_start, 1.5,
-                        max_perturbations),
-                    measure, gamma};
-  return w;
-}
-
-double MedianPerturbationValue(const CleaningProblem& problem,
-                               const PerturbationSet& context) {
-  std::vector<double> u = problem.CurrentValues();
-  std::vector<double> sums;
-  for (const Claim& q : context.perturbations) sums.push_back(q.Evaluate(u));
-  std::sort(sums.begin(), sums.end());
-  return sums[sums.size() / 2];
-}
-
-EvPair EvAtBudget(const QualityWorkload& w, double budget_fraction) {
-  ClaimEvEvaluator evaluator(&w.problem, &w.context, w.measure, w.reference,
-                             w.direction);
-  ClaimQualityFunction quality(&w.context, w.measure, w.reference,
-                               w.direction);
-  double budget = w.problem.TotalCost() * budget_fraction;
+EvPair EvAtBudget(const exp::Workload& workload, double budget_fraction) {
+  exp::ExperimentRunner runner;
+  double budget = workload.TotalCost() * budget_fraction;
   EvPair pair;
-  pair.naive = evaluator.EV(GreedyNaive(quality, w.problem, budget).cleaned);
-  pair.minvar = evaluator.EV(evaluator.GreedyMinVar(budget).cleaned);
+  pair.naive = runner.RunCell(workload, "greedy_naive", budget).objective;
+  pair.minvar =
+      runner.RunCell(workload, "claims_greedy_minvar", budget).objective;
   return pair;
 }
 

@@ -1,23 +1,22 @@
-// Shared workload runners for the figure-reproduction benchmarks.
+// Shared drivers for the figure-reproduction benchmarks.
 //
 // Each bench binary reproduces one figure of Section 4 and prints its
 // series as a TSV table (one row per (budget, algorithm) point or per
-// sweep setting), matching the figure's axes.
+// sweep setting), matching the figure's axes.  Since the experiment
+// subsystem landed, every selection runs through the Planner facade via
+// exp::ExperimentRunner on workloads fetched from the WorkloadRegistry
+// (src/exp/workloads.cc); the helpers here only map runner cells onto the
+// historical TSV row shapes and display names.
 
 #ifndef FACTCHECK_BENCH_BENCH_COMMON_H_
 #define FACTCHECK_BENCH_BENCH_COMMON_H_
 
-#include <cmath>
 #include <string>
 #include <vector>
 
-#include "claims/ev_fast.h"
-#include "claims/quality.h"
-#include "core/greedy.h"
-#include "core/problem.h"
-#include "knapsack/knapsack.h"
-#include "submodular/issc.h"
-#include "util/random.h"
+#include "exp/experiment.h"
+#include "exp/workload_registry.h"
+#include "exp/workloads.h"
 #include "util/table_printer.h"
 
 namespace factcheck {
@@ -26,62 +25,37 @@ namespace bench {
 // Budget fractions used across the effectiveness figures.
 std::vector<double> BudgetFractions();
 
+// Figure display name of a registry algorithm ("greedy_minvar_linear" ->
+// "GreedyMinVar", "knapsack_dp_minvar" -> "Optimum", ...); unknown names
+// pass through unchanged.
+std::string DisplayName(const std::string& registry_name);
+
 // --- Modular fairness experiments (Fig 1) ---------------------------------
 
-struct ModularFairnessWorkload {
-  CleaningProblem problem;
-  PerturbationSet context;
-  double reference = 0.0;
-  LinearQueryFunction bias{{}, {}};
-};
-
-// Remaining variance in the (linear) bias after cleaning `cleaned`.
-double RemainingBiasVariance(const ModularFairnessWorkload& w,
-                             const std::vector<int>& cleaned);
-
-// Runs Random (averaged) / GreedyNaiveCostBlind / GreedyNaive /
-// GreedyMinVar / Optimum over the budget sweep, appending rows
-// (dataset, budget_fraction, algorithm, remaining_variance).
+// Runs Random (averaged over 100 seeded runs) / GreedyNaiveCostBlind /
+// GreedyNaive / GreedyMinVar / Optimum over the budget sweep, appending
+// rows (dataset, budget_fraction, algorithm, remaining_variance).  The
+// workload must come from MakeModularFairnessWorkload (its metric is the
+// remaining bias variance).
 void RunModularFairness(const std::string& dataset_name,
-                        const ModularFairnessWorkload& workload,
-                        TablePrinter& table, bool include_random = true);
+                        const exp::Workload& workload, TablePrinter& table,
+                        bool include_random = true);
 
 // --- Non-modular claim-quality experiments (Figs 2-7) ---------------------
 
-struct QualityWorkload {
-  CleaningProblem problem;
-  PerturbationSet context;
-  QualityMeasure measure = QualityMeasure::kDuplicity;
-  double reference = 0.0;  // the Gamma of the claim
-  StrengthDirection direction = StrengthDirection::kHigherIsStronger;
-};
-
-// Median sum of the perturbation claims at the current values — a
-// "contested" Gamma that puts the claim threshold where the indicator can
-// go either way (the interesting regime of Figs 2-5).
-double MedianPerturbationValue(const CleaningProblem& problem,
-                               const PerturbationSet& context);
-
-// Runs GreedyNaive / GreedyMinVar / Best, appending rows
-// (dataset, gamma, budget_fraction, algorithm, expected_variance).
+// Runs GreedyNaive / GreedyMinVar (incremental, Theorem 3.8) / Best over
+// the budget sweep, appending rows (dataset, gamma, budget_fraction,
+// algorithm, expected_variance).  The workload must come from
+// MakeClaimsWorkload (its metric is the claim-quality EV).
 void RunQualitySweep(const std::string& dataset_name, double gamma,
-                     const QualityWorkload& workload, TablePrinter& table);
-
-// The Section 4.2 synthetic claim: original sums `width` consecutive
-// values starting at `original_start`; `m` non-overlapping window
-// perturbations.
-QualityWorkload MakeSyntheticQualityWorkload(const CleaningProblem& problem,
-                                             int width, int original_start,
-                                             double gamma,
-                                             QualityMeasure measure,
-                                             int max_perturbations);
+                     const exp::Workload& workload, TablePrinter& table);
 
 // GreedyNaive/GreedyMinVar achieved EV at one budget (used by Fig 6).
 struct EvPair {
   double naive = 0.0;
   double minvar = 0.0;
 };
-EvPair EvAtBudget(const QualityWorkload& workload, double budget_fraction);
+EvPair EvAtBudget(const exp::Workload& workload, double budget_fraction);
 
 }  // namespace bench
 }  // namespace factcheck

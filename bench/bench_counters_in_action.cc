@@ -1,16 +1,19 @@
 // Section 4.3 (finding counters): over many concrete worlds (one noisy
 // current database + one hidden truth per seed), the claim picks the
 // lowest recent window; we record the fraction of the total budget each
-// strategy spends before a counterargument surfaces.
+// strategy spends before a counterargument surfaces.  Both strategies'
+// selections run through the Planner facade on per-world workloads.
 //
 // Expected shape: GreedyMaxPr needs a small fraction of the budget where
 // GreedyNaive needs several times more (the paper reports 7% vs 74% on
 // CDC-firearms and 8% vs 21% on URx).
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "claims/counter.h"
+#include "core/maxpr.h"
 #include "data/cdc.h"
 #include "data/synthetic.h"
 #include "montecarlo/simulator.h"
@@ -34,9 +37,10 @@ void RunWorld(const CleaningProblem& base, int width, uint64_t seed,
               Totals& totals) {
   int n = base.size();
   Rng rng(seed * 101 + 7);
-  CleaningProblem noisy = RedrawCurrentValues(base, rng);
-  InActionScenario scenario = MakeScenario(noisy, rng);
-  std::vector<double> current = noisy.CurrentValues();
+  auto noisy = std::make_shared<const CleaningProblem>(
+      RedrawCurrentValues(base, rng));
+  InActionScenario scenario = MakeScenario(*noisy, rng);
+  std::vector<double> current = noisy->CurrentValues();
   int best_start = 0;
   double best_sum = 1e300;
   for (int start = 0; start + width <= n; start += width) {
@@ -47,42 +51,50 @@ void RunWorld(const CleaningProblem& base, int width, uint64_t seed,
       best_start = start;
     }
   }
-  PerturbationSet context =
-      NonOverlappingWindowSumPerturbations(n, width, best_start, 1.5);
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(n, width, best_start, 1.5));
   double reference = best_sum;
-  if (!HasCounterargument(context, scenario.truth, reference, 0.0,
+  if (!HasCounterargument(*context, scenario.truth, reference, 0.0,
                           CounterDirection::kLowerRefutes)) {
     return;  // no counter exists even with everything cleaned
   }
   ++totals.worlds;
-  LinearQueryFunction bias = BiasLinearFunction(context, reference);
   std::vector<double> stddevs(n);
   for (int i = 0; i < n; ++i) {
-    stddevs[i] = std::sqrt(noisy.object(i).dist.Variance());
+    stddevs[i] = std::sqrt(noisy->object(i).dist.Variance());
   }
+  // Both strategies select through the Planner: GreedyMaxPr in the normal
+  // closed form, GreedyNaive on the kBias quality of the same context.
+  exp::ExperimentRunner runner;
+  exp::Workload fairness = exp::MakeModularFairnessWorkload(
+      "counters_world", noisy, context, reference, reference);
+  const LinearQueryFunction& bias = *fairness.linear;
+  exp::Workload maxpr_w = exp::MakeMaxPrNormalWorkload(
+      "counters_world_maxpr", noisy, fairness.linear, /*tau=*/0.0);
   Selection maxpr =
-      GreedyMaxPrNormal(bias, noisy.Means(), stddevs, current,
-                        noisy.Costs(), noisy.TotalCost(), 0.0);
-  ClaimQualityFunction quality(&context, QualityMeasure::kBias, reference);
-  Selection naive = GreedyNaive(quality, noisy, noisy.TotalCost());
+      runner.RunCell(maxpr_w, "greedy_maxpr_normal", noisy->TotalCost())
+          .result.selection;
+  Selection naive =
+      runner.RunCell(fairness, "greedy_naive", noisy->TotalCost())
+          .result.selection;
   std::vector<double> fallback = MaxPrModularWeights(bias, stddevs, n);
-  for (int i = 0; i < n; ++i) fallback[i] /= noisy.Costs()[i];
+  for (int i = 0; i < n; ++i) fallback[i] /= noisy->Costs()[i];
   std::vector<int> maxpr_order = CompleteOrder(maxpr.order, fallback);
   std::vector<int> naive_order = CompleteOrder(naive.order, fallback);
   CounterSearchResult m = CleanUntilCounter(
-      context, current, scenario.truth, noisy.Costs(), maxpr_order,
-      reference, 0.0, CounterDirection::kLowerRefutes, noisy.TotalCost());
+      *context, current, scenario.truth, noisy->Costs(), maxpr_order,
+      reference, 0.0, CounterDirection::kLowerRefutes, noisy->TotalCost());
   CounterSearchResult g = CleanUntilCounter(
-      context, current, scenario.truth, noisy.Costs(), naive_order,
-      reference, 0.0, CounterDirection::kLowerRefutes, noisy.TotalCost());
+      *context, current, scenario.truth, noisy->Costs(), naive_order,
+      reference, 0.0, CounterDirection::kLowerRefutes, noisy->TotalCost());
   if (m.found) {
     ++totals.maxpr_found;
-    totals.maxpr_budget += m.cost_used / noisy.TotalCost();
+    totals.maxpr_budget += m.cost_used / noisy->TotalCost();
     totals.maxpr_cleaned += m.num_cleaned;
   }
   if (g.found) {
     ++totals.naive_found;
-    totals.naive_budget += g.cost_used / noisy.TotalCost();
+    totals.naive_budget += g.cost_used / noisy->TotalCost();
     totals.naive_cleaned += g.num_cleaned;
   }
 }

@@ -1,9 +1,10 @@
 // Engine benchmark: plain full-rescan greedy vs the CELF lazy driver, and
 // thread-pool scaling of the candidate batches, on the synthetic
-// generator's problem sizes.  Since the Planner facade landed, every
-// configuration runs through one PlanRequest (algo "greedy_minvar" with
-// EngineOptions{threads, lazy}) — the same path the CLI and the examples
-// use — so this benchmark also guards the facade's overhead.
+// generator's problem sizes.  Every configuration runs through the
+// experiment runner on the urx_window_exact workload shape (algo
+// "greedy_minvar" with EngineOptions{threads, lazy}) — the same
+// Planner path the CLI and the examples use — so this benchmark also
+// guards the facade's overhead.
 //
 // The workload is GreedyMinVar on a URx problem whose query references a
 // fixed window of objects (support 3 each, so one EV evaluation
@@ -26,52 +27,21 @@
 #include <string>
 #include <vector>
 
-#include "core/planner.h"
-#include "data/synthetic.h"
+#include "bench/bench_common.h"
 #include "util/json.h"
-#include "util/table_printer.h"
 
 using namespace factcheck;
 
 namespace {
 
-struct Workload {
-  CleaningProblem problem;
-  double budget = 0.0;
-  double threshold = 0.0;
-  std::vector<int> refs;
-};
-
-Workload MakeWorkload(int n, int num_refs) {
-  Workload w;
-  w.problem = data::MakeSynthetic(
-      data::SyntheticFamily::kUniformRandom, 2019 + n,
-      {.size = n, .min_support = 3, .max_support = 3});
-  // A generous budget (many greedy rounds): the CELF payoff is one
-  // refresh per round instead of a full candidate rescan, so it grows
-  // with the number of picks.
-  w.budget = 0.35 * w.problem.TotalCost();
-  w.refs.resize(num_refs);
-  double mean_sum = 0.0;
-  for (int i = 0; i < num_refs; ++i) {
-    w.refs[i] = i;
-    mean_sum += w.problem.object(i).dist.Mean();
-  }
-  w.threshold = mean_sum;  // contested indicator: the sum can go both ways
-  return w;
-}
-
-PlanResult Run(const Workload& w, const QueryFunction& f, bool lazy,
-               int threads) {
-  PlanRequest request;
-  request.problem = &w.problem;
-  request.query = &f;
-  request.objective = ObjectiveKind::kMinVar;
-  request.budget = w.budget;
-  request.engine.threads = threads;
-  request.engine.lazy = lazy;
-  request.with_trajectory = false;  // keep the timing pure selection work
-  return Planner().Plan(request, "greedy_minvar");
+exp::ExperimentCell Run(const exp::Workload& w, bool lazy, int threads) {
+  EngineOptions engine;
+  engine.threads = threads;
+  engine.lazy = lazy;
+  // Objective scoring off: keep the timing pure selection work.
+  return exp::ExperimentRunner().RunCell(
+      w, "greedy_minvar", 0.35 * w.TotalCost(), engine,
+      /*with_objective=*/false);
 }
 
 }  // namespace
@@ -108,19 +78,15 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes = {16, 28, 40};
   for (int n : sizes) {
     const int num_refs = 10;
-    Workload w = MakeWorkload(n, num_refs);
-    LambdaQueryFunction f(w.refs,
-                          [t = w.threshold](const std::vector<double>& x) {
-                            double s = 0.0;
-                            for (double v : x) s += v;
-                            return s < t ? 1.0 : 0.0;
-                          });
-    PlanResult plain1 = Run(w, f, /*lazy=*/false, 1);
+    exp::Workload w = exp::MakeUrxWindowExact(n, num_refs, 2019 + n);
+    exp::ExperimentCell plain1 = Run(w, /*lazy=*/false, 1);
     auto add_row = [&](const char* variant, int threads,
-                       const PlanResult& r) {
-      bool match = r.selection.cleaned == plain1.selection.cleaned;
+                       const exp::ExperimentCell& cell) {
+      const PlanResult& r = cell.result;
+      bool match =
+          r.selection.cleaned == plain1.result.selection.cleaned;
       double speedup = r.wall_seconds > 0.0
-                           ? plain1.wall_seconds / r.wall_seconds
+                           ? plain1.result.wall_seconds / r.wall_seconds
                            : 0.0;
       table.AddCell(n)
           .AddCell(num_refs)
@@ -144,11 +110,11 @@ int main(int argc, char** argv) {
     };
     add_row("plain", 1, plain1);
     for (int threads : {2, 4, 8}) {
-      add_row("plain", threads, Run(w, f, /*lazy=*/false, threads));
+      add_row("plain", threads, Run(w, /*lazy=*/false, threads));
     }
-    add_row("lazy", 1, Run(w, f, /*lazy=*/true, 1));
+    add_row("lazy", 1, Run(w, /*lazy=*/true, 1));
     {
-      double speedup = add_row("lazy", 8, Run(w, f, /*lazy=*/true, 8));
+      double speedup = add_row("lazy", 8, Run(w, /*lazy=*/true, 8));
       if (n == sizes.back()) headline = speedup;
     }
   }

@@ -4,38 +4,30 @@
 // RatioEvEvaluator extends the Theorem-3.8 strategy with joint
 // (earlier, later) sum distributions.  Series: expected variance in the
 // uniqueness of the percentage claim vs budget, GreedyNaive vs
-// GreedyMinVar, on Adoptions and URx.
+// GreedyMinVar, on Adoptions and URx — both selections through the
+// Planner facade on the registered ratio workloads.
 
 #include <cstdio>
+#include <string>
 
-#include "claims/ratio.h"
-#include "core/greedy.h"
-#include "data/adoptions.h"
-#include "data/synthetic.h"
-#include "util/table_printer.h"
+#include "bench/bench_common.h"
 
 using namespace factcheck;
+using namespace factcheck::bench;
 
 namespace {
 
-void Run(const std::string& name, const CleaningProblem& problem, int width,
-         int original_start, double reference, TablePrinter& table) {
-  RatioPerturbationSet context = NonOverlappingRatioPerturbations(
-      problem.size(), width, original_start, 1.5);
-  RatioEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
-                             reference);
-  LambdaQueryFunction quality = RatioQualityFunction(
-      context, QualityMeasure::kDuplicity, reference,
-      StrengthDirection::kHigherIsStronger);
-  for (double frac : {0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0}) {
-    double budget = problem.TotalCost() * frac;
-    Selection naive = GreedyNaive(quality, problem, budget);
-    Selection minvar = evaluator.GreedyMinVar(budget);
+void Run(const std::string& name, const exp::Workload& w,
+         TablePrinter& table) {
+  exp::ExperimentRunner runner;
+  for (double frac : w.default_budget_fractions) {
+    double budget = w.TotalCost() * frac;
     table.AddCell(name)
-        .AddCell(reference)
+        .AddCell(w.reference)
         .AddCell(frac)
-        .AddCell(evaluator.EV(naive.cleaned))
-        .AddCell(evaluator.EV(minvar.cleaned));
+        .AddCell(runner.RunCell(w, "greedy_naive", budget).objective)
+        .AddCell(
+            runner.RunCell(w, "claims_greedy_minvar", budget).objective);
     table.EndRow();
   }
 }
@@ -46,22 +38,14 @@ int main() {
   std::printf(
       "# Extension: uniqueness of percentage-change claims (nonlinear), "
       "GreedyNaive vs GreedyMinVar\n");
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
   TablePrinter table({"dataset", "claimed_change", "budget_fraction",
                       "ev_greedy_naive", "ev_greedy_minvar"});
-  {
-    // Adoptions: "the rise between back-to-back 4-year windows was as
-    // large as +30%"; perturbations are other non-overlapping window
-    // pairs.
-    CleaningProblem problem = data::MakeAdoptions(2019, /*points=*/4);
-    Run("Adoptions", problem, 4, 8, 0.30, table);
-  }
-  {
-    CleaningProblem problem = data::MakeSynthetic(
-        data::SyntheticFamily::kUniformRandom, 2019,
-        {.size = 48, .min_support = 2, .max_support = 4});
-    for (double claimed : {0.0, 0.25, 0.5}) {
-      Run("URx", problem, 4, 16, claimed, table);
-    }
+  // Adoptions: "the rise between back-to-back 4-year windows was as
+  // large as +30%"; perturbations are other non-overlapping window pairs.
+  Run("Adoptions", workloads.Build("adoptions_ratio"), table);
+  for (double claimed : {0.0, 0.25, 0.5}) {
+    Run("URx", workloads.Build("urx_ratio", {.gamma = claimed}), table);
   }
   table.Print();
   std::printf(

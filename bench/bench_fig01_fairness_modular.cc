@@ -1,89 +1,35 @@
 // Figure 1: effectiveness of algorithms in reducing uncertainty in claim
 // *fairness* (modular objective) on Adoptions (1a/1b), CDC-firearms (1c),
-// and CDC-causes (1d).
+// and CDC-causes (1d).  Workloads come from the experiment registry and
+// every selection runs through the Planner facade.
 //
 // Output: dataset, budget fraction, algorithm, remaining variance in the
 // bias after cleaning the algorithm's selection.  Expected shape:
 // Random >> GreedyNaiveCostBlind >= GreedyNaive > GreedyMinVar ~= Optimum.
+// Delta vs the pre-registry output: the Random rows average 100 runs with
+// one RNG seed per run (2019 + r) instead of one shared RNG stream, so
+// their values shifted within noise; all other rows are unchanged.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/adoptions.h"
-#include "data/cdc.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
 
-namespace {
-
-ModularFairnessWorkload AdoptionsWorkload() {
-  ModularFairnessWorkload w{data::MakeAdoptions(2019),
-                            // Giuliani: 1993-1996 vs 1989-1992; 18 shifted
-                            // comparisons, sensibility decay 1.5.
-                            WindowComparisonPerturbations(
-                                data::kAdoptionsYears, 4, 0, 1.5),
-                            0.0, LinearQueryFunction({}, {})};
-  w.reference = w.context.original.Evaluate(w.problem.CurrentValues());
-  w.bias = BiasLinearFunction(w.context, w.reference);
-  return w;
-}
-
-ModularFairnessWorkload CdcFirearmsWorkload() {
-  ModularFairnessWorkload w{data::MakeCdcFirearms(2019),
-                            // 2001-2004 vs 2005-2008 and its 10 shifts
-                            // (including the original placement).
-                            WindowComparisonPerturbations(
-                                data::kCdcYears, 4, 0, 1.5,
-                                /*include_original=*/true),
-                            0.0, LinearQueryFunction({}, {})};
-  w.reference = w.context.original.Evaluate(w.problem.CurrentValues());
-  w.bias = BiasLinearFunction(w.context, w.reference);
-  return w;
-}
-
-ModularFairnessWorkload CdcCausesWorkload() {
-  ModularFairnessWorkload w{data::MakeCdcCauses(2019),
-                            PerturbationSet{},
-                            0.0, LinearQueryFunction({}, {})};
-  // Claim: transportation injuries over the last 2-year period exceed 30%
-  // of all other causes combined; 16 perturbations slide the window.
-  auto make_claim = [&](int start_year) {
-    std::vector<int> plus, minus;
-    for (int y = start_year; y <= start_year + 1; ++y) {
-      plus.push_back(data::CdcCausesIndex(1, y));
-      for (int cause : {0, 2, 3}) {
-        minus.push_back(data::CdcCausesIndex(cause, y));
-      }
-    }
-    return MakeWeightedAggregateClaim(
-        plus, 1.0, minus, -0.3,
-        "transportation vs 30% of others, " + std::to_string(start_year));
-  };
-  int original_start = data::kCdcLastYear - 1;  // 2016-2017
-  w.context.original = make_claim(original_start);
-  std::vector<double> distances;
-  for (int y = data::kCdcFirstYear; y + 1 <= data::kCdcLastYear; ++y) {
-    w.context.perturbations.push_back(make_claim(y));
-    distances.push_back(std::abs(y - original_start));
-  }
-  w.context.sensibilities = ExponentialSensibilities(distances, 1.5);
-  w.reference = w.context.original.Evaluate(w.problem.CurrentValues());
-  w.bias = BiasLinearFunction(w.context, w.reference);
-  return w;
-}
-
-}  // namespace
-
 int main() {
   std::printf(
       "# Figure 1: variance in claim fairness after cleaning vs budget\n");
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
   TablePrinter table({"dataset", "budget_fraction", "algorithm",
                       "remaining_variance"});
-  RunModularFairness("Adoptions", AdoptionsWorkload(), table);
-  RunModularFairness("CDC-firearms", CdcFirearmsWorkload(), table,
+  RunModularFairness("Adoptions", workloads.Build("adoptions_fairness"),
+                     table);
+  RunModularFairness("CDC-firearms",
+                     workloads.Build("cdc_firearms_fairness"), table,
                      /*include_random=*/false);
-  RunModularFairness("CDC-causes", CdcCausesWorkload(), table,
+  RunModularFairness("CDC-causes", workloads.Build("cdc_causes_fairness"),
+                     table,
                      /*include_random=*/false);
   table.Print();
   return 0;

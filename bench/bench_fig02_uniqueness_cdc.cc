@@ -1,76 +1,32 @@
 // Figure 2: effectiveness in reducing uncertainty in claim *uniqueness*
 // (duplicity; non-modular objective) on CDC-firearms (2a) and CDC-causes
 // (2b).  Claim: "in the last two years, injuries ... as low as Gamma";
-// 7-8 non-overlapping two-year window perturbations.
+// 7-8 non-overlapping two-year window perturbations, with a contested
+// Gamma (the median window total).  Workloads come from the experiment
+// registry; every selection runs through the Planner facade.
 //
 // Expected shape: Best ~= GreedyMinVar <= GreedyNaive at every budget.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/cdc.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
 
-namespace {
-
-QualityWorkload FirearmsWorkload() {
-  CleaningProblem problem = data::MakeCdcFirearms(2019, /*points=*/6);
-  QualityWorkload w{problem,
-                    NonOverlappingWindowSumPerturbations(
-                        problem.size(), 2, problem.size() - 2, 1.5, 8),
-                    QualityMeasure::kDuplicity, 0.0,
-                    StrengthDirection::kLowerIsStronger};
-  // "as low as Gamma" with a contested Gamma: the median two-year total.
-  w.reference = MedianPerturbationValue(problem, w.context);
-  return w;
-}
-
-QualityWorkload CausesWorkload() {
-  CleaningProblem problem = data::MakeCdcCauses(2019, /*points=*/4);
-  // Claims aggregate across all four causes over two-year windows (8
-  // values per claim).
-  auto make_claim = [&](int start_year) {
-    std::vector<int> refs;
-    for (int cause = 0; cause < data::kCdcNumCauses; ++cause) {
-      for (int y = start_year; y <= start_year + 1; ++y) {
-        refs.push_back(data::CdcCausesIndex(cause, y));
-      }
-    }
-    return MakeWeightedAggregateClaim(refs, 1.0, {}, 0.0,
-                                      "all causes " +
-                                          std::to_string(start_year));
-  };
-  QualityWorkload w{problem, PerturbationSet{}, QualityMeasure::kDuplicity,
-                    0.0, StrengthDirection::kLowerIsStronger};
-  int original_start = data::kCdcLastYear - 1;
-  w.context.original = make_claim(original_start);
-  std::vector<double> distances;
-  // Non-overlapping two-year windows walking back from the original.
-  for (int y = original_start - 2; y >= data::kCdcFirstYear; y -= 2) {
-    w.context.perturbations.push_back(make_claim(y));
-    distances.push_back((original_start - y) / 2.0);
-  }
-  w.context.sensibilities = ExponentialSensibilities(distances, 1.5);
-  w.reference = MedianPerturbationValue(problem, w.context);
-  return w;
-}
-
-}  // namespace
-
 int main() {
   std::printf(
       "# Figure 2: expected variance in claim uniqueness vs budget (CDC)\n");
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
   TablePrinter table(
       {"dataset", "gamma", "budget_fraction", "algorithm",
        "expected_variance"});
   {
-    QualityWorkload w = FirearmsWorkload();
+    exp::Workload w = workloads.Build("cdc_firearms_uniqueness");
     RunQualitySweep("CDC-firearms", w.reference, w, table);
   }
   {
-    QualityWorkload w = CausesWorkload();
+    exp::Workload w = workloads.Build("cdc_causes_uniqueness");
     RunQualitySweep("CDC-causes", w.reference, w, table);
   }
   table.Print();

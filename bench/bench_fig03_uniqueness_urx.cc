@@ -1,6 +1,7 @@
 // Figure 3: uncertainty reduction in claim uniqueness on URx, for claims
 // asserting a 4-value window sum to be as small as Gamma, with Gamma in
-// {50, 100, 150, 200, 250, 300} (sub-figures 3a-3f).
+// {50, 100, 150, 200, 250, 300} (sub-figures 3a-3f).  One registry
+// workload per Gamma; every selection runs through the Planner facade.
 //
 // Expected shape: initial uncertainty peaks at midrange Gamma (the
 // indicator can go either way); GreedyMinVar ~= Best <= GreedyNaive.
@@ -8,7 +9,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
@@ -18,12 +18,9 @@ int main() {
       "# Figure 3: expected variance in uniqueness vs budget, URx n=40\n");
   TablePrinter table({"dataset", "gamma", "budget_fraction", "algorithm",
                       "expected_variance"});
-  CleaningProblem problem = data::MakeSynthetic(
-      data::SyntheticFamily::kUniformRandom, 2019, {.size = 40});
   for (double gamma : {50.0, 100.0, 150.0, 200.0, 250.0, 300.0}) {
-    QualityWorkload w = MakeSyntheticQualityWorkload(
-        problem, /*width=*/4, /*original_start=*/16, gamma,
-        QualityMeasure::kDuplicity, /*max_perturbations=*/10);
+    exp::Workload w = exp::WorkloadRegistry::Global().Build(
+        "urx_uniqueness", {.gamma = gamma});
     RunQualitySweep("URx", gamma, w, table);
   }
   table.Print();

@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
@@ -17,12 +16,9 @@ int main() {
       "# Figure 4: expected variance in uniqueness vs budget, LNx n=40\n");
   TablePrinter table({"dataset", "gamma", "budget_fraction", "algorithm",
                       "expected_variance"});
-  CleaningProblem problem = data::MakeSynthetic(
-      data::SyntheticFamily::kLogNormal, 2019, {.size = 40});
   for (double gamma : {3.0, 3.5, 4.0, 4.5, 5.0, 5.5}) {
-    QualityWorkload w = MakeSyntheticQualityWorkload(
-        problem, /*width=*/4, /*original_start=*/16, gamma,
-        QualityMeasure::kDuplicity, /*max_perturbations=*/10);
+    exp::Workload w = exp::WorkloadRegistry::Global().Build(
+        "lnx_uniqueness", {.gamma = gamma});
     RunQualitySweep("LNx", gamma, w, table);
   }
   table.Print();

@@ -6,7 +6,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
@@ -16,12 +15,9 @@ int main() {
       "# Figure 5: expected variance in uniqueness vs budget, SMx n=40\n");
   TablePrinter table({"dataset", "gamma", "budget_fraction", "algorithm",
                       "expected_variance"});
-  CleaningProblem problem = data::MakeSynthetic(
-      data::SyntheticFamily::kStructuredMultimodal, 2019, {.size = 40});
   for (double gamma : {50.0, 100.0, 150.0, 200.0, 250.0, 300.0}) {
-    QualityWorkload w = MakeSyntheticQualityWorkload(
-        problem, /*width=*/4, /*original_start=*/16, gamma,
-        QualityMeasure::kDuplicity, /*max_perturbations=*/10);
+    exp::Workload w = exp::WorkloadRegistry::Global().Build(
+        "smx_uniqueness", {.gamma = gamma});
     RunQualitySweep("SMx", gamma, w, table);
   }
   table.Print();

@@ -7,24 +7,21 @@
 // very generous budgets.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
 
 namespace {
 
-void RunImprovement(const std::string& name, data::SyntheticFamily family,
+void RunImprovement(const std::string& name, const std::string& workload,
                     const std::vector<double>& gammas, TablePrinter& table) {
-  CleaningProblem problem = data::MakeSynthetic(family, 2019, {.size = 40});
   for (double gamma : gammas) {
-    QualityWorkload w = MakeSyntheticQualityWorkload(
-        problem, 4, 16, gamma, QualityMeasure::kDuplicity, 10);
-    ClaimEvEvaluator evaluator(&w.problem, &w.context, w.measure,
-                               w.reference);
-    double initial = evaluator.PriorVariance();
+    exp::Workload w =
+        exp::WorkloadRegistry::Global().Build(workload, {.gamma = gamma});
+    double initial = w.metric({});  // prior variance, EV of the empty set
     for (double frac : BudgetFractions()) {
       EvPair pair = EvAtBudget(w, frac);
       table.AddCell(name)
@@ -44,10 +41,10 @@ int main() {
       "# Figure 6: absolute improvement of GreedyMinVar over GreedyNaive\n");
   TablePrinter table({"dataset", "gamma", "initial_variance",
                       "budget_fraction", "absolute_improvement"});
-  RunImprovement("URx", data::SyntheticFamily::kUniformRandom,
-                 {50, 100, 150, 200, 250, 300}, table);
-  RunImprovement("LNx", data::SyntheticFamily::kLogNormal,
-                 {3.0, 3.5, 4.0, 4.5, 5.0, 5.5}, table);
+  RunImprovement("URx", "urx_uniqueness", {50, 100, 150, 200, 250, 300},
+                 table);
+  RunImprovement("LNx", "lnx_uniqueness", {3.0, 3.5, 4.0, 4.5, 5.0, 5.5},
+                 table);
   table.Print();
   return 0;
 }

@@ -9,8 +9,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/cdc.h"
-#include "data/synthetic.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
@@ -18,26 +16,18 @@ using namespace factcheck::bench;
 int main() {
   std::printf(
       "# Figure 7: expected variance in claim robustness vs budget\n");
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
   TablePrinter table({"dataset", "gamma", "budget_fraction", "algorithm",
                       "expected_variance"});
   {
-    CleaningProblem problem = data::MakeCdcFirearms(2019);
-    QualityWorkload w{problem,
-                      NonOverlappingWindowSumPerturbations(
-                          problem.size(), 2, problem.size() - 2, 1.5, 8),
-                      QualityMeasure::kFragility, 0.0};
-    w.reference = w.context.original.Evaluate(problem.CurrentValues());
+    exp::Workload w = workloads.Build("cdc_firearms_robustness");
     RunQualitySweep("CDC-firearms", w.reference, w, table);
   }
   {
     // URx with 100 values; 24 non-overlapping 4-value windows as
     // perturbations (the paper's 25-perturbation setup).
-    CleaningProblem problem = data::MakeSynthetic(
-        data::SyntheticFamily::kUniformRandom, 2019, {.size = 100});
-    QualityWorkload w = MakeSyntheticQualityWorkload(
-        problem, /*width=*/4, /*original_start=*/48, /*gamma=*/100.0,
-        QualityMeasure::kFragility, /*max_perturbations=*/25);
-    RunQualitySweep("URx", 100.0, w, table);
+    exp::Workload w = workloads.Build("urx_robustness");
+    RunQualitySweep("URx", w.reference, w, table);
   }
   table.Print();
   return 0;

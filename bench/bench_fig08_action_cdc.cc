@@ -1,18 +1,17 @@
 // Figure 8: effectiveness *in action* on CDC-causes — a concrete world
 // with hidden true values; as the budget grows, each algorithm cleans its
-// selection, the chosen values are revealed, and we report the mean and
-// standard deviation of the fact-checker's resulting duplicity estimate.
+// selection (through the Planner facade), the chosen values are revealed,
+// and we report the mean and standard deviation of the fact-checker's
+// resulting duplicity estimate.
 //
 // Expected shape: GreedyMinVar/Best converge to the true duplicity with a
 // lower standard deviation at smaller budgets than GreedyNaive.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/cdc.h"
 #include "montecarlo/simulator.h"
-
-#include <algorithm>
 
 using namespace factcheck;
 using namespace factcheck::bench;
@@ -21,65 +20,32 @@ int main() {
   std::printf(
       "# Figure 8: posterior duplicity estimate (mean, stddev) vs budget, "
       "CDC-causes\n");
-  CleaningProblem problem = data::MakeCdcCauses(2019);
-  // Same claim family as Fig 2b: all-cause two-year windows.
-  auto make_claim = [&](int start_year) {
-    std::vector<int> refs;
-    for (int cause = 0; cause < data::kCdcNumCauses; ++cause) {
-      for (int y = start_year; y <= start_year + 1; ++y) {
-        refs.push_back(data::CdcCausesIndex(cause, y));
-      }
-    }
-    return MakeWeightedAggregateClaim(refs, 1.0, {}, 0.0, "");
-  };
-  PerturbationSet context;
-  int original_start = data::kCdcLastYear - 1;
-  context.original = make_claim(original_start);
-  std::vector<double> distances;
-  for (int y = original_start - 2; y >= data::kCdcFirstYear; y -= 2) {
-    context.perturbations.push_back(make_claim(y));
-    distances.push_back((original_start - y) / 2.0);
-  }
-  context.sensibilities = ExponentialSensibilities(distances, 1.5);
-  // "as low as Gamma" with a contested Gamma (median all-cause total).
-  PerturbationSet probe = context;
-  std::vector<double> sums;
-  for (const Claim& q : probe.perturbations) {
-    sums.push_back(q.Evaluate(problem.CurrentValues()));
-  }
-  std::sort(sums.begin(), sums.end());
-  double reference = sums[sums.size() / 2];
-  const StrengthDirection direction = StrengthDirection::kLowerIsStronger;
-
+  // Same claim family as Fig 2b: all-cause two-year windows with a
+  // contested Gamma (median all-cause total), "as low as Gamma".
+  exp::Workload w =
+      exp::WorkloadRegistry::Global().Build("cdc_causes_uniqueness");
   Rng rng(5);
-  InActionScenario scenario = MakeScenario(problem, rng);
-  ClaimQualityFunction dup(&context, QualityMeasure::kDuplicity, reference,
-                           direction);
+  InActionScenario scenario = MakeScenario(*w.problem, rng);
   std::printf("# true duplicity in this world: %.0f of %d\n",
-              dup.Evaluate(scenario.truth), context.size());
+              w.query->Evaluate(scenario.truth), w.claims->size());
 
-  ClaimEvEvaluator evaluator(&problem, &context, QualityMeasure::kDuplicity,
-                             reference, direction);
-  SetObjective ev = [&](const std::vector<int>& t) {
-    return evaluator.EV(t);
-  };
+  exp::ExperimentRunner runner;
   TablePrinter table({"budget_fraction", "algorithm", "estimate_mean",
                       "estimate_stddev"});
   for (double frac : BudgetFractions()) {
-    double budget = problem.TotalCost() * frac;
-    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+    double budget = w.TotalCost() * frac;
+    for (const char* algo :
+         {"greedy_naive", "claims_greedy_minvar", "best_minvar"}) {
+      exp::ExperimentCell cell = runner.RunCell(w, algo, budget);
       QualityMoments moments = EstimateAfterCleaning(
-          scenario, context, QualityMeasure::kDuplicity, reference, set,
-          direction);
+          scenario, *w.claims, w.measure, w.reference,
+          cell.result.selection.cleaned, w.direction);
       table.AddCell(frac)
-          .AddCell(algo)
+          .AddCell(DisplayName(algo))
           .AddCell(moments.mean)
           .AddCell(std::sqrt(moments.variance));
       table.EndRow();
-    };
-    emit("GreedyNaive", GreedyNaive(dup, problem, budget).cleaned);
-    emit("GreedyMinVar", evaluator.GreedyMinVar(budget).cleaned);
-    emit("Best", BestMinVar(ev, problem.Costs(), budget).cleaned);
+    }
   }
   table.Print();
   return 0;

@@ -1,11 +1,12 @@
 // Figure 9: effectiveness in action on URx with Gamma = 100 — the
 // synthetic companion of Figure 8.  Mean and standard deviation of the
-// duplicity estimate as functions of budget for each algorithm.
+// duplicity estimate as functions of budget for each algorithm, with
+// every selection running through the Planner facade.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
 #include "montecarlo/simulator.h"
 
 using namespace factcheck;
@@ -15,43 +16,31 @@ int main() {
   std::printf(
       "# Figure 9: posterior duplicity estimate (mean, stddev) vs budget, "
       "URx Gamma=100\n");
-  CleaningProblem problem = data::MakeSynthetic(
-      data::SyntheticFamily::kUniformRandom, 2019, {.size = 40});
-  QualityWorkload w = MakeSyntheticQualityWorkload(
-      problem, 4, 16, /*gamma=*/100.0, QualityMeasure::kDuplicity, 10);
   // "as low as Gamma = 100": a perturbation refutes uniqueness when its
   // window sum is at most 100 (the paper's true uniqueness of 1).
-  w.direction = StrengthDirection::kLowerIsStronger;
+  exp::Workload w = exp::WorkloadRegistry::Global().Build("urx_action");
   Rng rng(11);
-  InActionScenario scenario = MakeScenario(problem, rng);
-  ClaimQualityFunction dup(&w.context, QualityMeasure::kDuplicity,
-                           w.reference, w.direction);
+  InActionScenario scenario = MakeScenario(*w.problem, rng);
   std::printf("# true duplicity in this world: %.0f of %d\n",
-              dup.Evaluate(scenario.truth), w.context.size());
+              w.query->Evaluate(scenario.truth), w.claims->size());
 
-  ClaimEvEvaluator evaluator(&problem, &w.context,
-                             QualityMeasure::kDuplicity, w.reference,
-                             w.direction);
-  SetObjective ev = [&](const std::vector<int>& t) {
-    return evaluator.EV(t);
-  };
+  exp::ExperimentRunner runner;
   TablePrinter table({"budget_fraction", "algorithm", "estimate_mean",
                       "estimate_stddev"});
   for (double frac : BudgetFractions()) {
-    double budget = problem.TotalCost() * frac;
-    auto emit = [&](const std::string& algo, const std::vector<int>& set) {
+    double budget = w.TotalCost() * frac;
+    for (const char* algo :
+         {"greedy_naive", "claims_greedy_minvar", "best_minvar"}) {
+      exp::ExperimentCell cell = runner.RunCell(w, algo, budget);
       QualityMoments moments = EstimateAfterCleaning(
-          scenario, w.context, QualityMeasure::kDuplicity, w.reference, set,
-          w.direction);
+          scenario, *w.claims, w.measure, w.reference,
+          cell.result.selection.cleaned, w.direction);
       table.AddCell(frac)
-          .AddCell(algo)
+          .AddCell(DisplayName(algo))
           .AddCell(moments.mean)
           .AddCell(std::sqrt(moments.variance));
       table.EndRow();
-    };
-    emit("GreedyNaive", GreedyNaive(dup, problem, budget).cleaned);
-    emit("GreedyMinVar", evaluator.GreedyMinVar(budget).cleaned);
-    emit("Best", BestMinVar(ev, problem.Costs(), budget).cleaned);
+    }
   }
   table.Print();
   return 0;

@@ -4,66 +4,45 @@
 //   (b) growing n at a fixed absolute budget of 5,000 (roughly 1,000
 //       cleanings); running time in log10 seconds.
 //
+// Every run goes through the Planner facade: the urx_scaling workload's
+// "claims_greedy_minvar" builds a fresh Theorem-3.8 evaluator inside the
+// timed run, so the wall clock includes the term caches and initial
+// benefits, as a fact-checker would pay them.
+//
 // Absolute numbers are machine-dependent; the paper's shapes — roughly
 // linear growth in budget, and superlinear-but-tractable growth in n — are
 // what these series reproduce.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/synthetic.h"
-#include "util/stopwatch.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
 
 namespace {
 
-// URx problem of size n with non-overlapping width-4 window perturbations
-// covering every value (n/4 claims, the paper's 2,500 at n = 10,000).
-struct BigWorkload {
-  CleaningProblem problem;
-  PerturbationSet context;
-  double reference;
-};
-
-BigWorkload MakeBig(int n) {
-  BigWorkload w{data::MakeSynthetic(data::SyntheticFamily::kUniformRandom,
-                                    2019, {.size = n}),
-                PerturbationSet{}, 0.0};
-  const int width = 4;
-  w.context.original = MakeWindowSumClaim(0, width);
-  std::vector<double> distances;
-  for (int start = width; start + width <= n; start += width) {
-    w.context.perturbations.push_back(MakeWindowSumClaim(start, width));
-    distances.push_back(start / static_cast<double>(width));
-  }
-  w.context.sensibilities = ExponentialSensibilities(distances, 1.001);
-  w.reference = 100.0;  // Gamma = 100 as in Fig 10's caption
-  return w;
+exp::ExperimentCell TimeGreedy(const exp::Workload& w, double budget) {
+  return exp::ExperimentRunner().RunCell(w, "claims_greedy_minvar", budget,
+                                         EngineOptions{},
+                                         /*with_objective=*/false);
 }
 
 }  // namespace
 
 int main() {
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
   std::printf("# Figure 10a: GreedyMinVar running time vs budget, n=10000\n");
   {
-    BigWorkload w = MakeBig(10000);
-    TablePrinter table({"n", "budget_fraction", "num_cleaned",
-                        "seconds"});
+    exp::Workload w = workloads.Build("urx_scaling", {.size = 10000});
+    TablePrinter table({"n", "budget_fraction", "num_cleaned", "seconds"});
     for (double frac : {0.01, 0.05, 0.10, 0.20, 0.30}) {
-      double budget = w.problem.TotalCost() * frac;
-      // A fresh evaluator per point: the run time includes building the
-      // term caches and initial benefits, as a fact-checker would.
-      Stopwatch sw;
-      ClaimEvEvaluator evaluator(&w.problem, &w.context,
-                                 QualityMeasure::kDuplicity, w.reference);
-      Selection sel = evaluator.GreedyMinVar(budget);
-      double secs = sw.ElapsedSeconds();
+      exp::ExperimentCell cell = TimeGreedy(w, w.TotalCost() * frac);
       table.AddCell(10000)
           .AddCell(frac)
-          .AddCell(static_cast<int>(sel.cleaned.size()))
-          .AddCell(secs);
+          .AddCell(static_cast<int>(cell.result.selection.cleaned.size()))
+          .AddCell(cell.result.wall_seconds);
       table.EndRow();
     }
     table.Print();
@@ -75,15 +54,12 @@ int main() {
     TablePrinter table({"n", "budget", "num_cleaned", "seconds",
                         "log10_seconds"});
     for (int n : {5000, 10000, 50000, 100000, 250000, 500000}) {
-      BigWorkload w = MakeBig(n);
-      Stopwatch sw;
-      ClaimEvEvaluator evaluator(&w.problem, &w.context,
-                                 QualityMeasure::kDuplicity, w.reference);
-      Selection sel = evaluator.GreedyMinVar(5000.0);
-      double secs = sw.ElapsedSeconds();
+      exp::Workload w = workloads.Build("urx_scaling", {.size = n});
+      exp::ExperimentCell cell = TimeGreedy(w, 5000.0);
+      double secs = cell.result.wall_seconds;
       table.AddCell(n)
           .AddCell(5000.0)
-          .AddCell(static_cast<int>(sel.cleaned.size()))
+          .AddCell(static_cast<int>(cell.result.selection.cleaned.size()))
           .AddCell(secs)
           .AddCell(std::log10(secs > 0 ? secs : 1e-9));
       table.EndRow();

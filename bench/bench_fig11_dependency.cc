@@ -2,7 +2,8 @@
 // Cov(X_i, X_j) = gamma^{|j-i|} sigma_i sigma_j; fairness claim as in
 // Fig 1c.  The ground-truth metric is the conditional variance of the
 // bias under the full covariance (what a fact-checker would actually have
-// left after cleaning).
+// left after cleaning) — the cdc_dependency workload's metric, so every
+// row is the runner's objective for one Planner-driven selection.
 //   (a) gamma = 0.7, budget sweep: dependency-unaware algorithms
 //       (GreedyNaiveCostBlind / GreedyNaive / GreedyMinVar / Optimum) vs
 //       the covariance-aware GreedyDep and exhaustive OPT.
@@ -11,120 +12,32 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "data/cdc.h"
-#include "data/dependency.h"
 
 using namespace factcheck;
 using namespace factcheck::bench;
 
-namespace {
-
-struct DependencyInstance {
-  data::DependentDataset dataset;
-  PerturbationSet context;
-  LinearQueryFunction bias{{}, {}};
-  Vector weights;  // dense bias weights
-};
-
-DependencyInstance MakeInstance(double gamma) {
-  DependencyInstance inst{data::MakeDependentCdcFirearms(2019, gamma),
-                          WindowComparisonPerturbations(
-                              data::kCdcYears, 4, 0, 1.5,
-                              /*include_original=*/true),
-                          LinearQueryFunction({}, {}),
-                          {}};
-  double reference = inst.context.original.Evaluate(
-      inst.dataset.independent_view.CurrentValues());
-  inst.bias = BiasLinearFunction(inst.context, reference);
-  inst.weights = inst.bias.DenseWeights(data::kCdcYears);
-  return inst;
-}
-
-// Exhaustive OPT with full covariance knowledge: precomputes EV and cost
-// for every subset once, then answers any budget by a scan.
-struct OptTable {
-  std::vector<double> evs;
-  std::vector<double> costs;
-
-  double Best(double budget) const {
-    double best = 1e300;
-    for (size_t mask = 0; mask < evs.size(); ++mask) {
-      if (costs[mask] <= budget && evs[mask] < best) best = evs[mask];
-    }
-    return best;
-  }
-};
-
-OptTable BuildOptTable(const DependencyInstance& inst) {
-  int n = data::kCdcYears;
-  std::vector<double> cost_of = inst.dataset.independent_view.Costs();
-  OptTable table;
-  table.evs.resize(1u << n);
-  table.costs.resize(1u << n);
-  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
-    double cost = 0;
-    std::vector<int> set;
-    for (int i = 0; i < n; ++i) {
-      if (mask & (1u << i)) {
-        cost += cost_of[i];
-        set.push_back(i);
-      }
-    }
-    table.costs[mask] = cost;
-    table.evs[mask] =
-        inst.dataset.model.ExpectedConditionalVariance(inst.weights, set);
-  }
-  return table;
-}
-
-}  // namespace
-
 int main() {
+  const exp::WorkloadRegistry& workloads = exp::WorkloadRegistry::Global();
+  exp::ExperimentRunner runner;
   std::printf(
       "# Figure 11a: variance in fairness vs budget, gamma=0.7, "
       "CDC-firearms with injected dependency\n");
   {
-    DependencyInstance inst = MakeInstance(0.7);
-    const CleaningProblem& problem = inst.dataset.independent_view;
-    const MultivariateNormal& model = inst.dataset.model;
-    std::vector<double> variances = problem.Variances();
-    std::vector<double> costs = problem.Costs();
-    ClaimQualityFunction quality(&inst.context, QualityMeasure::kBias, 0.0);
-    OptTable opt = BuildOptTable(inst);
-    auto true_ev = [&](const std::vector<int>& set) {
-      return model.ExpectedConditionalVariance(inst.weights, set);
-    };
+    exp::Workload w = workloads.Build("cdc_dependency", {.gamma = 0.7});
     TablePrinter table({"gamma", "budget_fraction", "algorithm",
                         "true_remaining_variance"});
     for (double frac : BudgetFractions()) {
-      double budget = problem.TotalCost() * frac;
-      auto emit = [&](const std::string& algo,
-                      const std::vector<int>& set) {
-        table.AddCell(0.7).AddCell(frac).AddCell(algo).AddCell(
-            true_ev(set));
+      double budget = w.TotalCost() * frac;
+      for (const char* algo :
+           {"greedy_naive_cost_blind", "greedy_naive",
+            "greedy_minvar_linear", "knapsack_dp_minvar", "greedy_dep",
+            "opt_exhaustive_cov"}) {
+        table.AddCell(0.7)
+            .AddCell(frac)
+            .AddCell(DisplayName(algo))
+            .AddCell(runner.RunCell(w, algo, budget).objective);
         table.EndRow();
-      };
-      emit("GreedyNaiveCostBlind",
-           GreedyNaiveCostBlind(quality, problem, budget).cleaned);
-      emit("GreedyNaive", GreedyNaive(quality, problem, budget).cleaned);
-      emit("GreedyMinVar",
-           GreedyMinVarLinearIndependent(inst.bias, variances, costs,
-                                         budget)
-               .cleaned);
-      // Unaware Optimum (knapsack DP on the independent weights).
-      std::vector<double> weights(problem.size());
-      for (int i = 0; i < problem.size(); ++i) {
-        double a = inst.bias.Coefficient(i);
-        weights[i] = a * a * variances[i];
       }
-      KnapsackSolution dp =
-          MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10.0),
-                        static_cast<int>(budget * 10.0));
-      emit("Optimum", dp.selected);
-      emit("GreedyDep", GreedyDep(inst.bias, model, costs, budget).cleaned);
-      table.AddCell(0.7).AddCell(frac).AddCell("OPT").AddCell(
-          opt.Best(budget));
-      table.EndRow();
     }
     table.Print();
   }
@@ -135,26 +48,15 @@ int main() {
     TablePrinter table(
         {"gamma", "algorithm", "true_remaining_variance"});
     for (double gamma : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9}) {
-      DependencyInstance inst = MakeInstance(gamma);
-      const CleaningProblem& problem = inst.dataset.independent_view;
-      const MultivariateNormal& model = inst.dataset.model;
-      double budget = problem.TotalCost() * 0.3;
-      auto true_ev = [&](const std::vector<int>& set) {
-        return model.ExpectedConditionalVariance(inst.weights, set);
-      };
-      Selection unaware = GreedyMinVarLinearIndependent(
-          inst.bias, problem.Variances(), problem.Costs(), budget);
-      Selection dep =
-          GreedyDep(inst.bias, model, problem.Costs(), budget);
-      OptTable opt = BuildOptTable(inst);
-      table.AddCell(gamma).AddCell("GreedyMinVar").AddCell(
-          true_ev(unaware.cleaned));
-      table.EndRow();
-      table.AddCell(gamma).AddCell("GreedyDep").AddCell(
-          true_ev(dep.cleaned));
-      table.EndRow();
-      table.AddCell(gamma).AddCell("OPT").AddCell(opt.Best(budget));
-      table.EndRow();
+      exp::Workload w = workloads.Build("cdc_dependency", {.gamma = gamma});
+      double budget = w.TotalCost() * 0.3;
+      for (const char* algo :
+           {"greedy_minvar_linear", "greedy_dep", "opt_exhaustive_cov"}) {
+        table.AddCell(gamma)
+            .AddCell(DisplayName(algo))
+            .AddCell(runner.RunCell(w, algo, budget).objective);
+        table.EndRow();
+      }
     }
     table.Print();
   }

@@ -7,15 +7,22 @@
 //   (b) probability of countering (bias drop > tau) achieved by both,
 //       averaged over 100 random re-draws of the current values.
 //
+// Selections run through the Planner facade: the MinVar side is the
+// adoptions_competing workload's knapsack_dp_minvar, scored by the
+// workload metric (delta vs the pre-registry output: the metric sums the
+// *uncleaned* weights, so a fully cleaned selection reports exactly 0
+// instead of the old total-minus-selected float residue ~3.6e-14); the
+// MaxPr side runs greedy_maxpr_normal on a per-world workload whose bias
+// is restated from the redrawn current values.
+//
 // Expected shape: each algorithm wins its own objective; GreedyMaxPr's
 // variance curve flattens once more cleaning would *reduce* its chance of
 // countering (it refuses to clean further).
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/maxpr.h"
-#include "data/adoptions.h"
 #include "montecarlo/simulator.h"
 
 using namespace factcheck;
@@ -25,15 +32,14 @@ int main() {
   std::printf(
       "# Figure 12: MinVar-Optimum vs GreedyMaxPr on both objectives, "
       "Adoptions (current values re-drawn)\n");
-  CleaningProblem base = data::MakeAdoptions(2019);
-  int n = base.size();
-  PerturbationSet context =
-      NonOverlappingWindowSumPerturbations(n, 4, 12, 1.5);
-  const double tau = 40.0;
+  exp::Workload base =
+      exp::WorkloadRegistry::Global().Build("adoptions_competing");
+  const PerturbationSet& context = *base.claims;
+  const double tau = base.tau;
+  int n = base.problem->size();
 
-  std::vector<double> variances = base.Variances();
-  std::vector<double> costs = base.Costs();
-  std::vector<double> means = base.Means();
+  std::vector<double> variances = base.problem->Variances();
+  std::vector<double> means = base.problem->Means();
   std::vector<double> stddevs(n);
   for (int i = 0; i < n; ++i) stddevs[i] = std::sqrt(variances[i]);
 
@@ -44,37 +50,31 @@ int main() {
   Rng rng(2020);
   const int kRedraws = 100;
   // Pre-draw the 100 noisy databases.
-  std::vector<CleaningProblem> redraws;
+  std::vector<std::shared_ptr<const CleaningProblem>> redraws;
   redraws.reserve(kRedraws);
   for (int r = 0; r < kRedraws; ++r) {
-    redraws.push_back(RedrawCurrentValues(base, rng));
+    redraws.push_back(std::make_shared<const CleaningProblem>(
+        RedrawCurrentValues(*base.problem, rng)));
   }
 
+  exp::ExperimentRunner runner;
   for (double frac : BudgetFractions()) {
     double budget = base.TotalCost() * frac;
     // --- MinVar-Optimum ---
     // The bias weights depend on the reference only through the intercept,
-    // so the selection is redraw-independent.
-    double ref0 = context.original.Evaluate(base.CurrentValues());
-    LinearQueryFunction bias0 = BiasLinearFunction(context, ref0);
-    std::vector<double> weights(n);
-    for (int i = 0; i < n; ++i) {
-      double a = bias0.Coefficient(i);
-      weights[i] = a * a * variances[i];
-    }
-    KnapsackSolution dp =
-        MaxKnapsackDp(weights, ScaleCostsToInt(costs, 10.0),
-                      static_cast<int>(budget * 10.0));
-    double minvar_variance = 0;
-    for (int i = 0; i < n; ++i) minvar_variance += weights[i];
-    for (int i : dp.selected) minvar_variance -= weights[i];
+    // so the selection is redraw-independent; the remaining variance is
+    // the workload metric the runner already scored.
+    exp::ExperimentCell dp =
+        runner.RunCell(base, "knapsack_dp_minvar", budget);
+    double minvar_variance = dp.objective;
     // Its average counter probability across redraws.
     double minvar_prob = 0;
-    for (const CleaningProblem& world : redraws) {
-      double ref = context.original.Evaluate(world.CurrentValues());
+    for (const auto& world : redraws) {
+      double ref = context.original.Evaluate(world->CurrentValues());
       LinearQueryFunction bias = BiasLinearFunction(context, ref);
       minvar_prob += SurpriseProbabilityNormal(
-          bias, means, stddevs, world.CurrentValues(), dp.selected, tau);
+          bias, means, stddevs, world->CurrentValues(),
+          dp.result.selection.order, tau);
     }
     minvar_prob /= kRedraws;
     table.AddCell(frac)
@@ -85,24 +85,27 @@ int main() {
 
     // --- GreedyMaxPr --- (selection depends on the redraw)
     double maxpr_variance = 0, maxpr_prob = 0;
-    for (const CleaningProblem& world : redraws) {
-      double ref = context.original.Evaluate(world.CurrentValues());
-      LinearQueryFunction bias = BiasLinearFunction(context, ref);
-      Selection sel =
-          GreedyMaxPrNormal(bias, means, stddevs, world.CurrentValues(),
-                            costs, budget, tau);
+    for (const auto& world : redraws) {
+      double ref = context.original.Evaluate(world->CurrentValues());
+      auto bias = std::make_shared<const LinearQueryFunction>(
+          BiasLinearFunction(context, ref));
+      exp::Workload w = exp::MakeMaxPrNormalWorkload(
+          "adoptions_competing_world", world, bias, tau);
+      exp::ExperimentCell cell =
+          runner.RunCell(w, "greedy_maxpr_normal", budget);
+      const Selection& sel = cell.result.selection;
       double variance = 0;
       for (int i = 0; i < n; ++i) {
-        double a = bias.Coefficient(i);
+        double a = bias->Coefficient(i);
         variance += a * a * variances[i];
       }
       for (int i : sel.cleaned) {
-        double a = bias.Coefficient(i);
+        double a = bias->Coefficient(i);
         variance -= a * a * variances[i];
       }
       maxpr_variance += variance;
       maxpr_prob += SurpriseProbabilityNormal(
-          bias, means, stddevs, world.CurrentValues(), sel.cleaned, tau);
+          *bias, means, stddevs, world->CurrentValues(), sel.cleaned, tau);
     }
     table.AddCell(frac)
         .AddCell("GreedyMaxPr")

@@ -7,6 +7,7 @@
 #include <queue>
 #include <set>
 
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace factcheck {
@@ -317,14 +318,20 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget) const {
 Selection ClaimEvEvaluator::GreedyMinVar(double budget,
                                          const GreedyOptions& options) const {
   int n = problem_->size();
+  // Incremental-work counter surfaced through options.stats_out: every
+  // per-claim / per-pair term (re)computation counts as one evaluation —
+  // the unit of work Theorem 3.8's locality argument bounds.
+  std::int64_t term_evaluations = 0;
   std::vector<bool> is_cleaned(n, false);
   std::vector<double> evar_terms(context_->size());
   for (int k = 0; k < context_->size(); ++k) {
     evar_terms[k] = EVarTerm(k, is_cleaned);
+    ++term_evaluations;
   }
   std::vector<double> ecov_terms(pairs_.size());
   for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
     ecov_terms[p] = ECovTerm(p, is_cleaned);
+    ++term_evaluations;
   }
   double ev0 = 0.0;
   for (double t : evar_terms) ev0 += t;
@@ -370,12 +377,14 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
     std::set<int> dirty_objects;
     for (int k : object_claims_[i]) {
       evar_terms[k] = EVarTerm(k, is_cleaned);
+      ++term_evaluations;
       for (const Component& c : claim_components_[k]) {
         dirty_objects.insert(c.object);
       }
     }
     for (int p : object_pairs_[i]) {
       ecov_terms[p] = ECovTerm(p, is_cleaned);
+      ++term_evaluations;
       const Pair& pair = pairs_[p];
       for (const auto& c : pair.shared) dirty_objects.insert(c.object);
       for (const auto& c : pair.exclusive1) dirty_objects.insert(c.object);
@@ -406,6 +415,9 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
   }
   sel.order = sel.cleaned;
   std::sort(sel.cleaned.begin(), sel.cleaned.end());
+  if (options.stats_out != nullptr) {
+    options.stats_out->evaluations = term_evaluations;
+  }
   return sel;
 }
 

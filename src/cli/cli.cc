@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "core/planner.h"
 #include "core/registry.h"
 #include "data/problem_io.h"
+#include "exp/experiment.h"
+#include "exp/workload_registry.h"
 #include "util/json.h"
 #include "util/parse.h"
 #include "util/table_printer.h"
@@ -23,6 +26,8 @@ constexpr char kUsage[] =
     "  factcheck_cli list-algos\n"
     "  factcheck_cli run --problem FILE.csv --algo NAME[,NAME...]|all\n"
     "                (--budget X | --budget-frac F) [options]\n"
+    "  factcheck_cli bench list-workloads\n"
+    "  factcheck_cli bench run --workload NAME [bench options]\n"
     "\n"
     "run options:\n"
     "  --objective minvar|maxpr  objective kind (default: the algorithm's\n"
@@ -35,7 +40,22 @@ constexpr char kUsage[] =
     "  --mc-samples N            Monte Carlo sample count (default 200)\n"
     "  --seed N                  RNG seed (default 2019)\n"
     "  --no-trajectory           skip the per-round objective trajectory\n"
-    "  --json                    print PlanResult JSON instead of a table\n";
+    "  --json                    print PlanResult JSON instead of a table\n"
+    "\n"
+    "bench run options:\n"
+    "  --workload NAME           registered workload (see list-workloads)\n"
+    "  --algos a,b               registry algorithm names (default: the\n"
+    "                            workload's defaults)\n"
+    "  --budget-fracs f1,f2      budget sweep as fractions of total cost\n"
+    "  --budgets b1,b2           absolute budget sweep (overrides fracs)\n"
+    "  --seeds s1,s2             workload build + RNG seeds (default 2019)\n"
+    "  --size N / --gamma X      workload knobs (synthetic families)\n"
+    "  --reps N / --warmup N     timed / untimed runs per cell (default 1/0)\n"
+    "  --threads N / --lazy      engine options, as for run\n"
+    "  --mc-samples N            Monte Carlo sample count (default 200)\n"
+    "  --no-objective            skip scoring the selected sets\n"
+    "  --json FILE               write factcheck.bench.v1 JSON (\"-\" =\n"
+    "                            stdout) instead of the TSV table\n";
 
 struct RunArgs {
   std::string problem_path;
@@ -113,7 +133,8 @@ bool ParseRunArgs(int argc, char** argv, RunArgs* args) {
       }
     } else if (flag == "--threads") {
       std::int64_t threads;
-      if (!next(&value) || !ParseInt64(value, &threads) || threads < 1) {
+      if (!next(&value) || !ParseInt64(value, &threads) || threads < 1 ||
+          threads > std::numeric_limits<int>::max()) {
         return Fail("--threads needs a positive integer");
       }
       args->engine.threads = static_cast<int>(threads);
@@ -121,7 +142,8 @@ bool ParseRunArgs(int argc, char** argv, RunArgs* args) {
       args->engine.lazy = true;
     } else if (flag == "--mc-samples") {
       std::int64_t samples;
-      if (!next(&value) || !ParseInt64(value, &samples) || samples < 1) {
+      if (!next(&value) || !ParseInt64(value, &samples) || samples < 1 ||
+          samples > std::numeric_limits<int>::max()) {
         return Fail("--mc-samples needs a positive integer");
       }
       args->engine.mc_samples = static_cast<int>(samples);
@@ -275,6 +297,167 @@ int RunCommand(int argc, char** argv) {
   return 0;
 }
 
+// --- bench: the experiment-subsystem driver -------------------------------
+
+struct BenchRunArgs {
+  std::string workload;
+  exp::ExperimentSpec spec;
+  std::string json_path;  // empty: TSV table; "-": JSON to stdout
+  bool json = false;
+};
+
+bool ParseBenchRunArgs(int argc, char** argv, BenchRunArgs* args) {
+  for (int i = 0; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return Fail(flag + " needs a value");
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    auto parse_doubles = [&](std::vector<double>* out) {
+      if (!next(&value)) return false;
+      for (const std::string& cell : Split(value, ',')) {
+        double parsed;
+        if (!ParseFiniteDouble(cell, &parsed)) {
+          return Fail(flag + " needs numbers");
+        }
+        out->push_back(parsed);
+      }
+      return true;
+    };
+    auto parse_positive_int = [&](int* out) {
+      std::int64_t parsed;
+      if (!next(&value) || !ParseInt64(value, &parsed) || parsed < 1 ||
+          parsed > std::numeric_limits<int>::max()) {
+        return Fail(flag + " needs a positive integer");
+      }
+      *out = static_cast<int>(parsed);
+      return true;
+    };
+    if (flag == "--workload") {
+      if (!next(&args->workload)) return false;
+    } else if (flag == "--algos") {
+      if (!next(&value)) return false;
+      args->spec.algorithms = Split(value, ',');
+    } else if (flag == "--budget-fracs") {
+      if (!parse_doubles(&args->spec.budget_fractions)) return false;
+    } else if (flag == "--budgets") {
+      if (!parse_doubles(&args->spec.budgets)) return false;
+    } else if (flag == "--seeds") {
+      if (!next(&value)) return false;
+      for (const std::string& cell : Split(value, ',')) {
+        std::int64_t seed;
+        if (!ParseInt64(cell, &seed)) return Fail("--seeds needs integers");
+        args->spec.seeds.push_back(static_cast<std::uint64_t>(seed));
+      }
+    } else if (flag == "--size") {
+      if (!parse_positive_int(&args->spec.options.size)) return false;
+    } else if (flag == "--gamma") {
+      if (!next(&value) ||
+          !ParseFiniteDouble(value, &args->spec.options.gamma)) {
+        return Fail("--gamma needs a number");
+      }
+    } else if (flag == "--reps") {
+      if (!parse_positive_int(&args->spec.repetitions)) return false;
+    } else if (flag == "--warmup") {
+      std::int64_t warmup;
+      if (!next(&value) || !ParseInt64(value, &warmup) || warmup < 0) {
+        return Fail("--warmup needs a non-negative integer");
+      }
+      args->spec.warmup = static_cast<int>(warmup);
+    } else if (flag == "--threads") {
+      if (!parse_positive_int(&args->spec.engine.threads)) return false;
+    } else if (flag == "--lazy") {
+      args->spec.engine.lazy = true;
+    } else if (flag == "--mc-samples") {
+      if (!parse_positive_int(&args->spec.engine.mc_samples)) return false;
+    } else if (flag == "--no-objective") {
+      args->spec.with_objective = false;
+    } else if (flag == "--json") {
+      if (!next(&args->json_path)) return false;
+      args->json = true;
+    } else {
+      return Fail("unknown flag " + flag);
+    }
+  }
+  if (args->workload.empty()) return Fail("--workload is required");
+  args->spec.workload = args->workload;
+  return true;
+}
+
+int BenchRunCommand(int argc, char** argv) {
+  BenchRunArgs args;
+  if (!ParseBenchRunArgs(argc, argv, &args)) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  exp::ExperimentRunner runner;
+  std::string error;
+  std::optional<std::vector<exp::ExperimentCell>> cells =
+      runner.TryRun(args.spec, &error);
+  if (!cells.has_value()) {
+    Fail(error);
+    return 1;
+  }
+
+  if (args.json) {
+    std::string doc = exp::ExperimentJson(args.spec, *cells);
+    if (args.json_path == "-") {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::FILE* out = std::fopen(args.json_path.c_str(), "w");
+      if (out == nullptr) {
+        Fail("cannot write " + args.json_path);
+        return 1;
+      }
+      std::fprintf(out, "%s\n", doc.c_str());
+      std::fclose(out);
+      std::fprintf(stderr, "factcheck_cli: wrote %s (%d cells)\n",
+                   args.json_path.c_str(), static_cast<int>(cells->size()));
+    }
+    return 0;
+  }
+
+  TablePrinter table({"workload", "algo", "seed", "budget_fraction",
+                      "budget", "picked", "wall_ms", "evaluations",
+                      "objective"});
+  for (const exp::ExperimentCell& cell : *cells) {
+    table.AddCell(cell.workload)
+        .AddCell(cell.algo)
+        .AddCell(static_cast<long>(cell.seed))
+        .AddCell(cell.budget_fraction)
+        .AddCell(cell.budget)
+        .AddCell(static_cast<int>(cell.result.selection.cleaned.size()))
+        .AddCell(cell.wall_ms)
+        .AddCell(static_cast<long>(cell.evaluations))
+        .AddCell(cell.has_objective ? FormatCell(cell.objective)
+                                    : std::string("-"));
+    table.EndRow();
+  }
+  table.Print();
+  return 0;
+}
+
+int BenchCommand(int argc, char** argv) {
+  if (argc < 1) {
+    Fail("bench needs a subcommand: list-workloads or run");
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  std::string sub = argv[0];
+  if (sub == "list-workloads") {
+    std::fputs(ListWorkloadsText().c_str(), stdout);
+    return 0;
+  }
+  if (sub == "run") {
+    return BenchRunCommand(argc - 1, argv + 1);
+  }
+  Fail("unknown bench subcommand " + sub);
+  std::fputs(kUsage, stderr);
+  return 1;
+}
+
 }  // namespace
 
 std::string ListAlgosText() {
@@ -295,6 +478,19 @@ std::string ListAlgosText() {
   return out;
 }
 
+std::string ListWorkloadsText() {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-26s %s\n", "workload", "summary");
+  out += line;
+  for (const auto* entry : exp::WorkloadRegistry::Global().Sorted()) {
+    std::snprintf(line, sizeof(line), "%-26s %s\n", entry->name.c_str(),
+                  entry->summary.c_str());
+    out += line;
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -307,6 +503,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "run") {
     return RunCommand(argc - 2, argv + 2);
+  }
+  if (command == "bench") {
+    return BenchCommand(argc - 2, argv + 2);
   }
   if (command == "--help" || command == "-h" || command == "help") {
     std::fputs(kUsage, stdout);

@@ -58,8 +58,11 @@ struct GreedyOptions {
   // inherently one-at-a-time, so the pool does not speed up later rounds.
   ThreadPool* pool = nullptr;
   // When set, the engine-backed drivers copy their EvalEngine's final
-  // counters here (evaluations / cache hits); engine-free algorithms
-  // leave it untouched.  Borrowed, must outlive the call.
+  // counters here (evaluations / cache hits).  The incremental claims
+  // greedy (ClaimEvEvaluator::GreedyMinVar) also reports through it,
+  // writing its per-claim/pair term recomputation count as
+  // `evaluations`; other engine-free algorithms leave it untouched.
+  // Borrowed, must outlive the call.
   EngineStats* stats_out = nullptr;
 };
 

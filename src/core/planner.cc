@@ -166,6 +166,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
   add({.name = "greedy_minvar",
        .summary = "adaptive greedy on the exact (or custom) EV objective",
        .objective = Kind::kMinVar,
+       .uses_objective = true,
        .run = RunGreedyMinVar});
   add({.name = "greedy_minvar_linear",
        .summary = "modular MinVar greedy for affine queries (Lemma 3.1)",
@@ -175,6 +176,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
   add({.name = "greedy_maxpr",
        .summary = "adaptive greedy on the exact surprise probability",
        .objective = Kind::kMaxPr,
+       .uses_objective = true,
        .run = RunGreedyMaxPr});
   add({.name = "greedy_maxpr_normal",
        .summary = "MaxPr greedy in the normal closed form (Lemma 3.3)",
@@ -192,6 +194,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
   add({.name = "best_minvar",
        .summary = "ISSC submodular-cover approximation (\"Best\", Thm 3.7)",
        .objective = Kind::kMinVar,
+       .uses_objective = true,
        .run = RunBestMinVar});
   add({.name = "knapsack_dp_minvar",
        .summary = "exact modular MinVar via knapsack DP (Lemma 3.2)",
@@ -216,6 +219,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
   add({.name = "brute_force",
        .summary = "exhaustive subset search (\"OPT\"), n <= 25",
        .objective = std::nullopt,
+       .uses_objective = true,
        .max_n = 25,
        .run = RunBruteForce});
 }

@@ -34,6 +34,11 @@ class AlgorithmRegistry {
     std::optional<ObjectiveKind> objective;
     // Requires PlanRequest::linear_query (closed-form / knapsack algos).
     bool needs_linear = false;
+    // Consumes PlanContext::objective (the exact or custom SetObjective).
+    // Closed-form, knapsack, static-benefit, and Monte Carlo algorithms
+    // set this false; the experiment runner uses it to reject running a
+    // workload metric under the wrong optimization direction.
+    bool uses_objective = false;
     // Largest supported problem size; 0 means unlimited.
     int max_n = 0;
     std::function<Selection(const PlanContext&)> run;

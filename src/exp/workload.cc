@@ -1,0 +1,38 @@
+#include "exp/workload.h"
+
+#include <cmath>
+
+namespace factcheck {
+namespace exp {
+
+PlanRequest Workload::MakeRequest(double budget) const {
+  PlanRequest request;
+  request.problem = problem.get();
+  request.query = query.get();
+  request.linear_query = linear.get();
+  request.custom_objective = metric;
+  request.objective = objective;
+  request.budget = budget;
+  request.tau = tau;
+  request.with_trajectory = false;
+  return request;
+}
+
+AlgorithmRegistry& Workload::EnsureLocalRegistry() {
+  if (algorithms == nullptr) {
+    algorithms = std::make_shared<AlgorithmRegistry>();
+    internal::RegisterBuiltinAlgorithms(*algorithms);
+  }
+  return *algorithms;
+}
+
+double GammaOrDefault(const WorkloadOptions& options, double fallback) {
+  return std::isnan(options.gamma) ? fallback : options.gamma;
+}
+
+int SizeOrDefault(const WorkloadOptions& options, int fallback) {
+  return options.size > 0 ? options.size : fallback;
+}
+
+}  // namespace exp
+}  // namespace factcheck

@@ -1,0 +1,116 @@
+// Workload: one self-contained experiment instance — a cleaning problem,
+// the query/claim context stated over it, the scalable metric used to
+// score selections, and the algorithm catalogue applicable to it — in the
+// exact shape the Planner facade consumes (PlanRequest).
+//
+// A Workload owns everything it references (problem, perturbation
+// context, query functions, evaluators) through shared_ptr holders, so it
+// can be copied, stored in sweeps, and outlive the factory that built it.
+// Figure-specific algorithms that need workload state (the incremental
+// Theorem-3.8 greedy, the covariance-aware GreedyDep, the exhaustive
+// covariance OPT) are registered into a per-workload AlgorithmRegistry on
+// top of the built-in catalogue, so every selection — standard or
+// workload-local — runs through Planner::TryPlan.
+
+#ifndef FACTCHECK_EXP_WORKLOAD_H_
+#define FACTCHECK_EXP_WORKLOAD_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "claims/perturbation.h"
+#include "claims/quality.h"
+#include "core/planner.h"
+#include "core/problem.h"
+#include "core/query_function.h"
+#include "core/registry.h"
+
+namespace factcheck {
+namespace exp {
+
+// Knobs a workload factory accepts.  Every factory must be a pure
+// function of its options: building twice with equal options yields
+// bit-identical problems and (with equal engine options) bit-identical
+// selections — the cross-workload determinism suite enforces this.
+struct WorkloadOptions {
+  std::uint64_t seed = 2019;
+  // Problem size for the synthetic families; 0 picks the workload's
+  // default.  Data-backed workloads (CDC, Adoptions) ignore it.
+  int size = 0;
+  // Claim threshold Gamma for the synthetic uniqueness sweeps, or the
+  // correlation strength for the dependency workload; NaN picks the
+  // workload's default.
+  double gamma = std::numeric_limits<double>::quiet_NaN();
+};
+
+class Workload {
+ public:
+  std::string name;         // registry key (or an ad-hoc label)
+  std::string description;  // one line for bench list-workloads
+
+  // The problem and the query stated over it.  `linear` is non-null when
+  // the query has an affine form (unlocking the knapsack / closed-form
+  // algorithms).
+  std::shared_ptr<const CleaningProblem> problem;
+  std::shared_ptr<const QueryFunction> query;
+  std::shared_ptr<const LinearQueryFunction> linear;
+
+  // The workload's scalable selection metric (remaining variance for the
+  // modular figures, the Theorem-3.8 EV for the claim figures, the
+  // conditional variance under the true covariance for the dependency
+  // figure).  Fed to PlanRequest::custom_objective; must accept canonical
+  // (sorted, duplicate-free) sets and be safe for concurrent invocation.
+  // Null for workloads scored by exact enumeration.
+  SetObjective metric;
+
+  ObjectiveKind objective = ObjectiveKind::kMinVar;
+  double tau = 0.0;
+
+  // Claim context of the claims-level workloads (null otherwise); the
+  // in-action figures use it to simulate post-cleaning estimates.
+  std::shared_ptr<const PerturbationSet> claims;
+  QualityMeasure measure = QualityMeasure::kDuplicity;
+  double reference = 0.0;
+  StrengthDirection direction = StrengthDirection::kHigherIsStronger;
+
+  // Registry-name defaults used when an ExperimentSpec leaves the
+  // algorithm / budget axes empty.
+  std::vector<std::string> default_algorithms;
+  std::vector<double> default_budget_fractions;
+
+  // Built-in catalogue plus this workload's extra algorithms; null means
+  // the process-wide registry.
+  std::shared_ptr<AlgorithmRegistry> algorithms;
+
+  // Keep-alive for evaluators and other state captured by `metric` or the
+  // registered algorithm closures.
+  std::vector<std::shared_ptr<const void>> holders;
+
+  double TotalCost() const { return problem->TotalCost(); }
+
+  // The registry the Planner should run this workload against.
+  const AlgorithmRegistry* registry() const {
+    return algorithms != nullptr ? algorithms.get() : nullptr;
+  }
+
+  // A PlanRequest for one selection run at the given budget.  The
+  // trajectory is off (the runner scores the final set through `metric`
+  // instead); flip it back on for per-round curves.
+  PlanRequest MakeRequest(double budget) const;
+
+  // Creates this workload's private registry (built-ins pre-installed) if
+  // it does not exist yet, and returns it for extra registrations.
+  AlgorithmRegistry& EnsureLocalRegistry();
+};
+
+// Resolves NaN/0 option fields against workload defaults.
+double GammaOrDefault(const WorkloadOptions& options, double fallback);
+int SizeOrDefault(const WorkloadOptions& options, int fallback);
+
+}  // namespace exp
+}  // namespace factcheck
+
+#endif  // FACTCHECK_EXP_WORKLOAD_H_

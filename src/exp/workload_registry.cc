@@ -1,0 +1,63 @@
+#include "exp/workload_registry.h"
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace exp {
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  // Built-ins are installed inside the initializer (not via static
+  // registrar objects) so the catalogue stays complete even when the
+  // linker drops an unreferenced registration TU from the static library
+  // — the same convention as AlgorithmRegistry::Global().
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    internal::RegisterBuiltinWorkloads(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void WorkloadRegistry::Register(Entry entry) {
+  FC_CHECK(!entry.name.empty());
+  FC_CHECK(entry.build != nullptr);
+  auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  (void)it;
+  FC_CHECK(inserted);  // duplicate workload name
+}
+
+const WorkloadRegistry::Entry* WorkloadRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Workload WorkloadRegistry::Build(const std::string& name,
+                                 const WorkloadOptions& options) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "WorkloadRegistry::Build: unknown workload \"%s\"\n",
+                 name.c_str());
+    FC_CHECK(entry != nullptr);
+  }
+  Workload workload = entry->build(options);
+  workload.name = entry->name;
+  if (workload.description.empty()) workload.description = entry->summary;
+  return workload;
+}
+
+std::vector<const WorkloadRegistry::Entry*> WorkloadRegistry::Sorted() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(&entry);
+  return out;  // std::map iterates in key order
+}
+
+WorkloadRegistrar::WorkloadRegistrar(WorkloadRegistry::Entry entry,
+                                     WorkloadRegistry* registry) {
+  (registry != nullptr ? *registry : WorkloadRegistry::Global())
+      .Register(std::move(entry));
+}
+
+}  // namespace exp
+}  // namespace factcheck

@@ -1,0 +1,72 @@
+// WorkloadRegistry: the string-keyed catalogue of experiment workloads
+// behind the bench driver (`factcheck_cli bench`) and the figure
+// benchmarks.  Every entry is a factory from WorkloadOptions to a fully
+// built Workload; entries self-register with a WorkloadRegistrar at
+// namespace scope (the built-in figure workloads live in
+// exp/workloads.cc):
+//
+//   WorkloadRegistrar urx({.name = "urx_uniqueness", .summary = "...",
+//                          .build = BuildUrxUniqueness});
+
+#ifndef FACTCHECK_EXP_WORKLOAD_REGISTRY_H_
+#define FACTCHECK_EXP_WORKLOAD_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/workload.h"
+
+namespace factcheck {
+namespace exp {
+
+class WorkloadRegistry {
+ public:
+  struct Entry {
+    std::string name;     // registry key, e.g. "urx_uniqueness"
+    std::string summary;  // one line for bench list-workloads / docs
+    std::function<Workload(const WorkloadOptions&)> build;
+  };
+
+  // The process-wide registry; built-in workloads are installed on first
+  // use.
+  static WorkloadRegistry& Global();
+
+  // Registers a workload factory; duplicate names abort.
+  void Register(Entry entry);
+
+  // Null when the name is unknown.
+  const Entry* Find(const std::string& name) const;
+
+  // Builds the named workload; aborts on an unknown name (programmer-
+  // error convention, mirroring Planner::Plan).
+  Workload Build(const std::string& name,
+                 const WorkloadOptions& options = {}) const;
+
+  // All entries, sorted by name.
+  std::vector<const Entry*> Sorted() const;
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+// Registers a workload at static-initialization time (into the global
+// registry unless one is passed explicitly).
+class WorkloadRegistrar {
+ public:
+  explicit WorkloadRegistrar(WorkloadRegistry::Entry entry,
+                             WorkloadRegistry* registry = nullptr);
+};
+
+namespace internal {
+// Defined in workloads.cc; installs the built-in workload entries.
+void RegisterBuiltinWorkloads(WorkloadRegistry& registry);
+}  // namespace internal
+
+}  // namespace exp
+}  // namespace factcheck
+
+#endif  // FACTCHECK_EXP_WORKLOAD_REGISTRY_H_

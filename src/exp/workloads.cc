@@ -1,0 +1,660 @@
+#include "exp/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "claims/claim.h"
+#include "claims/ev_fast.h"
+#include "claims/perturbation.h"
+#include "claims/quality.h"
+#include "claims/ratio.h"
+#include "core/greedy.h"
+#include "core/modular.h"
+#include "data/adoptions.h"
+#include "data/cdc.h"
+#include "data/dependency.h"
+#include "data/synthetic.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace exp {
+namespace {
+
+// The Section-4 effectiveness sweep (Figs 1-9, 11a).
+const std::vector<double> kEffectivenessFractions = {
+    0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.60, 0.80, 1.00};
+
+// The ratio-claim extension sweep.
+const std::vector<double> kRatioFractions = {0.05, 0.1, 0.2, 0.3,
+                                             0.4,  0.6, 0.8, 1.0};
+
+// Remaining modular variance after cleaning: the sum of the uncleaned
+// weights in index order (bit-identical to the historical
+// RemainingBiasVariance accumulation).
+SetObjective RemainingVarianceMetric(
+    std::shared_ptr<const std::vector<double>> weights) {
+  return [weights](const std::vector<int>& cleaned) {
+    std::vector<bool> is_cleaned(weights->size(), false);
+    for (int i : cleaned) is_cleaned[i] = true;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights->size(); ++i) {
+      if (!is_cleaned[i]) acc += (*weights)[i];
+    }
+    return acc;
+  };
+}
+
+// The claims evaluators memoize term values behind a mutable cache, so a
+// shared metric must serialize concurrent calls (the engine may probe the
+// objective from a thread pool).
+template <typename Evaluator>
+SetObjective LockedEvMetric(std::shared_ptr<const Evaluator> evaluator) {
+  auto mutex = std::make_shared<std::mutex>();
+  return [evaluator, mutex](const std::vector<int>& cleaned) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    return evaluator->EV(cleaned);
+  };
+}
+
+// --- Figure 1 / 11 claim contexts ----------------------------------------
+
+// Fig 1d: transportation injuries over a 2-year window vs 30% of all
+// other causes combined; perturbations slide the window over the years.
+PerturbationSet CdcCausesFairnessContext() {
+  auto make_claim = [](int start_year) {
+    std::vector<int> plus, minus;
+    for (int y = start_year; y <= start_year + 1; ++y) {
+      plus.push_back(data::CdcCausesIndex(1, y));
+      for (int cause : {0, 2, 3}) {
+        minus.push_back(data::CdcCausesIndex(cause, y));
+      }
+    }
+    return MakeWeightedAggregateClaim(
+        plus, 1.0, minus, -0.3,
+        "transportation vs 30% of others, " + std::to_string(start_year));
+  };
+  PerturbationSet context;
+  int original_start = data::kCdcLastYear - 1;  // 2016-2017
+  context.original = make_claim(original_start);
+  std::vector<double> distances;
+  for (int y = data::kCdcFirstYear; y + 1 <= data::kCdcLastYear; ++y) {
+    context.perturbations.push_back(make_claim(y));
+    distances.push_back(std::abs(y - original_start));
+  }
+  context.sensibilities = ExponentialSensibilities(distances, 1.5);
+  return context;
+}
+
+// Fig 2b / Fig 8: all-cause two-year window sums, non-overlapping windows
+// walking back from the original placement.
+PerturbationSet CdcCausesAllCauseContext() {
+  auto make_claim = [](int start_year) {
+    std::vector<int> refs;
+    for (int cause = 0; cause < data::kCdcNumCauses; ++cause) {
+      for (int y = start_year; y <= start_year + 1; ++y) {
+        refs.push_back(data::CdcCausesIndex(cause, y));
+      }
+    }
+    return MakeWeightedAggregateClaim(
+        refs, 1.0, {}, 0.0, "all causes " + std::to_string(start_year));
+  };
+  PerturbationSet context;
+  int original_start = data::kCdcLastYear - 1;
+  context.original = make_claim(original_start);
+  std::vector<double> distances;
+  for (int y = original_start - 2; y >= data::kCdcFirstYear; y -= 2) {
+    context.perturbations.push_back(make_claim(y));
+    distances.push_back((original_start - y) / 2.0);
+  }
+  context.sensibilities = ExponentialSensibilities(distances, 1.5);
+  return context;
+}
+
+// --- Builders -------------------------------------------------------------
+
+Workload BuildAdoptionsFairness(const WorkloadOptions& options) {
+  auto problem =
+      std::make_shared<const CleaningProblem>(data::MakeAdoptions(options.seed));
+  // Giuliani: 1993-1996 vs 1989-1992; 18 shifted comparisons, sensibility
+  // decay 1.5.
+  auto context = std::make_shared<const PerturbationSet>(
+      WindowComparisonPerturbations(data::kAdoptionsYears, 4, 0, 1.5));
+  double reference = context->original.Evaluate(problem->CurrentValues());
+  return MakeModularFairnessWorkload("adoptions_fairness", problem, context,
+                                     reference, reference);
+}
+
+Workload BuildCdcFirearmsFairness(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeCdcFirearms(options.seed));
+  // 2001-2004 vs 2005-2008 and its 10 shifts (including the original).
+  auto context = std::make_shared<const PerturbationSet>(
+      WindowComparisonPerturbations(data::kCdcYears, 4, 0, 1.5,
+                                    /*include_original=*/true));
+  double reference = context->original.Evaluate(problem->CurrentValues());
+  return MakeModularFairnessWorkload("cdc_firearms_fairness", problem,
+                                     context, reference, reference);
+}
+
+Workload BuildCdcCausesFairness(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeCdcCauses(options.seed));
+  auto context =
+      std::make_shared<const PerturbationSet>(CdcCausesFairnessContext());
+  double reference = context->original.Evaluate(problem->CurrentValues());
+  return MakeModularFairnessWorkload("cdc_causes_fairness", problem, context,
+                                     reference, reference);
+}
+
+Workload BuildCdcFirearmsUniqueness(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeCdcFirearms(options.seed, /*quantization_points=*/6));
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(problem->size(), 2,
+                                           problem->size() - 2, 1.5, 8));
+  // "as low as Gamma" with a contested Gamma: the median two-year total.
+  double reference = GammaOrDefault(
+      options, MedianPerturbationValue(*problem, *context));
+  return MakeClaimsWorkload("cdc_firearms_uniqueness", problem, context,
+                            QualityMeasure::kDuplicity, reference,
+                            StrengthDirection::kLowerIsStronger);
+}
+
+Workload BuildCdcCausesUniqueness(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeCdcCauses(options.seed, /*quantization_points=*/4));
+  auto context =
+      std::make_shared<const PerturbationSet>(CdcCausesAllCauseContext());
+  double reference = GammaOrDefault(
+      options, MedianPerturbationValue(*problem, *context));
+  return MakeClaimsWorkload("cdc_causes_uniqueness", problem, context,
+                            QualityMeasure::kDuplicity, reference,
+                            StrengthDirection::kLowerIsStronger);
+}
+
+// Figs 3-5 / 9: width-4 window-sum uniqueness claims on the synthetic
+// families; the original window sits at the 40%-mark of the series.
+Workload BuildSyntheticUniqueness(const std::string& name,
+                                  data::SyntheticFamily family,
+                                  const WorkloadOptions& options,
+                                  double default_gamma,
+                                  StrengthDirection direction) {
+  int size = SizeOrDefault(options, 40);
+  double gamma = GammaOrDefault(options, default_gamma);
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeSynthetic(family, options.seed, {.size = size}));
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(size, /*width=*/4,
+                                           /*original_start=*/(2 * size) / 5,
+                                           1.5, /*max_perturbations=*/10));
+  return MakeClaimsWorkload(name, problem, context,
+                            QualityMeasure::kDuplicity, gamma, direction);
+}
+
+Workload BuildCdcFirearmsRobustness(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeCdcFirearms(options.seed));
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(problem->size(), 2,
+                                           problem->size() - 2, 1.5, 8));
+  double reference = GammaOrDefault(
+      options, context->original.Evaluate(problem->CurrentValues()));
+  return MakeClaimsWorkload("cdc_firearms_robustness", problem, context,
+                            QualityMeasure::kFragility, reference,
+                            StrengthDirection::kHigherIsStronger);
+}
+
+Workload BuildUrxRobustness(const WorkloadOptions& options) {
+  // URx n=100 with Gamma' = 100; 24 non-overlapping 4-value windows (the
+  // paper's 25-perturbation setup).
+  int size = SizeOrDefault(options, 100);
+  double gamma = GammaOrDefault(options, 100.0);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed, {.size = size}));
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(size, /*width=*/4,
+                                           /*original_start=*/size / 2 - 2,
+                                           1.5, /*max_perturbations=*/25));
+  return MakeClaimsWorkload("urx_robustness", problem, context,
+                            QualityMeasure::kFragility, gamma,
+                            StrengthDirection::kHigherIsStronger);
+}
+
+// Fig 10: URx of size n with non-overlapping width-4 window perturbations
+// covering every value (n/4 claims, the paper's 2,500 at n = 10,000).
+Workload BuildUrxScaling(const WorkloadOptions& options) {
+  int size = SizeOrDefault(options, 2000);
+  double gamma = GammaOrDefault(options, 100.0);  // Fig 10's caption Gamma
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed, {.size = size}));
+  const int width = 4;
+  PerturbationSet context;
+  context.original = MakeWindowSumClaim(0, width);
+  std::vector<double> distances;
+  for (int start = width; start + width <= size; start += width) {
+    context.perturbations.push_back(MakeWindowSumClaim(start, width));
+    distances.push_back(start / static_cast<double>(width));
+  }
+  context.sensibilities = ExponentialSensibilities(distances, 1.001);
+  auto context_ptr =
+      std::make_shared<const PerturbationSet>(std::move(context));
+  Workload w = MakeClaimsWorkload("urx_scaling", problem, context_ptr,
+                                  QualityMeasure::kDuplicity, gamma,
+                                  StrengthDirection::kHigherIsStronger);
+  w.default_algorithms = {"claims_greedy_minvar"};
+  w.default_budget_fractions = {0.01, 0.05, 0.10, 0.20, 0.30};
+  return w;
+}
+
+// Fig 11: CDC-firearms with injected covariance
+// Cov(X_i, X_j) = gamma^{|j-i|} sigma_i sigma_j; the metric is the
+// conditional variance of the bias under the full covariance.
+Workload BuildCdcDependency(const WorkloadOptions& options) {
+  double gamma = GammaOrDefault(options, 0.7);
+  auto dataset = std::make_shared<const data::DependentDataset>(
+      data::MakeDependentCdcFirearms(options.seed, gamma));
+  auto problem = std::shared_ptr<const CleaningProblem>(
+      dataset, &dataset->independent_view);
+  auto context = std::make_shared<const PerturbationSet>(
+      WindowComparisonPerturbations(data::kCdcYears, 4, 0, 1.5,
+                                    /*include_original=*/true));
+  double reference = context->original.Evaluate(problem->CurrentValues());
+  auto bias = std::make_shared<const LinearQueryFunction>(
+      BiasLinearFunction(*context, reference));
+  auto weights = std::make_shared<const Vector>(
+      bias->DenseWeights(data::kCdcYears));
+
+  Workload w;
+  w.name = "cdc_dependency";
+  w.problem = problem;
+  w.linear = bias;
+  // The dependency-unaware naive greedy scores by the kBias quality at
+  // reference 0, matching the historical Fig 11 driver.
+  w.query = std::make_shared<const ClaimQualityFunction>(
+      context.get(), QualityMeasure::kBias, 0.0);
+  w.claims = context;
+  w.measure = QualityMeasure::kBias;
+  w.reference = reference;
+  w.metric = [dataset, weights](const std::vector<int>& cleaned) {
+    return dataset->model.ExpectedConditionalVariance(*weights, cleaned);
+  };
+  w.default_algorithms = {"greedy_minvar_linear", "greedy_dep"};
+  w.default_budget_fractions = kEffectivenessFractions;
+  w.holders = {dataset, context, bias, weights};
+
+  AlgorithmRegistry& registry = w.EnsureLocalRegistry();
+  registry.Register(
+      {.name = "greedy_dep",
+       .summary = "covariance-aware adaptive MinVar greedy (Section 3.4)",
+       .objective = ObjectiveKind::kMinVar,
+       .needs_linear = true,
+       .run = [dataset](const PlanContext& ctx) {
+         return GreedyDep(*ctx.linear, dataset->model, ctx.costs,
+                          ctx.request.budget, ctx.greedy);
+       }});
+  // Exhaustive OPT with full covariance knowledge: EV and cost of every
+  // subset are precomputed once (lazily, shared across budgets), then any
+  // budget is answered by an ascending-mask scan for the strictly
+  // smallest EV — the historical Fig 11 OptTable semantics.
+  struct OptCache {
+    bool built = false;
+    std::vector<double> evs;
+    std::vector<double> costs;
+  };
+  auto cache = std::make_shared<OptCache>();
+  registry.Register(
+      {.name = "opt_exhaustive_cov",
+       .summary = "exhaustive subset OPT under the true covariance, n <= 25",
+       .objective = ObjectiveKind::kMinVar,
+       .max_n = 25,
+       .run = [dataset, weights, cache](const PlanContext& ctx) {
+         const int n = ctx.problem.size();
+         const std::uint32_t num_masks = 1u << n;
+         if (!cache->built) {
+           cache->evs.resize(num_masks);
+           cache->costs.resize(num_masks);
+           for (std::uint32_t mask = 0; mask < num_masks; ++mask) {
+             double cost = 0.0;
+             std::vector<int> set;
+             for (int i = 0; i < n; ++i) {
+               if (mask & (1u << i)) {
+                 cost += ctx.costs[i];
+                 set.push_back(i);
+               }
+             }
+             cache->costs[mask] = cost;
+             cache->evs[mask] =
+                 dataset->model.ExpectedConditionalVariance(*weights, set);
+           }
+           cache->built = true;
+         }
+         double best = 1e300;
+         std::uint32_t best_mask = 0;
+         for (std::uint32_t mask = 0; mask < num_masks; ++mask) {
+           if (cache->costs[mask] <= ctx.request.budget &&
+               cache->evs[mask] < best) {
+             best = cache->evs[mask];
+             best_mask = mask;
+           }
+         }
+         Selection sel;
+         for (int i = 0; i < n; ++i) {
+           if (best_mask & (1u << i)) {
+             sel.cleaned.push_back(i);
+             sel.cost += ctx.costs[i];
+           }
+         }
+         sel.order = sel.cleaned;
+         return sel;
+       }});
+  return w;
+}
+
+// Fig 12: Adoptions with a simplified 4-year window-sum claim; MinVar
+// (budget-sweep knapsack) vs GreedyMaxPr at tau = 40.
+Workload BuildAdoptionsCompeting(const WorkloadOptions& options) {
+  auto problem =
+      std::make_shared<const CleaningProblem>(data::MakeAdoptions(options.seed));
+  int n = problem->size();
+  auto context = std::make_shared<const PerturbationSet>(
+      NonOverlappingWindowSumPerturbations(n, 4, 12, 1.5));
+  double reference = context->original.Evaluate(problem->CurrentValues());
+  auto bias = std::make_shared<const LinearQueryFunction>(
+      BiasLinearFunction(*context, reference));
+  auto weights = std::make_shared<const std::vector<double>>(
+      MinVarModularWeights(*bias, problem->Variances(), n));
+
+  Workload w;
+  w.name = "adoptions_competing";
+  w.problem = problem;
+  w.query = bias;
+  w.linear = bias;
+  w.claims = context;
+  w.measure = QualityMeasure::kBias;
+  w.reference = reference;
+  w.tau = GammaOrDefault(options, 40.0);
+  w.metric = RemainingVarianceMetric(weights);
+  w.default_algorithms = {"knapsack_dp_minvar", "greedy_maxpr_normal"};
+  w.default_budget_fractions = kEffectivenessFractions;
+  w.holders = {problem, context, bias, weights};
+  return w;
+}
+
+// Percentage-change (ratio) claims — nonlinear, so only the ratio
+// evaluator's incremental greedy and the naive baseline apply.
+Workload BuildRatioWorkload(const std::string& name,
+                            std::shared_ptr<const CleaningProblem> problem,
+                            int width, int original_start, double claimed) {
+  auto context = std::make_shared<const RatioPerturbationSet>(
+      NonOverlappingRatioPerturbations(problem->size(), width,
+                                       original_start, 1.5));
+  auto evaluator = std::make_shared<const RatioEvEvaluator>(
+      problem.get(), context.get(), QualityMeasure::kDuplicity, claimed);
+
+  Workload w;
+  w.name = name;
+  w.problem = problem;
+  w.query = std::make_shared<const LambdaQueryFunction>(RatioQualityFunction(
+      *context, QualityMeasure::kDuplicity, claimed,
+      StrengthDirection::kHigherIsStronger));
+  w.measure = QualityMeasure::kDuplicity;
+  w.reference = claimed;
+  w.metric = LockedEvMetric(evaluator);
+  w.default_algorithms = {"greedy_naive", "claims_greedy_minvar"};
+  w.default_budget_fractions = kRatioFractions;
+  w.holders = {problem, context, evaluator};
+
+  w.EnsureLocalRegistry().Register(
+      {.name = "claims_greedy_minvar",
+       .summary = "incremental ratio-claim greedy (fresh evaluator per run)",
+       .objective = ObjectiveKind::kMinVar,
+       .run = [problem, context, claimed](const PlanContext& ctx) {
+         RatioEvEvaluator evaluator(problem.get(), context.get(),
+                                    QualityMeasure::kDuplicity, claimed);
+         return evaluator.GreedyMinVar(ctx.request.budget);
+       }});
+  return w;
+}
+
+Workload BuildAdoptionsRatio(const WorkloadOptions& options) {
+  // "The rise between back-to-back 4-year windows was as large as +30%";
+  // perturbations are other non-overlapping window pairs.
+  auto problem = std::make_shared<const CleaningProblem>(
+      data::MakeAdoptions(options.seed, /*quantization_points=*/4));
+  return BuildRatioWorkload("adoptions_ratio", problem, 4, 8,
+                            GammaOrDefault(options, 0.30));
+}
+
+Workload BuildUrxRatio(const WorkloadOptions& options) {
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed,
+      {.size = SizeOrDefault(options, 48), .min_support = 2,
+       .max_support = 4}));
+  return BuildRatioWorkload("urx_ratio", problem, 4, 16,
+                            GammaOrDefault(options, 0.25));
+}
+
+}  // namespace
+
+const std::vector<double>& EffectivenessBudgetFractions() {
+  return kEffectivenessFractions;
+}
+
+double MedianPerturbationValue(const CleaningProblem& problem,
+                               const PerturbationSet& context) {
+  std::vector<double> u = problem.CurrentValues();
+  std::vector<double> sums;
+  for (const Claim& q : context.perturbations) sums.push_back(q.Evaluate(u));
+  std::sort(sums.begin(), sums.end());
+  FC_CHECK(!sums.empty());
+  return sums[sums.size() / 2];
+}
+
+Workload MakeModularFairnessWorkload(
+    std::string name, std::shared_ptr<const CleaningProblem> problem,
+    std::shared_ptr<const PerturbationSet> context, double bias_reference,
+    double quality_reference) {
+  auto bias = std::make_shared<const LinearQueryFunction>(
+      BiasLinearFunction(*context, bias_reference));
+  int n = problem->size();
+  std::vector<double> variances = problem->Variances();
+  auto weights = std::make_shared<const std::vector<double>>([&] {
+    std::vector<double> w(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      double a = bias->Coefficient(i);
+      w[i] = a * a * variances[i];
+    }
+    return w;
+  }());
+
+  Workload w;
+  w.name = std::move(name);
+  w.problem = problem;
+  w.query = std::make_shared<const ClaimQualityFunction>(
+      context.get(), QualityMeasure::kBias, quality_reference);
+  w.linear = bias;
+  w.claims = context;
+  w.measure = QualityMeasure::kBias;
+  w.reference = bias_reference;
+  w.metric = RemainingVarianceMetric(weights);
+  w.default_algorithms = {"greedy_naive_cost_blind", "greedy_naive",
+                          "greedy_minvar_linear", "knapsack_dp_minvar"};
+  w.default_budget_fractions = kEffectivenessFractions;
+  w.holders = {problem, context, bias, weights};
+  return w;
+}
+
+Workload MakeClaimsWorkload(std::string name,
+                            std::shared_ptr<const CleaningProblem> problem,
+                            std::shared_ptr<const PerturbationSet> context,
+                            QualityMeasure measure, double reference,
+                            StrengthDirection direction) {
+  auto evaluator = std::make_shared<const ClaimEvEvaluator>(
+      problem.get(), context.get(), measure, reference, direction);
+
+  Workload w;
+  w.name = std::move(name);
+  w.problem = problem;
+  w.query = std::make_shared<const ClaimQualityFunction>(
+      context.get(), measure, reference, direction);
+  w.claims = context;
+  w.measure = measure;
+  w.reference = reference;
+  w.direction = direction;
+  w.metric = LockedEvMetric(evaluator);
+  w.default_algorithms = {"greedy_naive", "claims_greedy_minvar",
+                          "best_minvar"};
+  w.default_budget_fractions = kEffectivenessFractions;
+  w.holders = {problem, context, evaluator};
+
+  // The incremental Theorem-3.8 greedy.  A fresh evaluator is built per
+  // run so the wall clock includes the term-cache construction a
+  // fact-checker would pay (the Fig 10 timing semantics).
+  w.EnsureLocalRegistry().Register(
+      {.name = "claims_greedy_minvar",
+       .summary =
+           "incremental Theorem-3.8 greedy (fresh evaluator per run)",
+       .objective = ObjectiveKind::kMinVar,
+       .run = [problem, context, measure, reference,
+               direction](const PlanContext& ctx) {
+         ClaimEvEvaluator evaluator(problem.get(), context.get(), measure,
+                                    reference, direction);
+         return evaluator.GreedyMinVar(ctx.request.budget, ctx.greedy);
+       }});
+  return w;
+}
+
+Workload MakeMaxPrNormalWorkload(
+    std::string name, std::shared_ptr<const CleaningProblem> problem,
+    std::shared_ptr<const LinearQueryFunction> bias, double tau) {
+  Workload w;
+  w.name = std::move(name);
+  w.problem = problem;
+  w.query = bias;
+  w.linear = bias;
+  w.objective = ObjectiveKind::kMaxPr;
+  w.tau = tau;
+  w.default_algorithms = {"greedy_maxpr_normal"};
+  w.default_budget_fractions = kEffectivenessFractions;
+  w.holders = {problem, bias};
+  return w;
+}
+
+Workload MakeUrxWindowExact(int size, int num_refs, std::uint64_t seed) {
+  FC_CHECK_LE(num_refs, size);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, seed,
+      {.size = size, .min_support = 3, .max_support = 3}));
+  std::vector<int> refs(num_refs);
+  double mean_sum = 0.0;
+  for (int i = 0; i < num_refs; ++i) {
+    refs[i] = i;
+    mean_sum += problem->object(i).dist.Mean();
+  }
+  // Contested indicator: the window sum can land on either side of the
+  // mean total.
+  Workload w;
+  w.name = "urx_window_exact";
+  w.problem = problem;
+  w.query = std::make_shared<const LambdaQueryFunction>(
+      refs, [threshold = mean_sum](const std::vector<double>& x) {
+        double s = 0.0;
+        for (double v : x) s += v;
+        return s < threshold ? 1.0 : 0.0;
+      });
+  w.default_algorithms = {"greedy_minvar"};
+  w.default_budget_fractions = {0.35};
+  w.holders = {problem};
+  return w;
+}
+
+namespace internal {
+
+void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
+  using Family = data::SyntheticFamily;
+  auto add = [&registry](WorkloadRegistry::Entry entry) {
+    registry.Register(std::move(entry));
+  };
+  add({.name = "adoptions_fairness",
+       .summary = "Fig 1a/1b: modular claim fairness on Adoptions",
+       .build = BuildAdoptionsFairness});
+  add({.name = "cdc_firearms_fairness",
+       .summary = "Fig 1c: modular claim fairness on CDC-firearms",
+       .build = BuildCdcFirearmsFairness});
+  add({.name = "cdc_causes_fairness",
+       .summary = "Fig 1d: modular claim fairness on CDC-causes",
+       .build = BuildCdcCausesFairness});
+  add({.name = "cdc_firearms_uniqueness",
+       .summary = "Fig 2a: claim uniqueness (duplicity) on CDC-firearms",
+       .build = BuildCdcFirearmsUniqueness});
+  add({.name = "cdc_causes_uniqueness",
+       .summary = "Fig 2b / Fig 8: claim uniqueness on CDC-causes",
+       .build = BuildCdcCausesUniqueness});
+  add({.name = "urx_uniqueness",
+       .summary = "Fig 3: window-sum uniqueness on URx (--gamma sweeps)",
+       .build = [](const WorkloadOptions& options) {
+         return BuildSyntheticUniqueness(
+             "urx_uniqueness", Family::kUniformRandom, options, 150.0,
+             StrengthDirection::kHigherIsStronger);
+       }});
+  add({.name = "lnx_uniqueness",
+       .summary = "Fig 4: window-sum uniqueness on LNx (--gamma sweeps)",
+       .build = [](const WorkloadOptions& options) {
+         return BuildSyntheticUniqueness(
+             "lnx_uniqueness", Family::kLogNormal, options, 4.5,
+             StrengthDirection::kHigherIsStronger);
+       }});
+  add({.name = "smx_uniqueness",
+       .summary = "Fig 5: window-sum uniqueness on SMx (--gamma sweeps)",
+       .build = [](const WorkloadOptions& options) {
+         return BuildSyntheticUniqueness(
+             "smx_uniqueness", Family::kStructuredMultimodal, options, 150.0,
+             StrengthDirection::kHigherIsStronger);
+       }});
+  add({.name = "urx_action",
+       .summary = "Fig 9: in-action uniqueness on URx, Gamma = 100",
+       .build = [](const WorkloadOptions& options) {
+         return BuildSyntheticUniqueness(
+             "urx_action", Family::kUniformRandom, options, 100.0,
+             StrengthDirection::kLowerIsStronger);
+       }});
+  add({.name = "cdc_firearms_robustness",
+       .summary = "Fig 7a: claim robustness (fragility) on CDC-firearms",
+       .build = BuildCdcFirearmsRobustness});
+  add({.name = "urx_robustness",
+       .summary = "Fig 7b: claim robustness on URx n=100, Gamma' = 100",
+       .build = BuildUrxRobustness});
+  add({.name = "urx_scaling",
+       .summary = "Fig 10: incremental greedy efficiency on URx (--size)",
+       .build = BuildUrxScaling});
+  add({.name = "cdc_dependency",
+       .summary =
+           "Fig 11: injected covariance on CDC-firearms (--gamma = corr)",
+       .build = BuildCdcDependency});
+  add({.name = "adoptions_competing",
+       .summary = "Fig 12: MinVar vs MaxPr objectives on Adoptions, tau=40",
+       .build = BuildAdoptionsCompeting});
+  add({.name = "adoptions_ratio",
+       .summary = "Extension: percentage-change claim on Adoptions",
+       .build = BuildAdoptionsRatio});
+  add({.name = "urx_ratio",
+       .summary = "Extension: percentage-change claim on URx (--gamma)",
+       .build = BuildUrxRatio});
+  add({.name = "urx_window_exact",
+       .summary = "Engine bench: exact-enumeration MinVar on URx windows",
+       .build = [](const WorkloadOptions& options) {
+         int size = SizeOrDefault(options, 16);
+         // The query window cannot reference more objects than exist.
+         int num_refs = std::min(6, size);
+         return MakeUrxWindowExact(size, num_refs, options.seed + size);
+       }});
+}
+
+}  // namespace internal
+
+}  // namespace exp
+}  // namespace factcheck

@@ -1,0 +1,122 @@
+// Regression suite for util/json, focused on non-finite handling: every
+// double that reaches a JSON document — PlanResult objective values and
+// trajectories, experiment-cell metrics, wall clocks — must serialize as
+// null when NaN/Inf so downstream consumers (BENCH_*.json diffing, the CI
+// bench-smoke schema check) never see bare "nan"/"inf" tokens, which are
+// invalid JSON.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/plan_result.h"
+#include "exp/experiment.h"
+#include "util/json.h"
+
+namespace factcheck {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(kNan), "null");
+  EXPECT_EQ(JsonNumber(-kNan), "null");
+  EXPECT_EQ(JsonNumber(kInf), "null");
+  EXPECT_EQ(JsonNumber(-kInf), "null");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  for (double value : {0.0, -0.0, 1.0, 0.1, 1.0 / 3.0, 1e-308, 1.7e308,
+                       123456789.123456789, -2.5e-17}) {
+    std::string text = JsonNumber(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+}
+
+TEST(JsonWriter, NumberEmitsNullForNonFinite) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Number(kNan).Number(kInf).Number(-kInf).Number(1.5);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, Int64Extremes) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Int(std::numeric_limits<std::int64_t>::min());
+  writer.Int(std::numeric_limits<std::int64_t>::max());
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[-9223372036854775808,9223372036854775807]");
+}
+
+// A PlanResult whose objective values went non-finite (e.g. an Inf
+// objective from a degenerate custom evaluator) must stay valid JSON with
+// nulls in the value positions.
+TEST(PlanResultJson, NonFiniteObjectiveAndTrajectorySerializeAsNull) {
+  PlanResult result;
+  result.algorithm = "greedy_minvar";
+  result.objective = "minvar";
+  result.selection.cleaned = {0, 2};
+  result.selection.order = {2, 0};
+  result.selection.cost = kNan;
+  result.labels = {"a", "b"};
+  result.trajectory = {1.0, kInf, kNan};
+  result.objective_value = kNan;
+  result.has_objective_value = true;
+  result.stats.evaluations = 7;
+  result.stats.cache_hits = 3;
+  result.wall_seconds = kInf;
+
+  std::string json = result.ToJson();
+  EXPECT_NE(json.find("\"cost\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"objective_value\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trajectory\":[1,null,null]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_ms\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"evaluations\":7"), std::string::npos) << json;
+  // No bare non-finite tokens anywhere.
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+// Unset objective_value serializes as the same null, so readers treat
+// "not computed" and "computed non-finite" uniformly.
+TEST(PlanResultJson, MissingObjectiveIsNull) {
+  PlanResult result;
+  result.algorithm = "random";
+  result.objective = "minvar";
+  EXPECT_NE(result.ToJson().find("\"objective_value\":null"),
+            std::string::npos);
+}
+
+TEST(ExperimentCellJson, NonFiniteMetricSerializesAsNull) {
+  exp::ExperimentCell cell;
+  cell.workload = "w";
+  cell.algo = "a";
+  cell.budget_fraction = kNan;  // absolute-budget sweeps have no fraction
+  cell.budget = 3.0;
+  cell.objective = kInf;
+  cell.has_objective = true;
+  JsonWriter writer;
+  exp::WriteCellJson(cell, writer);
+  std::string json = writer.str();
+  EXPECT_NE(json.find("\"budget_fraction\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"objective\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("k\"ey").String("a\\b\n\t\x01");
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), "{\"k\\\"ey\":\"a\\\\b\\n\\t\\u0001\"}");
+}
+
+}  // namespace
+}  // namespace factcheck

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validates a factcheck.bench.v1 JSON document (CI bench-smoke gate).
+
+Usage: check_bench_schema.py BENCH_file.json [...]
+
+Fails (exit 1) on schema drift: a wrong/missing schema tag, an empty
+result set, or any cell whose key set differs from the documented one.
+The golden key list must stay in sync with exp::WriteCellJson and the
+ExperimentJson schema test in tests/exp_test.cc.
+"""
+
+import json
+import sys
+
+SCHEMA = "factcheck.bench.v1"
+CELL_KEYS = {
+    "workload", "algo", "seed", "budget", "budget_fraction", "threads",
+    "lazy", "repetitions", "wall_ms", "wall_ms_min", "wall_ms_mean",
+    "evaluations", "cache_hits", "picked", "cost", "objective",
+}
+SPEC_KEYS = {
+    "workload", "size", "gamma", "algorithms", "budget_fractions",
+    "budgets", "seeds", "repetitions", "warmup", "threads", "lazy",
+    "mc_samples",
+}
+
+
+def check(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: schema is {doc.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    if set(doc.get("spec", {})) != SPEC_KEYS:
+        raise SystemExit(f"{path}: spec keys {sorted(doc.get('spec', {}))} "
+                         f"!= {sorted(SPEC_KEYS)}")
+    results = doc.get("results")
+    if not results:
+        raise SystemExit(f"{path}: no results")
+    for i, cell in enumerate(results):
+        missing = CELL_KEYS - set(cell)
+        extra = set(cell) - CELL_KEYS
+        if missing or extra:
+            raise SystemExit(f"{path}: cell {i} missing={sorted(missing)} "
+                             f"extra={sorted(extra)}")
+        if not isinstance(cell["wall_ms"], (int, float)):
+            raise SystemExit(f"{path}: cell {i} wall_ms is not a number")
+    return f"{path}: ok ({len(results)} cells)"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    for path in argv[1:]:
+        print(check(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
