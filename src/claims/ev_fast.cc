@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <queue>
 #include <set>
 
@@ -311,6 +312,85 @@ int ClaimEvEvaluator::MaxClaimDegree() const {
   return static_cast<int>(degree);
 }
 
+// The engine-pluggable face of the evaluator's benefit maintenance: the
+// committed cleaned set lives here (is_cleaned_ plus the cached term
+// values), a probe is one Benefit() call over object i's claim/pair
+// footprint, and a commit refreshes exactly the terms i participates in.
+// Value() re-sums the cached terms in ClaimEvEvaluator::EV's accumulation
+// order, so it is bit-equal to the batch EV of the same set.
+class ClaimIncrementalObjective final : public IncrementalObjective {
+ public:
+  explicit ClaimIncrementalObjective(const ClaimEvEvaluator* evaluator)
+      : ev_(evaluator),
+        is_cleaned_(ev_->problem_->size(), false),
+        evar_terms_(ev_->context_->size(), 0.0),
+        ecov_terms_(ev_->pairs_.size(), 0.0) {
+    // No Reset here: the full term pass is the expensive part, and the
+    // engine Resets before the first probe anyway.
+  }
+
+  void Reset(const std::vector<int>& cleaned) override {
+    ready_ = true;
+    std::fill(is_cleaned_.begin(), is_cleaned_.end(), false);
+    for (int i : cleaned) {
+      FC_CHECK_GE(i, 0);
+      FC_CHECK_LT(i, ev_->problem_->size());
+      is_cleaned_[i] = true;
+    }
+    for (int k = 0; k < ev_->context_->size(); ++k) {
+      evar_terms_[k] = ev_->EVarTerm(k, is_cleaned_);
+    }
+    for (int p = 0; p < static_cast<int>(ev_->pairs_.size()); ++p) {
+      ecov_terms_[p] = ev_->ECovTerm(p, is_cleaned_);
+    }
+    RecomputeValue();
+  }
+
+  double Value() const override {
+    FC_CHECK(ready_);
+    return value_;
+  }
+
+  double ProbeGain(int i) override {
+    FC_CHECK(ready_);
+    FC_CHECK(!is_cleaned_[i]);
+    return -ev_->Benefit(i, is_cleaned_, evar_terms_, ecov_terms_);
+  }
+
+  void Commit(int i) override {
+    FC_CHECK(ready_);
+    FC_CHECK(!is_cleaned_[i]);
+    is_cleaned_[i] = true;
+    for (int k : ev_->object_claims_[i]) {
+      evar_terms_[k] = ev_->EVarTerm(k, is_cleaned_);
+    }
+    for (int p : ev_->object_pairs_[i]) {
+      ecov_terms_[p] = ev_->ECovTerm(p, is_cleaned_);
+    }
+    RecomputeValue();
+  }
+
+ private:
+  void RecomputeValue() {
+    double ev = 0.0;
+    for (double t : evar_terms_) ev += t;
+    for (double t : ecov_terms_) ev += 2.0 * t;
+    value_ = ev;
+  }
+
+  const ClaimEvEvaluator* ev_;
+  std::vector<bool> is_cleaned_;
+  std::vector<double> evar_terms_;
+  std::vector<double> ecov_terms_;
+  double value_ = 0.0;
+  bool ready_ = false;  // Reset() must run before the first use
+};
+
+std::unique_ptr<IncrementalObjective> ClaimEvEvaluator::MakeIncremental()
+    const {
+  return std::make_unique<ClaimIncrementalObjective>(this);
+}
+
 Selection ClaimEvEvaluator::GreedyMinVar(double budget) const {
   return GreedyMinVar(budget, GreedyOptions{});
 }
@@ -318,10 +398,14 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget) const {
 Selection ClaimEvEvaluator::GreedyMinVar(double budget,
                                          const GreedyOptions& options) const {
   int n = problem_->size();
-  // Incremental-work counter surfaced through options.stats_out: every
+  // Incremental-work counters surfaced through options.stats_out: every
   // per-claim / per-pair term (re)computation counts as one evaluation —
-  // the unit of work Theorem 3.8's locality argument bounds.
+  // the unit of work Theorem 3.8's locality argument bounds — while
+  // Benefit() calls and picks map onto the engine's probe/commit
+  // counters.
   std::int64_t term_evaluations = 0;
+  std::int64_t probes = 0;
+  std::int64_t commits = 0;
   std::vector<bool> is_cleaned(n, false);
   std::vector<double> evar_terms(context_->size());
   for (int k = 0; k < context_->size(); ++k) {
@@ -352,6 +436,7 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
   for (int i = 0; i < n; ++i) {
     if (object_claims_[i].empty() && object_pairs_[i].empty()) continue;
     benefit[i] = Benefit(i, is_cleaned, evar_terms, ecov_terms);
+    ++probes;
     initial_benefit[i] = benefit[i];
     double score = options.cost_aware ? benefit[i] / costs[i] : benefit[i];
     heap.push({score, 0, i});
@@ -371,6 +456,7 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
     is_cleaned[i] = true;
     sel.cleaned.push_back(i);
     sel.cost += costs[i];
+    ++commits;
     ev_current -= benefit[i];
     // Refresh the terms i participates in, then the benefits of every
     // object sharing one of those terms (locality of Theorem 3.8).
@@ -393,6 +479,7 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
     for (int obj : dirty_objects) {
       if (is_cleaned[obj]) continue;
       benefit[obj] = Benefit(obj, is_cleaned, evar_terms, ecov_terms);
+      ++probes;
       ++version[obj];
       double score =
           options.cost_aware ? benefit[obj] / costs[obj] : benefit[obj];
@@ -416,7 +503,14 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
   sel.order = sel.cleaned;
   std::sort(sel.cleaned.begin(), sel.cleaned.end());
   if (options.stats_out != nullptr) {
-    options.stats_out->evaluations = term_evaluations;
+    // Assign the whole struct so every exit — including the degenerate
+    // budget-0 / no-referenced-object cases that never enter the heap
+    // loop — reports a fully defined EngineStats.
+    EngineStats stats;
+    stats.evaluations = term_evaluations;
+    stats.probes = probes;
+    stats.commits = commits;
+    *options.stats_out = stats;
   }
   return sel;
 }

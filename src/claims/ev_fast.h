@@ -23,14 +23,18 @@
 #define FACTCHECK_CLAIMS_EV_FAST_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "claims/quality.h"
 #include "core/greedy.h"
+#include "core/incremental.h"
 #include "core/problem.h"
 
 namespace factcheck {
+
+class ClaimIncrementalObjective;
 
 class ClaimEvEvaluator {
  public:
@@ -56,6 +60,17 @@ class ClaimEvEvaluator {
   Selection GreedyMinVar(double budget) const;
   Selection GreedyMinVar(double budget, const GreedyOptions& options) const;
 
+  // The same benefit maintenance packaged as an engine-pluggable
+  // IncrementalObjective (core/incremental.h): ProbeGain(i) refreshes
+  // only the claim/pair terms referencing i (Theorem 3.8's locality), so
+  // EvalEngine's greedy drivers — and through them every Planner
+  // algorithm that consumes a SetObjective — run at the bespoke greedy's
+  // cost instead of one full EV per candidate.  The instance shares this
+  // evaluator's memoized term caches; the caches are not locked, so do
+  // not drive it concurrently with other EV() callers.  The evaluator
+  // must outlive the returned objective.
+  std::unique_ptr<IncrementalObjective> MakeIncremental() const;
+
   // Number of claim pairs with overlapping references (covariance terms).
   int num_overlapping_pairs() const { return static_cast<int>(pairs_.size()); }
 
@@ -67,6 +82,8 @@ class ClaimEvEvaluator {
   int NumClaimsReferencing(int object) const;
 
  private:
+  friend class ClaimIncrementalObjective;
+
   struct Atom {
     double value;
     double prob;

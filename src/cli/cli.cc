@@ -421,7 +421,7 @@ int BenchRunCommand(int argc, char** argv) {
 
   TablePrinter table({"workload", "algo", "seed", "budget_fraction",
                       "budget", "picked", "wall_ms", "evaluations",
-                      "objective"});
+                      "probes", "objective"});
   for (const exp::ExperimentCell& cell : *cells) {
     table.AddCell(cell.workload)
         .AddCell(cell.algo)
@@ -431,6 +431,7 @@ int BenchRunCommand(int argc, char** argv) {
         .AddCell(static_cast<int>(cell.result.selection.cleaned.size()))
         .AddCell(cell.wall_ms)
         .AddCell(static_cast<long>(cell.evaluations))
+        .AddCell(static_cast<long>(cell.probes))
         .AddCell(cell.has_objective ? FormatCell(cell.objective)
                                     : std::string("-"));
     table.EndRow();

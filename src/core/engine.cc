@@ -8,17 +8,63 @@
 namespace factcheck {
 namespace {
 
-std::vector<int> CanonicalKey(std::vector<int> cleaned) {
-  std::sort(cleaned.begin(), cleaned.end());
-  cleaned.erase(std::unique(cleaned.begin(), cleaned.end()), cleaned.end());
-  return cleaned;
+// SplitMix64 finalizer: the per-element signature mixer.  Commutative
+// accumulation (wrapping addition of mixed elements) makes the signature
+// of base ∪ {i} equal to sig(base) + mix(i) — an O(1) update per probe.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Canonicalizes `cleaned` into the reusable buffer `out` (no allocation
+// once the buffer has grown to the working-set size).
+void CanonicalInto(const std::vector<int>& cleaned, std::vector<int>& out) {
+  out.assign(cleaned.begin(), cleaned.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+// Whether `key` equals base ∪ {extra} (base sorted/unique, extra not in
+// base) — the hit check of the extension path, done by a merged walk so no
+// candidate set is ever materialized for a cache hit.
+bool KeyEqualsExtension(const std::vector<int>& key,
+                        const std::vector<int>& base, int extra) {
+  if (key.size() != base.size() + 1) return false;
+  std::size_t j = 0;
+  bool extra_used = false;
+  for (std::size_t k = 0; k < key.size(); ++k) {
+    if (!extra_used && (j == base.size() || extra < base[j])) {
+      if (key[k] != extra) return false;
+      extra_used = true;
+    } else {
+      if (key[k] != base[j]) return false;
+      ++j;
+    }
+  }
+  return true;
+}
+
+// Materializes base ∪ {extra} into the reusable buffer `out`.
+void BuildExtension(const std::vector<int>& base, int extra,
+                    std::vector<int>& out) {
+  out.clear();
+  auto it = std::lower_bound(base.begin(), base.end(), extra);
+  out.insert(out.end(), base.begin(), it);
+  out.push_back(extra);
+  out.insert(out.end(), it, base.end());
+}
+
+std::int64_t KeyBytes(const std::vector<int>& key) {
+  return static_cast<std::int64_t>(key.size() * sizeof(int));
 }
 
 }  // namespace
 
 std::size_t EvalEngine::KeyHash::operator()(
     const std::vector<int>& key) const {
-  // FNV-1a over the index sequence.
+  // FNV-1a over the index sequence (exact-key fallback table).
   std::size_t h = 1469598103934665603ull;
   for (int x : key) {
     h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(x));
@@ -33,16 +79,84 @@ EvalEngine::EvalEngine(SetObjective objective, OptimizeDirection direction,
   FC_CHECK(objective_ != nullptr);
 }
 
-double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
-  std::vector<int> key = CanonicalKey(cleaned);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
+std::uint64_t EvalEngine::HashElement(int x) {
+  stats_.key_bytes_hashed += static_cast<std::int64_t>(sizeof(int));
+  if (degenerate_signature_) return 0;
+  return SplitMix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+}
+
+std::uint64_t EvalEngine::SignatureOf(const std::vector<int>& sorted_key) {
+  std::uint64_t sig = 0;
+  for (int x : sorted_key) sig += HashElement(x);
+  return sig;
+}
+
+bool EvalEngine::Lookup(std::uint64_t sig, const std::vector<int>& key,
+                        double* value) {
+  auto it = cache_.find(sig);
+  if (it == cache_.end()) return false;
+  if (it->second.key == key) {
+    *value = it->second.value;
+    return true;
   }
-  double value = objective_(key);
+  // Two distinct sets share the signature: consult the exact-key table.
+  stats_.key_bytes_hashed += KeyBytes(key);
+  auto ot = overflow_.find(key);
+  if (ot == overflow_.end()) return false;
+  *value = ot->second;
+  return true;
+}
+
+void EvalEngine::Store(std::uint64_t sig, const std::vector<int>& key,
+                       double value) {
+  auto [it, inserted] = cache_.try_emplace(sig);
+  if (inserted) {
+    it->second.key = key;
+    it->second.value = value;
+    return;
+  }
+  if (it->second.key == key) {
+    it->second.value = value;
+    return;
+  }
+  stats_.key_bytes_hashed += KeyBytes(key);
+  overflow_[key] = value;
+}
+
+void EvalEngine::EvaluateMisses(int count) {
+  if (count == 0) return;
+  miss_values_.resize(count);
+  // Each task computes one whole objective value into its own slot from
+  // its own key buffer; the gather below walks slots in index order, so
+  // the result is bit-stable for any pool size.  If the objective throws
+  // (the pool transports task exceptions), nothing has been committed to
+  // the memo yet, so the cache stays free of bogus entries.
+  if (pool_ != nullptr && count > 1) {
+    pool_->ParallelFor(count, [this](int m) {
+      miss_values_[m] = objective_(miss_keys_[m]);
+    });
+  } else {
+    for (int m = 0; m < count; ++m) {
+      miss_values_[m] = objective_(miss_keys_[m]);
+    }
+  }
+  stats_.evaluations += count;
+  for (int m = 0; m < count; ++m) {
+    Store(miss_sigs_[m], miss_keys_[m], miss_values_[m]);
+  }
+}
+
+double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
+  CanonicalInto(cleaned, scratch_key_);
+  std::uint64_t sig = SignatureOf(scratch_key_);
+  double value;
+  if (Lookup(sig, scratch_key_, &value)) {
+    ++stats_.cache_hits;
+    return value;
+  }
+  value = objective_(scratch_key_);
   ++stats_.evaluations;
-  cache_.emplace(std::move(key), value);
+  Store(sig, scratch_key_, value);
   return value;
 }
 
@@ -50,59 +164,95 @@ std::vector<double> EvalEngine::EvaluateBatch(
     const std::vector<std::vector<int>>& candidates) {
   const int n = static_cast<int>(candidates.size());
   std::vector<double> out(n, 0.0);
-  // Resolve cache hits and dedupe the misses directly in the cache: each
-  // unique miss is inserted once as a pending node and its value filled
-  // in below, so every key is stored exactly once.  Node pointers stay
-  // valid across rehashing; first-seen order keeps evaluation (and the
-  // stats) deterministic.
-  using CacheNode = std::pair<const std::vector<int>, double>;
   std::vector<int> miss_slot(n, -1);
-  std::vector<CacheNode*> pending;
-  std::unordered_map<const CacheNode*, int> pending_index;
+  // Per-signature pending slots, so duplicate candidates within the batch
+  // are classified once (key-compared only on a signature match).
+  std::unordered_map<std::uint64_t, std::vector<int>> pending_by_sig;
+  int misses = 0;
   for (int j = 0; j < n; ++j) {
-    auto [it, inserted] =
-        cache_.try_emplace(CanonicalKey(candidates[j]), 0.0);
-    if (inserted) {
-      miss_slot[j] = static_cast<int>(pending.size());
-      pending_index.emplace(&*it, miss_slot[j]);
-      pending.push_back(&*it);
+    CanonicalInto(candidates[j], scratch_key_);
+    std::uint64_t sig = SignatureOf(scratch_key_);
+    double value;
+    if (Lookup(sig, scratch_key_, &value)) {
+      ++stats_.cache_hits;
+      out[j] = value;
       continue;
     }
-    auto dup = pending_index.find(&*it);
-    if (dup != pending_index.end()) {
-      miss_slot[j] = dup->second;  // duplicate within this batch
-    } else {
-      ++stats_.cache_hits;
-      out[j] = it->second;
-    }
-  }
-  const int misses = static_cast<int>(pending.size());
-  std::vector<double> miss_values(misses, 0.0);
-  // Each task computes one whole objective value into its own slot; the
-  // gather below walks slots in index order, so the result is bit-stable
-  // for any pool size.  If the objective throws (the pool transports task
-  // exceptions), the still-unfilled pending nodes must not survive as
-  // bogus 0.0 "hits" — drop them before rethrowing.
-  try {
-    if (pool_ != nullptr && misses > 1) {
-      pool_->ParallelFor(misses, [&](int m) {
-        miss_values[m] = objective_(pending[m]->first);
-      });
-    } else {
-      for (int m = 0; m < misses; ++m) {
-        miss_values[m] = objective_(pending[m]->first);
+    std::vector<int>& slots = pending_by_sig[sig];
+    int dup = -1;
+    for (int s : slots) {
+      if (miss_keys_[s] == scratch_key_) {
+        dup = s;
+        break;
       }
     }
-  } catch (...) {
-    for (CacheNode* node : pending) cache_.erase(node->first);
-    throw;
+    if (dup >= 0) {
+      miss_slot[j] = dup;  // duplicate within this batch
+      continue;
+    }
+    int slot = misses++;
+    if (static_cast<int>(miss_keys_.size()) < misses) {
+      miss_keys_.resize(misses);
+      miss_sigs_.resize(misses);
+    }
+    miss_keys_[slot] = scratch_key_;
+    miss_sigs_[slot] = sig;
+    slots.push_back(slot);
+    miss_slot[j] = slot;
   }
-  stats_.evaluations += misses;
-  for (int m = 0; m < misses; ++m) pending[m]->second = miss_values[m];
+  EvaluateMisses(misses);
   for (int j = 0; j < n; ++j) {
-    if (miss_slot[j] >= 0) out[j] = miss_values[miss_slot[j]];
+    if (miss_slot[j] >= 0) out[j] = miss_values_[miss_slot[j]];
   }
   return out;
+}
+
+void EvalEngine::EvaluateExtensions(const std::vector<int>& base,
+                                    const std::vector<int>& extras,
+                                    std::vector<double>* out) {
+  FC_CHECK(std::is_sorted(base.begin(), base.end()));
+  const int n = static_cast<int>(extras.size());
+  out->assign(n, 0.0);
+  std::uint64_t base_sig = SignatureOf(base);
+  miss_slot_.assign(n, -1);
+  int misses = 0;
+  for (int j = 0; j < n; ++j) {
+    int e = extras[j];
+    FC_CHECK(!std::binary_search(base.begin(), base.end(), e));
+    std::uint64_t sig = base_sig + HashElement(e);
+    auto it = cache_.find(sig);
+    if (it != cache_.end()) {
+      if (KeyEqualsExtension(it->second.key, base, e)) {
+        ++stats_.cache_hits;
+        (*out)[j] = it->second.value;
+        continue;
+      }
+      // Signature collision with another set: fall back to the exact key.
+      BuildExtension(base, e, scratch_key_);
+      stats_.key_bytes_hashed += KeyBytes(scratch_key_);
+      auto ot = overflow_.find(scratch_key_);
+      if (ot != overflow_.end()) {
+        ++stats_.cache_hits;
+        (*out)[j] = ot->second;
+        continue;
+      }
+    }
+    // Extras are distinct, so pending keys never repeat within the batch;
+    // equal pending signatures are resolved by Store (second set goes to
+    // the exact-key table).
+    int slot = misses++;
+    if (static_cast<int>(miss_keys_.size()) < misses) {
+      miss_keys_.resize(misses);
+      miss_sigs_.resize(misses);
+    }
+    BuildExtension(base, e, miss_keys_[slot]);
+    miss_sigs_[slot] = sig;
+    miss_slot_[j] = slot;
+  }
+  EvaluateMisses(misses);
+  for (int j = 0; j < n; ++j) {
+    if (miss_slot_[j] >= 0) (*out)[j] = miss_values_[miss_slot_[j]];
+  }
 }
 
 Selection EvalEngine::PlainGreedy(const std::vector<double>& costs,
@@ -119,6 +269,9 @@ Selection EvalEngine::LazyGreedy(const std::vector<double>& costs,
 
 Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
                              const GreedyOptions& options, bool lazy) {
+  if (options.incremental != nullptr) {
+    return GreedyIncremental(costs, budget, options, lazy);
+  }
   const int n = static_cast<int>(costs.size());
   const double sign = direction_ == OptimizeDirection::kMaximize ? 1.0 : -1.0;
   const bool stop_when_no_gain = direction_ == OptimizeDirection::kMaximize;
@@ -131,21 +284,31 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     return options.cost_aware ? benefit / costs[i] : benefit;
   };
 
+  // The committed set in sorted order (sel.cleaned holds pick order until
+  // FinishSelection), plus the candidate/value buffers reused by every
+  // round — the hot loop allocates nothing after the first round.
+  std::vector<int> base;
+  base.reserve(n);
+  std::vector<int> cand;
+  cand.reserve(n);
+  std::vector<double> values;
+  auto commit = [&](int pick) {
+    taken[pick] = true;
+    sel.cleaned.push_back(pick);
+    sel.cost += costs[pick];
+    base.insert(std::lower_bound(base.begin(), base.end(), pick), pick);
+  };
+
   if (!lazy) {
     // Full rescan every round, exactly the Algorithm-1 adaptive loop; the
-    // round's candidates go through the engine as one batch.
+    // round's candidates go through the engine as one extension batch.
     while (true) {
-      std::vector<int> cand;
-      std::vector<std::vector<int>> sets;
+      cand.clear();
       for (int i = 0; i < n; ++i) {
-        if (taken[i] || sel.cost + costs[i] > budget) continue;
-        cand.push_back(i);
-        std::vector<int> with = sel.cleaned;
-        with.push_back(i);
-        sets.push_back(std::move(with));
+        if (!taken[i] && sel.cost + costs[i] <= budget) cand.push_back(i);
       }
       if (cand.empty()) break;  // nothing affordable remains
-      std::vector<double> values = EvaluateBatch(sets);
+      EvaluateExtensions(base, cand, &values);
       int best = -1;
       double best_score = 0.0, best_value = 0.0;
       for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
@@ -157,10 +320,7 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
         }
       }
       if (stop_when_no_gain && sign * (best_value - current) <= 0.0) break;
-      int pick = cand[best];
-      taken[pick] = true;
-      sel.cleaned.push_back(pick);
-      sel.cost += costs[pick];
+      commit(cand[best]);
       current = best_value;
     }
   } else {
@@ -182,14 +342,11 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(
         worse);
     {
-      std::vector<int> cand;
-      std::vector<std::vector<int>> sets;
+      cand.clear();
       for (int i = 0; i < n; ++i) {
-        if (costs[i] > budget) continue;
-        cand.push_back(i);
-        sets.push_back({i});
+        if (costs[i] <= budget) cand.push_back(i);
       }
-      std::vector<double> values = EvaluateBatch(sets);
+      EvaluateExtensions(base, cand, &values);
       for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
         heap.push({score_of(values[j], cand[j]), values[j], cand[j], 0});
       }
@@ -209,16 +366,13 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
           pick_value = e.value;
           break;
         }
-        std::vector<int> with = sel.cleaned;
-        with.push_back(e.index);
-        double value = Evaluate(with);
-        heap.push({score_of(value, e.index), value, e.index, gen});
+        cand.assign(1, e.index);
+        EvaluateExtensions(base, cand, &values);
+        heap.push({score_of(values[0], e.index), values[0], e.index, gen});
       }
       if (pick < 0) break;
       if (stop_when_no_gain && sign * (pick_value - current) <= 0.0) break;
-      taken[pick] = true;
-      sel.cleaned.push_back(pick);
-      sel.cost += costs[pick];
+      commit(pick);
       current = pick_value;
       ++gen;
     }
@@ -228,14 +382,12 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     // Lines 5-8 of Algorithm 1: if some affordable single object alone
     // beats the accumulated set, take it instead.  The singletons were
     // evaluated in round one, so this batch is all cache hits.
-    std::vector<int> cand;
-    std::vector<std::vector<int>> sets;
+    const std::vector<int> empty_base;
+    cand.clear();
     for (int i = 0; i < n; ++i) {
-      if (taken[i] || costs[i] > budget) continue;
-      cand.push_back(i);
-      sets.push_back({i});
+      if (!taken[i] && costs[i] <= budget) cand.push_back(i);
     }
-    std::vector<double> values = EvaluateBatch(sets);
+    EvaluateExtensions(empty_base, cand, &values);
     int best = -1;
     double best_value = 0.0;
     for (int j = 0; j < static_cast<int>(cand.size()); ++j) {
@@ -247,6 +399,136 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     if (best >= 0 && sign * best_value > sign * current) {
       sel.cleaned = {cand[best]};
       sel.cost = costs[cand[best]];
+    }
+  }
+  FinishSelection(sel);
+  if (options.stats_out != nullptr) *options.stats_out = stats_;
+  return sel;
+}
+
+Selection EvalEngine::GreedyIncremental(const std::vector<double>& costs,
+                                        double budget,
+                                        const GreedyOptions& options,
+                                        bool lazy) {
+  const int n = static_cast<int>(costs.size());
+  const double sign = direction_ == OptimizeDirection::kMaximize ? 1.0 : -1.0;
+  const bool stop_when_no_gain = direction_ == OptimizeDirection::kMaximize;
+  IncrementalObjective* inc = options.incremental;
+  Selection sel;
+  std::vector<bool> taken(n, false);
+
+  inc->Reset({});
+  ++stats_.evaluations;  // one full-objective build
+  const double value0 = inc->Value();
+  double current = value0;
+
+  // First-round singleton values, remembered for the Algorithm-1 final
+  // check: the first round (plain) / the seeding round (lazy) probes
+  // exactly the affordable singletons, which are exactly the final
+  // check's candidates, so no re-probing from the empty set is needed.
+  std::vector<double> singleton_value(n, 0.0);
+  std::vector<bool> singleton_seen(n, false);
+
+  auto probe = [&](int i) {
+    double gain = inc->ProbeGain(i);
+    ++stats_.probes;
+    return gain;
+  };
+  auto score_from_gain = [&](double gain, int i) {
+    double benefit = sign * gain;
+    return options.cost_aware ? benefit / costs[i] : benefit;
+  };
+  auto commit = [&](int pick) {
+    taken[pick] = true;
+    sel.cleaned.push_back(pick);
+    sel.cost += costs[pick];
+    inc->Commit(pick);
+    ++stats_.commits;
+    current = inc->Value();
+  };
+
+  if (!lazy) {
+    bool first_round = true;
+    while (true) {
+      int best = -1;
+      double best_score = 0.0, best_gain = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (taken[i] || sel.cost + costs[i] > budget) continue;
+        double gain = probe(i);
+        if (first_round) {
+          singleton_value[i] = value0 + gain;
+          singleton_seen[i] = true;
+        }
+        double score = score_from_gain(gain, i);
+        if (best < 0 || score > best_score) {
+          best = i;
+          best_score = score;
+          best_gain = gain;
+        }
+      }
+      first_round = false;
+      if (best < 0) break;  // nothing affordable remains
+      if (stop_when_no_gain && sign * best_gain <= 0.0) break;
+      commit(best);
+    }
+  } else {
+    struct Entry {
+      double score;
+      double gain;
+      int index;
+      int gen;
+    };
+    auto worse = [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return a.index > b.index;
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(
+        worse);
+    for (int i = 0; i < n; ++i) {
+      if (costs[i] > budget) continue;
+      double gain = probe(i);
+      singleton_value[i] = value0 + gain;
+      singleton_seen[i] = true;
+      heap.push({score_from_gain(gain, i), gain, i, 0});
+    }
+    int gen = 0;
+    while (true) {
+      int pick = -1;
+      double pick_gain = 0.0;
+      while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        if (taken[e.index] || sel.cost + costs[e.index] > budget) continue;
+        if (e.gen == gen) {
+          pick = e.index;
+          pick_gain = e.gain;
+          break;
+        }
+        double gain = probe(e.index);
+        heap.push({score_from_gain(gain, e.index), gain, e.index, gen});
+      }
+      if (pick < 0) break;
+      if (stop_when_no_gain && sign * pick_gain <= 0.0) break;
+      commit(pick);
+      ++gen;
+    }
+  }
+
+  if (options.final_check && !sel.cleaned.empty()) {
+    int best = -1;
+    double best_value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (taken[i] || costs[i] > budget) continue;
+      // Any affordable un-taken object was a first-round candidate.
+      FC_CHECK(singleton_seen[i]);
+      if (best < 0 || sign * singleton_value[i] > sign * best_value) {
+        best = i;
+        best_value = singleton_value[i];
+      }
+    }
+    if (best >= 0 && sign * best_value > sign * current) {
+      sel.cleaned = {best};
+      sel.cost = costs[best];
     }
   }
   FinishSelection(sel);

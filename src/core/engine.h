@@ -1,27 +1,54 @@
 // EvalEngine: the shared scenario-evaluation engine behind every adaptive
 // selection algorithm (greedy, MaxPr, Monte Carlo greedy, adaptive
-// policies).  It centralizes the three concerns the algorithms used to
+// policies).  It centralizes the concerns the algorithms used to
 // reimplement privately:
 //
-//   * memoization — EV / surprise-probability values are cached keyed by
-//     the canonical (sorted, duplicate-free) cleaned-set signature, so the
-//     Algorithm-1 final check and repeated candidate probes are free;
+//   * memoization — EV / surprise-probability values are cached keyed by a
+//     64-bit incremental set signature (a commutative per-element hash, so
+//     extending a set by one object updates the signature in O(1) with no
+//     canonical-sort or full-key rehash); the canonical (sorted,
+//     duplicate-free) key is stored alongside the value and verified on
+//     every hit, with an exact-key side table as the fallback when two
+//     distinct sets collide on the signature — the memo is sound for any
+//     hash behaviour;
 //   * batch evaluation — each greedy round's candidate sets are evaluated
 //     as one batch, optionally spread across a fixed-size ThreadPool.
-//     Every objective value is computed entirely inside one task and the
-//     batch is reduced in candidate-index order, so results are
-//     bit-identical for any pool size (including none);
+//     Candidate sets are described as extensions of the round's base set
+//     (base ∪ {i}), so the hot loop allocates nothing: the engine keeps
+//     reusable scratch buffers (one per pending miss slot, each owned by
+//     exactly one pool task) and only materializes a key when a new cache
+//     entry is created.  Every objective value is computed entirely inside
+//     one task and the batch is reduced in candidate-index order, so
+//     results are bit-identical for any pool size (including none);
 //   * lazy (CELF) greedy — a max-heap of stale upper bounds on the
 //     benefit-per-cost score; a candidate is only re-evaluated when it
 //     reaches the top of the heap, which on submodular objectives selects
-//     exactly the plain greedy's set with far fewer evaluations.
+//     exactly the plain greedy's set with far fewer evaluations;
+//   * incremental objectives — when GreedyOptions::incremental attaches an
+//     IncrementalObjective (core/incremental.h), both greedy drivers
+//     switch from batch probes to the O(Δ) protocol:
+//
+//       Reset({})      once per selection (counted as one evaluation),
+//       ProbeGain(i)   per candidate probe (counted in stats().probes),
+//       Commit(i)      per pick            (counted in stats().commits),
+//       Value()        the running objective, consistent with the batch
+//                      SetObjective,
+//
+//     selecting the same set, in the same order, as the batch path — the
+//     incremental-equivalence suite pins this across thread counts and
+//     lazy modes.  The final single-item check reuses the first round's
+//     singleton probes, so the incremental path performs no batch
+//     evaluation at all.  Without an attached incremental objective the
+//     drivers run the batch path unchanged (bit-identical to the
+//     pre-incremental engine).
 //
 // The engine itself is single-threaded at the API level (call it from one
 // thread); the objective must tolerate concurrent invocations when a pool
 // is attached (the exact evaluators are pure, and the Monte Carlo
 // objectives re-seed a local Rng per call, so all shipped objectives do).
-// brute_force stays off the engine on purpose: it is the oracle the
-// equivalence tests compare against.
+// Incremental objectives are never invoked from the pool.  brute_force
+// stays off the engine on purpose: it is the oracle the equivalence tests
+// compare against.
 
 #ifndef FACTCHECK_CORE_ENGINE_H_
 #define FACTCHECK_CORE_ENGINE_H_
@@ -31,6 +58,7 @@
 #include <vector>
 
 #include "core/greedy.h"
+#include "core/incremental.h"
 #include "util/thread_pool.h"
 
 namespace factcheck {
@@ -41,8 +69,17 @@ namespace factcheck {
 enum class OptimizeDirection { kMinimize, kMaximize };
 
 struct EngineStats {
-  std::int64_t evaluations = 0;  // objective invocations (cache misses)
+  std::int64_t evaluations = 0;  // full-objective invocations (cache misses;
+                                 // incremental Reset counts as one)
   std::int64_t cache_hits = 0;   // lookups served from the memo table
+  std::int64_t probes = 0;       // incremental marginal-gain probes
+  std::int64_t commits = 0;      // incremental set extensions committed
+  // Bytes of canonical-key data fed through a hash function (full-key
+  // FNV-1a for the exact-key fallback, per-element mixing for the
+  // incremental signature).  The batch hot loop hashes 4 bytes per probe
+  // plus one base pass per round; the pre-signature engine hashed the
+  // whole key per probe.
+  std::int64_t key_bytes_hashed = 0;
 };
 
 class EvalEngine {
@@ -66,8 +103,18 @@ class EvalEngine {
   std::vector<double> EvaluateBatch(
       const std::vector<std::vector<int>>& candidates);
 
+  // Memoized values of base ∪ {e} for every e in `extras` — the greedy
+  // hot path.  `base` must be sorted and duplicate-free and contain no
+  // extra; `extras` must be distinct.  Equivalent to EvaluateBatch over
+  // the materialized unions (same memo, same stats, same pooling) without
+  // building a candidate vector per probe.
+  void EvaluateExtensions(const std::vector<int>& base,
+                          const std::vector<int>& extras,
+                          std::vector<double>* out);
+
   // The Algorithm-1 adaptive greedy, evaluating every remaining candidate
-  // each round (as one engine batch).  Behaviourally identical to the
+  // each round (as one engine batch, or as one incremental probe sweep
+  // when options.incremental is set).  Behaviourally identical to the
   // pre-engine private loops.
   Selection PlainGreedy(const std::vector<double>& costs, double budget,
                         const GreedyOptions& options = {});
@@ -86,18 +133,66 @@ class EvalEngine {
   const EngineStats& stats() const { return stats_; }
   ThreadPool* pool() const { return pool_; }
 
+  // Test hook: makes every element hash to the same signature so all sets
+  // collide and the exact-key fallback carries the whole cache.  The
+  // collision-path tests drive the engine through this to prove the memo
+  // stays sound under the worst possible hash.
+  void UseDegenerateSignatureForTest() { degenerate_signature_ = true; }
+
  private:
   struct KeyHash {
     std::size_t operator()(const std::vector<int>& key) const;
   };
+  // One memo slot: the canonical key (verified on every signature hit)
+  // and its objective value.
+  struct CacheEntry {
+    std::vector<int> key;
+    double value = 0.0;
+  };
 
   Selection Greedy(const std::vector<double>& costs, double budget,
                    const GreedyOptions& options, bool lazy);
+  Selection GreedyIncremental(const std::vector<double>& costs, double budget,
+                              const GreedyOptions& options, bool lazy);
+
+  // Commutative per-element signature hash (identical for any insertion
+  // order of the same set).
+  std::uint64_t HashElement(int x);
+  std::uint64_t SignatureOf(const std::vector<int>& sorted_key);
+
+  // Memo lookup for the canonical set `key` under signature `sig`;
+  // returns true and fills `*value` on a hit (counted by the caller).
+  bool Lookup(std::uint64_t sig, const std::vector<int>& key, double* value);
+  // Inserts a freshly evaluated (sig, key, value); routes to the exact-key
+  // side table when the signature slot is already taken by another set.
+  void Store(std::uint64_t sig, const std::vector<int>& key, double value);
+
+  // Shared core of EvaluateBatch / EvaluateExtensions: the keys of the
+  // batch are miss_keys_[0..count), classification already done by the
+  // caller; evaluates the misses (pooled when possible) and commits them
+  // to the memo.
+  void EvaluateMisses(int count);
 
   SetObjective objective_;
   OptimizeDirection direction_;
   ThreadPool* pool_;
-  std::unordered_map<std::vector<int>, double, KeyHash> cache_;
+
+  // Primary memo keyed by the 64-bit set signature; `overflow_` holds the
+  // sets whose signature slot was already taken by a different set.
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::unordered_map<std::vector<int>, double, KeyHash> overflow_;
+  bool degenerate_signature_ = false;
+
+  // Reusable scratch: one canonicalization buffer, plus per-miss-slot key
+  // buffers (each owned by exactly one pool task during a batch) and their
+  // signatures/values.  Capacity persists across rounds, so the steady
+  // state of the greedy hot loop performs no allocation.
+  std::vector<int> scratch_key_;
+  std::vector<int> miss_slot_;
+  std::vector<std::vector<int>> miss_keys_;
+  std::vector<std::uint64_t> miss_sigs_;
+  std::vector<double> miss_values_;
+
   EngineStats stats_;
 };
 

@@ -1,9 +1,11 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "core/engine.h"
+#include "core/incremental.h"
 #include "util/check.h"
 
 namespace factcheck {
@@ -144,9 +146,20 @@ Selection GreedyMaxPrNormal(const LinearQueryFunction& f,
                             const std::vector<double>& current,
                             const std::vector<double>& costs, double budget,
                             double tau, const GreedyOptions& options) {
+  // Probe through the running sufficient statistics (O(1) per candidate)
+  // unless the caller attached its own incremental evaluator; the batch
+  // closed form remains the objective of record (memo, final values).
+  GreedyOptions opts = options;
+  std::unique_ptr<IncrementalObjective> incremental;
+  if (opts.incremental == nullptr) {
+    incremental = MakeNormalMaxPrIncremental(
+        f.DenseWeights(static_cast<int>(costs.size())), means, stddevs,
+        current, tau);
+    opts.incremental = incremental.get();
+  }
   return AdaptiveGreedyMaximize(
       costs, budget, MaxPrNormalObjective(f, means, stddevs, current, tau),
-      options);
+      opts);
 }
 
 Selection GreedyDep(const LinearQueryFunction& f,
@@ -154,12 +167,21 @@ Selection GreedyDep(const LinearQueryFunction& f,
                     const std::vector<double>& costs, double budget,
                     const GreedyOptions& options) {
   std::vector<double> a = f.DenseWeights(model.dim());
+  // Rank-1 Schur downdates make each probe O(1) against the maintained
+  // conditional covariance instead of a fresh Schur complement per
+  // candidate; the batch objective stays on for memoized re-evaluation.
+  GreedyOptions opts = options;
+  std::unique_ptr<IncrementalObjective> incremental;
+  if (opts.incremental == nullptr) {
+    incremental = MakeConditionalVarianceIncremental(model, a);
+    opts.incremental = incremental.get();
+  }
   return AdaptiveGreedyMinimize(
       costs, budget,
       [&model, a = std::move(a)](const std::vector<int>& t) {
         return model.ExpectedConditionalVariance(a, t);
       },
-      options);
+      opts);
 }
 
 Selection GreedyMinVarLinearIndependent(const LinearQueryFunction& f,

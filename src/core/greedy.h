@@ -27,6 +27,7 @@ namespace factcheck {
 
 class ThreadPool;
 struct EngineStats;
+class IncrementalObjective;
 
 // The outcome of a selection algorithm.
 struct Selection {
@@ -57,12 +58,21 @@ struct GreedyOptions {
   // mode only the seeding round is a batch — CELF refreshes are
   // inherently one-at-a-time, so the pool does not speed up later rounds.
   ThreadPool* pool = nullptr;
+  // Optional O(Δ) marginal-gain evaluator mirroring the objective
+  // (core/incremental.h).  When set, the engine-backed drivers probe and
+  // commit through it instead of batch-evaluating the SetObjective,
+  // selecting the same set with O(1)–O(Δ) work per candidate.  Borrowed,
+  // must outlive the call; single-run state, never share an instance
+  // across concurrent selections.
+  IncrementalObjective* incremental = nullptr;
   // When set, the engine-backed drivers copy their EvalEngine's final
-  // counters here (evaluations / cache hits).  The incremental claims
+  // counters here (evaluations / cache hits / incremental probes and
+  // commits / key bytes hashed) on EVERY exit path, including the
+  // empty-candidate and no-gain early breaks.  The incremental claims
   // greedy (ClaimEvEvaluator::GreedyMinVar) also reports through it,
-  // writing its per-claim/pair term recomputation count as
-  // `evaluations`; other engine-free algorithms leave it untouched.
-  // Borrowed, must outlive the call.
+  // writing its per-claim/pair term recomputation count as `evaluations`
+  // and its benefit probes/picks as `probes`/`commits`; other engine-free
+  // algorithms leave it untouched.  Borrowed, must outlive the call.
   EngineStats* stats_out = nullptr;
 };
 

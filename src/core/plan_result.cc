@@ -32,6 +32,9 @@ void PlanResult::WriteJson(JsonWriter& writer) const {
   writer.Key("stats").BeginObject();
   writer.Key("evaluations").Int(stats.evaluations);
   writer.Key("cache_hits").Int(stats.cache_hits);
+  writer.Key("probes").Int(stats.probes);
+  writer.Key("commits").Int(stats.commits);
+  writer.Key("key_bytes_hashed").Int(stats.key_bytes_hashed);
   writer.EndObject();
   writer.Key("wall_ms").Number(wall_seconds * 1e3);
   writer.EndObject();

@@ -41,7 +41,8 @@ struct PlanResult {
   //   {"algorithm":..,"objective":..,
   //    "selection":{"cleaned":[..],"order":[..],"labels":[..],"cost":..},
   //    "objective_value":..|null,"trajectory":[..],
-  //    "stats":{"evaluations":..,"cache_hits":..},"wall_ms":..}
+  //    "stats":{"evaluations":..,"cache_hits":..,"probes":..,
+  //             "commits":..,"key_bytes_hashed":..},"wall_ms":..}
   std::string ToJson() const;
 
   // Streams the same object into an open writer (for aggregating many

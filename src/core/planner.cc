@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/brute_force.h"
 #include "core/ev.h"
@@ -279,6 +280,17 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
   if (request.engine.threads > 1) pool.emplace(request.engine.threads);
   Rng rng(request.engine.seed);
 
+  // One incremental instance per run: the objects are single-run state
+  // machines (core/incremental.h), so the request carries a factory.
+  // Attached only to algorithms that consume PlanContext::objective —
+  // the factory mirrors THAT objective, and handing it to an algorithm
+  // that greedy-drives a different one (the Monte Carlo estimators build
+  // their own sampling objective) would silently swap its evaluator.
+  std::unique_ptr<IncrementalObjective> incremental;
+  if (request.custom_incremental != nullptr && algo->uses_objective) {
+    incremental = request.custom_incremental();
+  }
+
   PlanContext ctx{.request = request,
                   .problem = *request.problem,
                   .query = *request.query,
@@ -292,6 +304,7 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
                   .rng = &rng};
   ctx.greedy.lazy = request.engine.lazy;
   ctx.greedy.pool = pool.has_value() ? &*pool : nullptr;
+  ctx.greedy.incremental = incremental.get();
   ctx.greedy.stats_out = &result.stats;
 
   Stopwatch stopwatch;

@@ -65,6 +65,18 @@ struct PlanRequest {
   // when threads > 1.
   SetObjective custom_objective;
 
+  // Optional factory for an O(Δ) incremental evaluator mirroring the
+  // objective above (custom or exact; core/incremental.h).  The Planner
+  // builds one fresh instance per run and attaches it to
+  // GreedyOptions::incremental — but only for algorithms whose registry
+  // entry sets uses_objective, i.e. the ones that actually greedy-drive
+  // this request's objective; the Monte Carlo greedies build their own
+  // sampling objective and must not inherit an evaluator that mirrors a
+  // different function.  The engine then probes marginal gains instead
+  // of batch-evaluating — same selections, a fraction of the work
+  // (stats report probes/commits instead of evaluations).
+  IncrementalFactory custom_incremental;
+
   ObjectiveKind objective = ObjectiveKind::kMinVar;
   double budget = 0.0;
   double tau = 0.0;  // MaxPr surprise threshold

@@ -100,6 +100,8 @@ std::optional<ExperimentCell> ExperimentRunner::TryRunCell(
   cell.wall_ms_mean = sum / static_cast<double>(wall_ms.size());
   cell.evaluations = cell.result.stats.evaluations;
   cell.cache_hits = cell.result.stats.cache_hits;
+  cell.probes = cell.result.stats.probes;
+  cell.commits = cell.result.stats.commits;
 
   if (with_objective) {
     if (workload.metric != nullptr) {
@@ -223,6 +225,8 @@ void WriteCellJson(const ExperimentCell& cell, JsonWriter& writer) {
   writer.Key("wall_ms_mean").Number(cell.wall_ms_mean);
   writer.Key("evaluations").Int(cell.evaluations);
   writer.Key("cache_hits").Int(cell.cache_hits);
+  writer.Key("probes").Int(cell.probes);
+  writer.Key("commits").Int(cell.commits);
   writer.Key("picked").Int(
       static_cast<std::int64_t>(cell.result.selection.cleaned.size()));
   writer.Key("cost").Number(cell.result.selection.cost);

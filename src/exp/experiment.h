@@ -9,9 +9,10 @@
 // Cells serialize via util/json in the stable `factcheck.bench.v1` schema
 // (one flat object per cell with keys workload / algo / seed / budget /
 // budget_fraction / threads / lazy / repetitions / wall_ms / wall_ms_min /
-// wall_ms_mean / evaluations / cache_hits / picked / cost / objective),
-// which is what the BENCH_*.json perf-trajectory artifacts and the CI
-// bench-smoke job consume.  Non-finite numbers serialize as null.
+// wall_ms_mean / evaluations / cache_hits / probes / commits / picked /
+// cost / objective), which is what the BENCH_*.json perf-trajectory
+// artifacts, the CI bench-smoke job, and the tools/compare_bench.py
+// counter-regression gate consume.  Non-finite numbers serialize as null.
 
 #ifndef FACTCHECK_EXP_EXPERIMENT_H_
 #define FACTCHECK_EXP_EXPERIMENT_H_
@@ -67,6 +68,8 @@ struct ExperimentCell {
   double wall_ms_mean = 0.0;
   std::int64_t evaluations = 0;  // EngineStats of the last repetition
   std::int64_t cache_hits = 0;
+  std::int64_t probes = 0;   // incremental marginal-gain probes
+  std::int64_t commits = 0;  // incremental set extensions committed
 
   double objective = 0.0;  // workload metric of the selected set
   bool has_objective = false;

@@ -11,6 +11,7 @@ PlanRequest Workload::MakeRequest(double budget) const {
   request.query = query.get();
   request.linear_query = linear.get();
   request.custom_objective = metric;
+  request.custom_incremental = incremental;
   request.objective = objective;
   request.budget = budget;
   request.tau = tau;

@@ -66,6 +66,14 @@ class Workload {
   // Null for workloads scored by exact enumeration.
   SetObjective metric;
 
+  // Optional O(Δ) companion of `metric` (core/incremental.h), fed to
+  // PlanRequest::custom_incremental: the engine-backed greedy algorithms
+  // probe marginal gains through a fresh instance per run instead of
+  // batch-evaluating the metric.  Null when the workload has no
+  // structured incremental evaluator (exact-enumeration workloads, the
+  // ratio extension).
+  IncrementalFactory incremental;
+
   ObjectiveKind objective = ObjectiveKind::kMinVar;
   double tau = 0.0;
 

@@ -83,6 +83,32 @@ Matrix SchurComplement(const Matrix& m, const std::vector<int>& a_idx,
   return MatSub(m_bb, MatMul(m_ba, solved));
 }
 
+bool SchurConditionInPlace(Matrix& m, int i, double pivot_floor) {
+  const int n = m.rows();
+  FC_CHECK_EQ(n, m.cols());
+  FC_CHECK_GE(i, 0);
+  FC_CHECK_LT(i, n);
+  const double pivot = m(i, i);
+  bool informative = pivot > pivot_floor;
+  if (informative) {
+    // m ← m − v v' / pivot with v = m(:,i); the i-th row/column lands on
+    // zero analytically, and is cleared explicitly below to keep float
+    // residue out of later pivots.
+    for (int r = 0; r < n; ++r) {
+      if (r == i) continue;  // pivot row is the subtrahend; cleared below
+      const double vr = m(r, i);
+      if (vr == 0.0) continue;
+      const double scale = vr / pivot;
+      for (int c = 0; c < n; ++c) m(r, c) -= scale * m(i, c);
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    m(r, i) = 0.0;
+    m(i, r) = 0.0;
+  }
+  return informative;
+}
+
 std::optional<double> LogDet(const Matrix& a) {
   auto l = Cholesky(a);
   if (!l.has_value()) return std::nullopt;

@@ -34,6 +34,18 @@ std::optional<Matrix> SpdInverse(const Matrix& a);
 Matrix SchurComplement(const Matrix& m, const std::vector<int>& a_idx,
                        const std::vector<int>& b_idx);
 
+// One Gaussian-conditioning step on symmetric PSD `m`, in place: the
+// rank-1 downdate  m ← m − m(:,i) m(i,:) / m(i,i), followed by zeroing
+// row and column i.  This is exactly one pivot of the Cholesky/Schur
+// elimination, so applying it for every index of a set A leaves the Schur
+// complement of A embedded in the remaining rows/columns — the conditional
+// covariance given X_A, computed one observation at a time.  A pivot
+// m(i,i) ≤ pivot_floor (variable already determined, or a numerically
+// semi-definite matrix) contributes no information: the downdate is
+// skipped and row/column i are only zeroed, mirroring the jitter guard of
+// the batch Schur path.  Returns false in that degenerate case.
+bool SchurConditionInPlace(Matrix& m, int i, double pivot_floor = 0.0);
+
 // log det(A) for symmetric positive definite A; nullopt when not PD.
 std::optional<double> LogDet(const Matrix& a);
 

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compares two factcheck.bench.v1 documents on deterministic counters.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+
+The CI perf-smoke gate: cells are matched on their identity axes
+(workload, algo, seed, budget / budget_fraction, threads, lazy,
+repetitions) and compared on the counters that are bit-deterministic for
+a given seed — `evaluations` and `probes` — never on wall-clock, which
+depends on the machine.  Any counter increase (> 0% regression) fails, as
+does a baseline cell with no matching current cell.  Improvements and new
+cells are reported but pass.
+
+Regenerate the checked-in baseline with the spec documented in README.md
+("Perf baselines") whenever an intentional algorithmic change shifts the
+counters, and say so in the commit message.
+"""
+
+import json
+import sys
+
+COUNTERS = ("evaluations", "probes")
+
+
+def cell_key(cell):
+    budget = cell.get("budget_fraction")
+    if budget is None:  # absolute-budget sweep: fraction serializes as null
+        budget = round(float(cell["budget"]), 9)
+        kind = "abs"
+    else:
+        budget = round(float(budget), 9)
+        kind = "frac"
+    return (
+        cell["workload"], cell["algo"], cell["seed"], kind, budget,
+        cell["threads"], cell["lazy"], cell["repetitions"],
+    )
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "factcheck.bench.v1":
+        raise SystemExit(f"{path}: schema is {doc.get('schema')!r}, "
+                         "expected 'factcheck.bench.v1'")
+    cells = {}
+    for cell in doc.get("results", []):
+        key = cell_key(cell)
+        if key in cells:
+            raise SystemExit(f"{path}: duplicate cell {key}")
+        cells[key] = cell
+    if not cells:
+        raise SystemExit(f"{path}: no results")
+    return cells
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    baseline = load(argv[1])
+    current = load(argv[2])
+    regressions = []
+    improvements = 0
+    for key, base_cell in sorted(baseline.items()):
+        cur_cell = current.get(key)
+        if cur_cell is None:
+            regressions.append(f"missing cell: {key}")
+            continue
+        for counter in COUNTERS:
+            base = int(base_cell[counter])
+            cur = int(cur_cell[counter])
+            if cur > base:
+                regressions.append(
+                    f"{key}: {counter} regressed {base} -> {cur} "
+                    f"(+{100.0 * (cur - base) / max(base, 1):.1f}%)")
+            elif cur < base:
+                improvements += 1
+                print(f"improved  {key}: {counter} {base} -> {cur}")
+    new_cells = set(current) - set(baseline)
+    for key in sorted(new_cells):
+        print(f"new cell  {key} (not gated; add to the baseline)")
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print(f"compare_bench: {len(regressions)} regression(s) vs {argv[1]}",
+              file=sys.stderr)
+        return 1
+    print(f"compare_bench: ok — {len(baseline)} cells gated, "
+          f"{improvements} improved, {len(new_cells)} new")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
