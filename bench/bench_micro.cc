@@ -10,8 +10,10 @@
 #include "core/greedy.h"
 #include "data/cdc.h"
 #include "data/synthetic.h"
+#include "dist/kernels.h"
 #include "dist/mvn.h"
 #include "dist/normal.h"
+#include "dist/planes.h"
 #include "knapsack/knapsack.h"
 #include "util/random.h"
 
@@ -56,6 +58,47 @@ void BM_ClaimEvOverlapping(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClaimEvOverlapping);
+
+void BM_DistKernelsConvolve(benchmark::State& state) {
+  // The raw SoA flat-kernel convolution over shared planes (the
+  // dist_kernels workload's innermost loop); arg = number of terms.
+  int terms = static_cast<int>(state.range(0));
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7,
+      {.size = 16, .min_support = 4, .max_support = 4});
+  const DistPlanes& planes = problem.planes();
+  std::vector<FlatTerm> flat;
+  for (int i = 0; i < terms; ++i) {
+    flat.push_back({planes.values(i), planes.probs(i),
+                    planes.support_size(i), 1.0 + 0.1 * i});
+  }
+  ConvolutionWorkspace ws;
+  KernelCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConvolveSumFlat(flat.data(), terms, ws, &counters));
+  }
+}
+BENCHMARK(BM_DistKernelsConvolve)->Arg(4)->Arg(6);
+
+void BM_DistKernelsEvOverlapping(benchmark::State& state) {
+  // The dist_kernels cell: overlapping claims so both the 1-D and the 2-D
+  // kernels run; arg 0 pins the legacy AoS path, arg 1 the SoA planes
+  // path.  A fresh evaluator per iteration keeps the term caches cold —
+  // this times the kernels, not the memoization.
+  const bool planes = state.range(0) != 0;
+  CleaningProblem problem = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 7, {.size = 24});
+  PerturbationSet context = SlidingWindowSumPerturbations(24, 4, 0, 1.5);
+  std::vector<int> cleaned = {1, 5, 9, 13};
+  for (auto _ : state) {
+    ClaimEvEvaluator evaluator(&problem, &context,
+                               QualityMeasure::kDuplicity, 120.0,
+                               StrengthDirection::kHigherIsStronger, planes);
+    benchmark::DoNotOptimize(evaluator.EV(cleaned));
+  }
+}
+BENCHMARK(BM_DistKernelsEvOverlapping)->Arg(0)->Arg(1);
 
 void BM_BruteForceEvEnumeration(benchmark::State& state) {
   // The exponential baseline the Theorem-3.8 evaluator replaces.

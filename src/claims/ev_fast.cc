@@ -1,27 +1,121 @@
 #include "claims/ev_fast.h"
 
-#include "dist/convolution.h"
-
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <queue>
 #include <set>
 
 #include "core/engine.h"
+#include "dist/convolution.h"
+#include "dist/planes.h"
 #include "util/check.h"
 
 namespace factcheck {
+namespace {
+
+// Default data path for new evaluators; flipped by SetPlanesEnabledForTest
+// around workload construction in the equivalence tests and the planes
+// on/off bench sections.
+std::atomic<bool> g_planes_enabled{true};
+
+// Terms at most this wide memoize into a flat mask-indexed array (planes
+// path): 2^12 doubles = 32 KiB per term, allocated lazily on first touch.
+// Wider terms fall back to the hash-map cache shared with the legacy path.
+constexpr int kFlatCacheBits = 12;
+
+// Bitmask of which members are cleaned; -1 when the term is too wide to
+// cache (> 30 members).
+int64_t CleanedMask(const std::vector<int>& members,
+                    const std::vector<bool>& is_cleaned) {
+  if (members.size() > 30) return -1;
+  int64_t mask = 0;
+  for (size_t j = 0; j < members.size(); ++j) {
+    if (is_cleaned[members[j]]) mask |= int64_t{1} << j;
+  }
+  return mask;
+}
+
+// Compile-time dispatch of QualityTransform: selects the (measure,
+// direction) branch once per term and hands `fn` a factory `make_g` that
+// builds the per-claim transform closure from its sensibility.  Each
+// closure performs exactly QualityTransform's arithmetic in the same
+// order, so planes-path kernels produce bit-identical values to the
+// legacy per-atom Transform() calls while keeping the transform inlinable
+// inside the kernel loops.
+template <typename Fn>
+void DispatchMeasure(QualityMeasure measure, StrengthDirection direction,
+                     double reference, Fn&& fn) {
+  const bool higher = direction == StrengthDirection::kHigherIsStronger;
+  switch (measure) {
+    case QualityMeasure::kBias:
+      if (higher) {
+        fn([reference](double s) {
+          return [s, reference](double q) { return s * (q - reference); };
+        });
+      } else {
+        fn([reference](double s) {
+          return [s, reference](double q) { return s * (reference - q); };
+        });
+      }
+      return;
+    case QualityMeasure::kDuplicity:
+      if (higher) {
+        fn([reference](double s) {
+          (void)s;
+          return [reference](double q) {
+            return q - reference >= 0.0 ? 1.0 : 0.0;
+          };
+        });
+      } else {
+        fn([reference](double s) {
+          (void)s;
+          return [reference](double q) {
+            return reference - q >= 0.0 ? 1.0 : 0.0;
+          };
+        });
+      }
+      return;
+    case QualityMeasure::kFragility:
+      if (higher) {
+        fn([reference](double s) {
+          return [s, reference](double q) {
+            double neg = std::min(q - reference, 0.0);
+            return s * neg * neg;
+          };
+        });
+      } else {
+        fn([reference](double s) {
+          return [s, reference](double q) {
+            double neg = std::min(reference - q, 0.0);
+            return s * neg * neg;
+          };
+        });
+      }
+      return;
+  }
+  FC_CHECK(false);
+}
+
+}  // namespace
+
+void ClaimEvEvaluator::SetPlanesEnabledForTest(bool enabled) {
+  g_planes_enabled.store(enabled, std::memory_order_relaxed);
+}
 
 ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
                                    const PerturbationSet* context,
                                    QualityMeasure measure, double reference,
-                                   StrengthDirection direction)
+                                   StrengthDirection direction,
+                                   std::optional<bool> use_planes)
     : problem_(problem),
       context_(context),
       measure_(measure),
       reference_(reference),
-      direction_(direction) {
+      direction_(direction),
+      use_planes_(use_planes.value_or(
+          g_planes_enabled.load(std::memory_order_relaxed))) {
   FC_CHECK(problem_ != nullptr);
   FC_CHECK(context_ != nullptr);
   int m = context_->size();
@@ -70,6 +164,17 @@ ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
     for (const Component& c : claim_components_[k2]) {
       if (q1.Coefficient(c.object) == 0.0) pair.exclusive2.push_back(c);
     }
+    // The union of both claims' refs as 2-D terms (b-coeff 0 for claim-1
+    // exclusives and vice versa), used by the cleaned-joint convolution.
+    pair.all.reserve(pair.shared.size() + pair.exclusive1.size() +
+                     pair.exclusive2.size());
+    for (const Component2& c : pair.shared) pair.all.push_back(c);
+    for (const Component& c : pair.exclusive1) {
+      pair.all.push_back({c.object, c.coeff, 0.0});
+    }
+    for (const Component& c : pair.exclusive2) {
+      pair.all.push_back({c.object, 0.0, c.coeff});
+    }
     int pair_idx = static_cast<int>(pairs_.size());
     std::set<int> members;
     for (const auto& c : pair.shared) members.insert(c.object);
@@ -81,28 +186,76 @@ ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
   }
   evar_cache_.resize(m);
   ecov_cache_.resize(pairs_.size());
-}
-
-namespace {
-
-// Bitmask of which members are cleaned; -1 when the term is too wide to
-// cache (> 30 members).
-int64_t CleanedMask(const std::vector<int>& members,
-                    const std::vector<bool>& is_cleaned) {
-  if (members.size() > 30) return -1;
-  int64_t mask = 0;
-  for (size_t j = 0; j < members.size(); ++j) {
-    if (is_cleaned[members[j]]) mask |= int64_t{1} << j;
+  evar_flat_cache_.resize(m);
+  ecov_flat_cache_.resize(pairs_.size());
+  if (use_planes_) {
+    planes_ = problem_->planes_ptr();
+    // EVFast needs every term mask to fit a flat cache; one wide claim or
+    // pair falls the whole evaluator back to the generic EV loop.
+    bool ok = true;
+    for (const auto& comps : claim_components_) {
+      if (static_cast<int>(comps.size()) > kFlatCacheBits) ok = false;
+    }
+    for (const auto& members : pair_members_) {
+      if (static_cast<int>(members.size()) > kFlatCacheBits) ok = false;
+    }
+    fast_ev_ok_ = ok;
+    if (ok) {
+      term_inc_offset_.assign(n + 1, 0);
+      pair_inc_offset_.assign(n + 1, 0);
+      for (const auto& comps : claim_components_) {
+        for (const Component& c : comps) ++term_inc_offset_[c.object + 1];
+      }
+      for (const auto& members : pair_members_) {
+        for (int obj : members) ++pair_inc_offset_[obj + 1];
+      }
+      for (int i = 0; i < n; ++i) {
+        term_inc_offset_[i + 1] += term_inc_offset_[i];
+        pair_inc_offset_[i + 1] += pair_inc_offset_[i];
+      }
+      term_inc_.resize(term_inc_offset_[n]);
+      pair_inc_.resize(pair_inc_offset_[n]);
+      std::vector<int> cursor(term_inc_offset_.begin(),
+                              term_inc_offset_.end() - 1);
+      for (int k = 0; k < m; ++k) {
+        const auto& comps = claim_components_[k];
+        for (int j = 0; j < static_cast<int>(comps.size()); ++j) {
+          term_inc_[cursor[comps[j].object]++] = {k, std::uint32_t{1} << j};
+        }
+      }
+      cursor.assign(pair_inc_offset_.begin(), pair_inc_offset_.end() - 1);
+      for (int p = 0; p < static_cast<int>(pairs_.size()); ++p) {
+        const auto& members = pair_members_[p];
+        for (int j = 0; j < static_cast<int>(members.size()); ++j) {
+          pair_inc_[cursor[members[j]]++] = {p, std::uint32_t{1} << j};
+        }
+      }
+    }
   }
-  return mask;
 }
-
-}  // namespace
 
 double ClaimEvEvaluator::Transform(int k, double q) const {
   return QualityTransform(measure_, q, reference_,
                           context_->sensibilities[k], direction_);
 }
+
+double* ClaimEvEvaluator::FlatSlot(FlatTermCache& cache, int width,
+                                   std::uint32_t mask, bool* found) {
+  if (cache.value.empty()) {
+    const std::size_t slots = std::size_t{1} << width;
+    cache.value.assign(slots, 0.0);
+    cache.present.assign((slots + 63) / 64, 0);
+  }
+  const std::uint64_t bit = std::uint64_t{1} << (mask & 63u);
+  *found = (cache.present[mask >> 6] & bit) != 0;
+  // Mark eagerly on a miss: the caller fills the slot before anyone can
+  // re-read it (term computation never re-enters the same term's cache).
+  // Hits stay store-free so warm lookups don't dirty the present words.
+  if (!*found) cache.present[mask >> 6] |= bit;
+  return &cache.value[mask];
+}
+
+// --- Legacy AoS data path --------------------------------------------------
 
 ClaimEvEvaluator::Dist1D ClaimEvEvaluator::Convolve1D(
     const std::vector<Component>& components,
@@ -137,12 +290,144 @@ ClaimEvEvaluator::Dist2D ClaimEvEvaluator::Convolve2D(
   return out;
 }
 
+// --- SoA planes data path --------------------------------------------------
+
+int ClaimEvEvaluator::Convolve1DPlanes(const std::vector<Component>& components,
+                                       const std::vector<bool>& is_cleaned,
+                                       bool want_cleaned,
+                                       ConvolutionWorkspace& ws) const {
+  term_scratch_.clear();
+  for (const Component& comp : components) {
+    if (is_cleaned[comp.object] != want_cleaned) continue;
+    term_scratch_.push_back({planes_->values(comp.object),
+                             planes_->probs(comp.object),
+                             planes_->support_size(comp.object), comp.coeff});
+  }
+  return ConvolveSumFlat(term_scratch_.data(),
+                         static_cast<int>(term_scratch_.size()), ws,
+                         &counters_);
+}
+
+int ClaimEvEvaluator::Convolve2DPlanes(
+    const std::vector<Component2>& components,
+    const std::vector<bool>& is_cleaned, bool want_cleaned,
+    ConvolutionWorkspace2& ws) const {
+  term2_scratch_.clear();
+  for (const Component2& comp : components) {
+    if (is_cleaned[comp.object] != want_cleaned) continue;
+    term2_scratch_.push_back({planes_->values(comp.object),
+                              planes_->probs(comp.object),
+                              planes_->support_size(comp.object), comp.coeff_a,
+                              comp.coeff_b});
+  }
+  return ConvolveSum2Flat(term2_scratch_.data(),
+                          static_cast<int>(term2_scratch_.size()), ws,
+                          &counters_);
+}
+
+double ClaimEvEvaluator::EVarTermPlanes(
+    int k, const std::vector<bool>& is_cleaned) const {
+  const auto& comps = claim_components_[k];
+  const int nu = Convolve1DPlanes(comps, is_cleaned, false, ws1_a_);
+  if (nu <= 1) return 0.0;  // fully cleaned => no variance
+  const int ncl = Convolve1DPlanes(comps, is_cleaned, true, ws1_b_);
+  const double base = claim_intercepts_[k];
+  const double* FC_RESTRICT cv = ws1_b_.values();
+  const double* FC_RESTRICT cp = ws1_b_.probs();
+  const double* FC_RESTRICT sv = ws1_a_.values();
+  const double* FC_RESTRICT sp = ws1_a_.probs();
+  double ev = 0.0;
+  DispatchMeasure(measure_, direction_, reference_, [&](auto make_g) {
+    auto g = make_g(context_->sensibilities[k]);
+    for (int c = 0; c < ncl; ++c) {
+      double m1, m2;
+      TransformedMoments(sv, sp, nu, base + cv[c], g, &m1, &m2);
+      double var = m2 - m1 * m1;
+      if (var > 0.0) ev += cp[c] * var;
+    }
+  });
+  return ev;
+}
+
+double ClaimEvEvaluator::MeanTermPlanes(
+    int k, const std::vector<bool>& is_cleaned) const {
+  const auto& comps = claim_components_[k];
+  const int nu = Convolve1DPlanes(comps, is_cleaned, false, ws1_a_);
+  const int ncl = Convolve1DPlanes(comps, is_cleaned, true, ws1_b_);
+  double mean = 0.0;
+  DispatchMeasure(measure_, direction_, reference_, [&](auto make_g) {
+    auto g = make_g(context_->sensibilities[k]);
+    mean = CrossTransformedSum(ws1_b_.values(), ws1_b_.probs(), ncl,
+                               ws1_a_.values(), ws1_a_.probs(), nu,
+                               claim_intercepts_[k], g);
+  });
+  return mean;
+}
+
+double ClaimEvEvaluator::ECovTermPlanes(
+    int pair_idx, const std::vector<bool>& is_cleaned) const {
+  const Pair& pair = pairs_[pair_idx];
+  // No uncleaned shared object => conditional independence => zero.
+  const int nsh = Convolve2DPlanes(pair.shared, is_cleaned, false, ws2_a_);
+  if (nsh <= 1) return 0.0;
+  const int ncl = Convolve2DPlanes(pair.all, is_cleaned, true, ws2_b_);
+  const int n1 = Convolve1DPlanes(pair.exclusive1, is_cleaned, false, ws1_a_);
+  const int n2 = Convolve1DPlanes(pair.exclusive2, is_cleaned, false, ws1_b_);
+  const double base1 = claim_intercepts_[pair.k1];
+  const double base2 = claim_intercepts_[pair.k2];
+  const double* FC_RESTRICT ca = ws2_b_.a();
+  const double* FC_RESTRICT cb = ws2_b_.b();
+  const double* FC_RESTRICT cp = ws2_b_.probs();
+  const double* FC_RESTRICT da = ws2_a_.a();
+  const double* FC_RESTRICT db = ws2_a_.b();
+  const double* FC_RESTRICT dp = ws2_a_.probs();
+  const double* FC_RESTRICT x1v = ws1_a_.values();
+  const double* FC_RESTRICT x1p = ws1_a_.probs();
+  const double* FC_RESTRICT x2v = ws1_b_.values();
+  const double* FC_RESTRICT x2p = ws1_b_.probs();
+  double ecov = 0.0;
+  DispatchMeasure(measure_, direction_, reference_, [&](auto make_g) {
+    auto g1 = make_g(context_->sensibilities[pair.k1]);
+    auto g2 = make_g(context_->sensibilities[pair.k2]);
+    for (int c = 0; c < ncl; ++c) {
+      // (base + c) + d + value reproduces the legacy shift grouping.
+      const double c1 = base1 + ca[c];
+      const double c2 = base2 + cb[c];
+      double e12 = 0.0, e1 = 0.0, e2 = 0.0;
+      for (int d = 0; d < nsh; ++d) {
+        const double h1 = TransformedSum(x1v, x1p, n1, c1 + da[d], g1);
+        const double h2 = TransformedSum(x2v, x2p, n2, c2 + db[d], g2);
+        e12 += dp[d] * h1 * h2;
+        e1 += dp[d] * h1;
+        e2 += dp[d] * h2;
+      }
+      ecov += cp[c] * (e12 - e1 * e2);
+    }
+  });
+  return ecov;
+}
+
+// --- Term memoization and dispatch ----------------------------------------
+
 double ClaimEvEvaluator::EVarTerm(int k,
                                   const std::vector<bool>& is_cleaned) const {
   const auto& comps = claim_components_[k];
-  if (comps.size() <= 30) {
+  const int width = static_cast<int>(comps.size());
+  if (use_planes_ && width <= kFlatCacheBits) {
+    std::uint32_t mask = 0;
+    for (int j = 0; j < width; ++j) {
+      if (is_cleaned[comps[j].object]) mask |= std::uint32_t{1} << j;
+    }
+    bool found = false;
+    double* slot = FlatSlot(evar_flat_cache_[k], width, mask, &found);
+    if (found) return *slot;
+    double value = EVarTermUncached(k, is_cleaned);
+    *slot = value;
+    return value;
+  }
+  if (width <= 30) {
     int64_t mask = 0;
-    for (size_t j = 0; j < comps.size(); ++j) {
+    for (int j = 0; j < width; ++j) {
       if (is_cleaned[comps[j].object]) mask |= int64_t{1} << j;
     }
     auto& cache = evar_cache_[k];
@@ -157,6 +442,7 @@ double ClaimEvEvaluator::EVarTerm(int k,
 
 double ClaimEvEvaluator::EVarTermUncached(
     int k, const std::vector<bool>& is_cleaned) const {
+  if (use_planes_) return EVarTermPlanes(k, is_cleaned);
   const auto& comps = claim_components_[k];
   Dist1D uncleaned = Convolve1D(comps, is_cleaned, false);
   if (uncleaned.size() <= 1) return 0.0;  // fully cleaned => no variance
@@ -178,6 +464,7 @@ double ClaimEvEvaluator::EVarTermUncached(
 
 double ClaimEvEvaluator::MeanTerm(int k,
                                   const std::vector<bool>& is_cleaned) const {
+  if (use_planes_) return MeanTermPlanes(k, is_cleaned);
   const auto& comps = claim_components_[k];
   Dist1D uncleaned = Convolve1D(comps, is_cleaned, false);
   Dist1D cleaned = Convolve1D(comps, is_cleaned, true);
@@ -194,6 +481,19 @@ double ClaimEvEvaluator::MeanTerm(int k,
 double ClaimEvEvaluator::ECovTerm(int pair_idx,
                                   const std::vector<bool>& is_cleaned) const {
   const auto& members = pair_members_[pair_idx];
+  const int width = static_cast<int>(members.size());
+  if (use_planes_ && width <= kFlatCacheBits) {
+    std::uint32_t mask = 0;
+    for (int j = 0; j < width; ++j) {
+      if (is_cleaned[members[j]]) mask |= std::uint32_t{1} << j;
+    }
+    bool found = false;
+    double* slot = FlatSlot(ecov_flat_cache_[pair_idx], width, mask, &found);
+    if (found) return *slot;
+    double value = ECovTermUncached(pair_idx, is_cleaned);
+    *slot = value;
+    return value;
+  }
   int64_t mask = CleanedMask(members, is_cleaned);
   if (mask >= 0) {
     auto& cache = ecov_cache_[pair_idx];
@@ -208,23 +508,14 @@ double ClaimEvEvaluator::ECovTerm(int pair_idx,
 
 double ClaimEvEvaluator::ECovTermUncached(
     int pair_idx, const std::vector<bool>& is_cleaned) const {
+  if (use_planes_) return ECovTermPlanes(pair_idx, is_cleaned);
   const Pair& pair = pairs_[pair_idx];
   // No uncleaned shared object => conditional independence => zero.
   Dist2D shared_uncleaned = Convolve2D(pair.shared, is_cleaned, false);
   if (shared_uncleaned.size() <= 1) return 0.0;
 
   // Joint cleaned contribution across the union of both claims' refs.
-  std::vector<Component2> all;
-  all.reserve(pair.shared.size() + pair.exclusive1.size() +
-              pair.exclusive2.size());
-  for (const Component2& c : pair.shared) all.push_back(c);
-  for (const Component& c : pair.exclusive1) {
-    all.push_back({c.object, c.coeff, 0.0});
-  }
-  for (const Component& c : pair.exclusive2) {
-    all.push_back({c.object, 0.0, c.coeff});
-  }
-  Dist2D cleaned_joint = Convolve2D(all, is_cleaned, true);
+  Dist2D cleaned_joint = Convolve2D(pair.all, is_cleaned, true);
   Dist1D excl1 = Convolve1D(pair.exclusive1, is_cleaned, false);
   Dist1D excl2 = Convolve1D(pair.exclusive2, is_cleaned, false);
 
@@ -251,8 +542,124 @@ double ClaimEvEvaluator::ECovTermUncached(
   return ecov;
 }
 
+double ClaimEvEvaluator::EVarTermMask(int k, std::uint32_t mask) const {
+  const auto& comps = claim_components_[k];
+  const int width = static_cast<int>(comps.size());
+  bool found = false;
+  double* slot = FlatSlot(evar_flat_cache_[k], width, mask, &found);
+  if (found) return *slot;
+  for (int j = 0; j < width; ++j) {
+    if (mask & (std::uint32_t{1} << j)) {
+      cleaned_scratch_[comps[j].object] = true;
+    }
+  }
+  double value = EVarTermPlanes(k, cleaned_scratch_);
+  for (int j = 0; j < width; ++j) {
+    if (mask & (std::uint32_t{1} << j)) {
+      cleaned_scratch_[comps[j].object] = false;
+    }
+  }
+  *slot = value;
+  return value;
+}
+
+double ClaimEvEvaluator::ECovTermMask(int pair_idx, std::uint32_t mask) const {
+  const auto& members = pair_members_[pair_idx];
+  const int width = static_cast<int>(members.size());
+  bool found = false;
+  double* slot = FlatSlot(ecov_flat_cache_[pair_idx], width, mask, &found);
+  if (found) return *slot;
+  for (int j = 0; j < width; ++j) {
+    if (mask & (std::uint32_t{1} << j)) cleaned_scratch_[members[j]] = true;
+  }
+  double value = ECovTermPlanes(pair_idx, cleaned_scratch_);
+  for (int j = 0; j < width; ++j) {
+    if (mask & (std::uint32_t{1} << j)) cleaned_scratch_[members[j]] = false;
+  }
+  *slot = value;
+  return value;
+}
+
+void ClaimEvEvaluator::InitFastEv() const {
+  const int m = context_->size();
+  const int np = static_cast<int>(pairs_.size());
+  // EVFast owns cleaned_scratch_ from here on and keeps it all-false
+  // between calls (the mask accessors restore the bits they set).
+  cleaned_scratch_.assign(problem_->size(), false);
+  base_evar_.resize(m);
+  base_ecov_.resize(np);
+  term_mask_.assign(m, 0);
+  pair_mask_.assign(np, 0);
+  touched_terms_.reserve(m);
+  touched_pairs_.reserve(np);
+  // EV(empty), accumulated in the legacy claim-then-pair order.
+  double total = 0.0;
+  for (int k = 0; k < m; ++k) {
+    base_evar_[k] = EVarTermMask(k, 0);
+    total += base_evar_[k];
+  }
+  for (int p = 0; p < np; ++p) {
+    base_ecov_[p] = ECovTermMask(p, 0);
+    total += 2.0 * base_ecov_[p];
+  }
+  base_ev_total_ = total;
+  fast_ev_ready_ = true;
+}
+
+double ClaimEvEvaluator::EvarMaskValue(int k, std::uint32_t mask) const {
+  const FlatTermCache& c = evar_flat_cache_[k];
+  if (!c.value.empty() &&
+      (c.present[mask >> 6] & (std::uint64_t{1} << (mask & 63u))) != 0) {
+    return c.value[mask];
+  }
+  return EVarTermMask(k, mask);
+}
+
+double ClaimEvEvaluator::EcovMaskValue(int pair_idx,
+                                       std::uint32_t mask) const {
+  const FlatTermCache& c = ecov_flat_cache_[pair_idx];
+  if (!c.value.empty() &&
+      (c.present[mask >> 6] & (std::uint64_t{1} << (mask & 63u))) != 0) {
+    return c.value[mask];
+  }
+  return ECovTermMask(pair_idx, mask);
+}
+
+double ClaimEvEvaluator::EVFast(const std::vector<int>& cleaned) const {
+  if (!fast_ev_ready_) InitFastEv();
+  const int n = problem_->size();
+  for (int i : cleaned) {
+    FC_CHECK_GE(i, 0);
+    FC_CHECK_LT(i, n);
+    for (int e = term_inc_offset_[i]; e < term_inc_offset_[i + 1]; ++e) {
+      const auto [t, bit] = term_inc_[e];
+      if (term_mask_[t] == 0) touched_terms_.push_back(t);
+      term_mask_[t] |= bit;
+    }
+    for (int e = pair_inc_offset_[i]; e < pair_inc_offset_[i + 1]; ++e) {
+      const auto [p, bit] = pair_inc_[e];
+      if (pair_mask_[p] == 0) touched_pairs_.push_back(p);
+      pair_mask_[p] |= bit;
+    }
+  }
+  double ev = base_ev_total_;
+  for (int t : touched_terms_) {
+    ev += EvarMaskValue(t, term_mask_[t]) - base_evar_[t];
+    term_mask_[t] = 0;
+  }
+  for (int p : touched_pairs_) {
+    ev += 2.0 * (EcovMaskValue(p, pair_mask_[p]) - base_ecov_[p]);
+    pair_mask_[p] = 0;
+  }
+  touched_terms_.clear();
+  touched_pairs_.clear();
+  return ev;
+}
+
 double ClaimEvEvaluator::EV(const std::vector<int>& cleaned) const {
-  std::vector<bool> is_cleaned(problem_->size(), false);
+  if (fast_ev_ok_) return EVFast(cleaned);  // planes path, narrow terms
+  cleaned_scratch_.assign(problem_->size(), false);
+  std::vector<bool>& is_cleaned = cleaned_scratch_;
   for (int i : cleaned) {
     FC_CHECK_GE(i, 0);
     FC_CHECK_LT(i, problem_->size());
@@ -402,7 +809,9 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
   // per-claim / per-pair term (re)computation counts as one evaluation —
   // the unit of work Theorem 3.8's locality argument bounds — while
   // Benefit() calls and picks map onto the engine's probe/commit
-  // counters.
+  // counters.  Kernel work is reported as the delta of the evaluator's
+  // lifetime counters over this run.
+  const KernelCounters kernel_before = counters_;
   std::int64_t term_evaluations = 0;
   std::int64_t probes = 0;
   std::int64_t commits = 0;
@@ -510,6 +919,8 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget,
     stats.evaluations = term_evaluations;
     stats.probes = probes;
     stats.commits = commits;
+    stats.kernel_calls = counters_.calls - kernel_before.calls;
+    stats.kernel_atoms = counters_.atoms - kernel_before.atoms;
     *options.stats_out = stats;
   }
   return sel;

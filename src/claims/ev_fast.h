@@ -18,33 +18,62 @@
 // changes the terms of claims/pairs referencing i, so per-object benefits
 // are maintained incrementally and selection runs near-linearly in the
 // number of cleanings (the Fig 10 efficiency experiments).
+//
+// Data path: by default the evaluator reads the problem's shared SoA
+// distribution planes (CleaningProblem::planes()) and computes every term
+// through the flat-array kernels of dist/kernels.h with per-evaluator
+// reused workspaces and flat (mask-indexed) term caches — bit-identical
+// to, and several times faster than, the legacy AoS path through
+// DiscreteDistribution + ConvolveSum.  The legacy path is kept behind
+// `use_planes = false` (and SetPlanesEnabledForTest) as the equivalence
+// oracle and perf baseline.
 
 #ifndef FACTCHECK_CLAIMS_EV_FAST_H_
 #define FACTCHECK_CLAIMS_EV_FAST_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "claims/quality.h"
 #include "core/greedy.h"
 #include "core/incremental.h"
 #include "core/problem.h"
+#include "dist/kernels.h"
 
 namespace factcheck {
 
 class ClaimIncrementalObjective;
+class DistPlanes;
 
 class ClaimEvEvaluator {
  public:
   // `problem` and `context` must outlive the evaluator.  `reference` is
   // q*(u) evaluated on the current values (or the claim's stated Gamma).
+  // `use_planes` overrides the process default (on, unless a test flipped
+  // SetPlanesEnabledForTest): false pins the legacy AoS data path.
   ClaimEvEvaluator(const CleaningProblem* problem,
                    const PerturbationSet* context, QualityMeasure measure,
                    double reference,
                    StrengthDirection direction =
-                       StrengthDirection::kHigherIsStronger);
+                       StrengthDirection::kHigherIsStronger,
+                   std::optional<bool> use_planes = std::nullopt);
+
+  // Process-wide default for the SoA-planes data path; tests and the
+  // planes-on/off benches flip it around workload construction.  Not
+  // synchronized — call only from a single thread while no evaluator is
+  // being constructed.
+  static void SetPlanesEnabledForTest(bool enabled);
+
+  bool planes_enabled() const { return use_planes_; }
+
+  // Deterministic kernel-work counters (calls + atoms) accumulated over
+  // this evaluator's lifetime; GreedyMinVar reports per-run deltas
+  // through GreedyOptions::stats_out.
+  const KernelCounters& kernel_counters() const { return counters_; }
 
   // EV(T): exact expected posterior variance of the measure.
   double EV(const std::vector<int>& cleaned) const;
@@ -104,6 +133,8 @@ class ClaimEvEvaluator {
 
   double Transform(int k, double q) const;
 
+  // --- Legacy AoS data path (use_planes = false; the oracle) --------------
+
   // Distribution of sum(coeff_i X_i) over `components`, restricted to those
   // whose cleaned-flag equals `want_cleaned`.
   Dist1D Convolve1D(const std::vector<Component>& components,
@@ -120,6 +151,42 @@ class ClaimEvEvaluator {
   Dist2D Convolve2D(const std::vector<Component2>& components,
                     const std::vector<bool>& is_cleaned,
                     bool want_cleaned) const;
+
+  // --- SoA planes data path (use_planes = true; the default) --------------
+
+  // Convolve the matching components into `ws` via the flat kernels;
+  // returns the atom count (planes readable off the workspace).
+  int Convolve1DPlanes(const std::vector<Component>& components,
+                       const std::vector<bool>& is_cleaned, bool want_cleaned,
+                       ConvolutionWorkspace& ws) const;
+  int Convolve2DPlanes(const std::vector<Component2>& components,
+                       const std::vector<bool>& is_cleaned, bool want_cleaned,
+                       ConvolutionWorkspace2& ws) const;
+  double EVarTermPlanes(int k, const std::vector<bool>& is_cleaned) const;
+  double MeanTermPlanes(int k, const std::vector<bool>& is_cleaned) const;
+  double ECovTermPlanes(int pair_idx,
+                        const std::vector<bool>& is_cleaned) const;
+
+  // Sparse EV over the planes caches: EV(T) = EV(empty) + sum over the
+  // claim/pair terms TOUCHED by T of (term(mask) - term(empty)).  Only
+  // terms referencing a cleaned object pay a cache lookup, so a batch EV
+  // probe costs O(|T| * degree) instead of O(m).  The base-plus-delta
+  // aggregation is deterministic for canonical (sorted) cleaned sets but
+  // rounds differently from the legacy full sum by a few ulps; the
+  // equivalence suites pin SELECTIONS (not EV bit patterns) across the
+  // paths.  Requires every term width <= kFlatCacheBits (fast_ev_ok_).
+  double EVFast(const std::vector<int>& cleaned) const;
+  void InitFastEv() const;
+  // Mask-keyed term access backing EVFast: flat-cache lookup, computing
+  // through the planes path on a miss (member flags are materialized in
+  // cleaned_scratch_ and restored to all-false).
+  double EVarTermMask(int k, std::uint32_t mask) const;
+  double ECovTermMask(int pair_idx, std::uint32_t mask) const;
+  // Store-free hit paths for the EVFast flush loop: return the cached
+  // slot when the present bit is set, fall through to the mask methods
+  // on a miss.
+  double EvarMaskValue(int k, std::uint32_t mask) const;
+  double EcovMaskValue(int pair_idx, std::uint32_t mask) const;
 
   // E_T[Var(g_k | X_T)] for claim k, memoized on the cleaned-subset mask
   // of the claim's references (a claim term has at most 2^W distinct
@@ -159,6 +226,7 @@ class ClaimEvEvaluator {
     std::vector<Component2> shared;      // referenced by both claims
     std::vector<Component> exclusive1;   // only claim k1
     std::vector<Component> exclusive2;   // only claim k2
+    std::vector<Component2> all;         // shared + exclusives as 2-D terms
   };
   std::vector<Pair> pairs_;
 
@@ -167,10 +235,54 @@ class ClaimEvEvaluator {
   std::vector<std::vector<int>> object_pairs_;
 
   // Memoization: term value keyed by the cleaned-subset bitmask over the
-  // term's member objects (only for terms with <= 30 members).
+  // term's member objects.  The planes path uses a lazily-allocated flat
+  // array per term (mask-indexed, branch-light) when the term is narrow
+  // enough; both paths fall back to the hash map below it (terms with
+  // <= 30 members) and to uncached recomputation beyond that.
+  struct FlatTermCache {
+    std::vector<double> value;            // 1 << members entries
+    std::vector<std::uint64_t> present;   // bitmap over the masks
+  };
+  // Lazily sizes `cache` for a `width`-member term and returns the slot
+  // for `mask`, reporting through `found` whether it already held a value
+  // (the caller fills the slot when it did not).
+  static double* FlatSlot(FlatTermCache& cache, int width, std::uint32_t mask,
+                          bool* found);
   std::vector<std::vector<int>> pair_members_;  // sorted union refs per pair
   mutable std::vector<std::unordered_map<uint32_t, double>> evar_cache_;
   mutable std::vector<std::unordered_map<uint32_t, double>> ecov_cache_;
+  mutable std::vector<FlatTermCache> evar_flat_cache_;
+  mutable std::vector<FlatTermCache> ecov_flat_cache_;
+
+  // SoA data path state: the problem's shared planes plus per-evaluator
+  // kernel workspaces and flat-term scratch (reused across calls — the
+  // evaluator is single-threaded by contract, see MakeIncremental).
+  bool use_planes_;
+  // Shared ownership pins the arena even if the problem is mutated (and
+  // its cache invalidated) after construction — the evaluator's caches go
+  // stale in that case either way, but never dangle.
+  std::shared_ptr<const DistPlanes> planes_;
+  mutable ConvolutionWorkspace ws1_a_, ws1_b_;
+  mutable ConvolutionWorkspace2 ws2_a_, ws2_b_;
+  mutable std::vector<FlatTerm> term_scratch_;
+  mutable std::vector<FlatTerm2> term2_scratch_;
+  mutable std::vector<bool> cleaned_scratch_;  // EV()'s per-call flag row
+  mutable KernelCounters counters_;
+
+  // EVFast state: object -> (term index, member bit) incidence so a
+  // cleaned set maps straight to per-term masks, plus the empty-set term
+  // values the deltas are taken against.  Built lazily on the first EV.
+  // The incidence lists are CSR-flattened — object i's entries live at
+  // [offset[i], offset[i+1]) of one contiguous array — so the EVFast
+  // accumulation loop never chases per-object heap blocks.
+  bool fast_ev_ok_ = false;  // all term widths fit the flat caches
+  mutable bool fast_ev_ready_ = false;
+  std::vector<int> term_inc_offset_, pair_inc_offset_;
+  std::vector<std::pair<int, std::uint32_t>> term_inc_, pair_inc_;
+  mutable std::vector<double> base_evar_, base_ecov_;
+  mutable double base_ev_total_ = 0.0;
+  mutable std::vector<std::uint32_t> term_mask_, pair_mask_;
+  mutable std::vector<int> touched_terms_, touched_pairs_;
 };
 
 }  // namespace factcheck

@@ -421,7 +421,7 @@ int BenchRunCommand(int argc, char** argv) {
 
   TablePrinter table({"workload", "algo", "seed", "budget_fraction",
                       "budget", "picked", "wall_ms", "evaluations",
-                      "probes", "objective"});
+                      "probes", "kernel_calls", "objective"});
   for (const exp::ExperimentCell& cell : *cells) {
     table.AddCell(cell.workload)
         .AddCell(cell.algo)
@@ -432,6 +432,7 @@ int BenchRunCommand(int argc, char** argv) {
         .AddCell(cell.wall_ms)
         .AddCell(static_cast<long>(cell.evaluations))
         .AddCell(static_cast<long>(cell.probes))
+        .AddCell(static_cast<long>(cell.kernel_calls))
         .AddCell(cell.has_objective ? FormatCell(cell.objective)
                                     : std::string("-"));
     table.EndRow();

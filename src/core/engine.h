@@ -80,6 +80,13 @@ struct EngineStats {
   // plus one base pass per round; the pre-signature engine hashed the
   // whole key per probe.
   std::int64_t key_bytes_hashed = 0;
+  // SoA convolution-kernel work (dist/kernels.h): number of flat-kernel
+  // invocations and atoms written by them.  Deterministic and
+  // machine-independent, so the bench baselines gate on them; zero on
+  // paths that never touch the kernels (e.g. the legacy AoS evaluator,
+  // knapsack algorithms).
+  std::int64_t kernel_calls = 0;
+  std::int64_t kernel_atoms = 0;
 };
 
 class EvalEngine {

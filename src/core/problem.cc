@@ -1,5 +1,8 @@
 #include "core/problem.h"
 
+#include <mutex>
+
+#include "dist/planes.h"
 #include "util/check.h"
 
 namespace factcheck {
@@ -61,12 +64,32 @@ void CleaningProblem::Clean(int i, double v) {
   FC_CHECK_LT(i, size());
   objects_[i].current_value = v;
   objects_[i].dist = DiscreteDistribution::PointMass(v);
+  planes_cache_.reset();
 }
 
 void CleaningProblem::ReplaceDistribution(int i, DiscreteDistribution dist) {
   FC_CHECK_GE(i, 0);
   FC_CHECK_LT(i, size());
   objects_[i].dist = std::move(dist);
+  planes_cache_.reset();
 }
+
+std::shared_ptr<const DistPlanes> CleaningProblem::planes_ptr() const {
+  // One global build lock: planes are built once per problem instance and
+  // the accessor must be safe on a const problem shared across threads.
+  // Publishing through the shared_ptr under the lock keeps readers from
+  // observing a half-built store.
+  static std::mutex build_mutex;
+  std::lock_guard<std::mutex> lock(build_mutex);
+  if (planes_cache_ == nullptr) {
+    std::vector<const DiscreteDistribution*> dists;
+    dists.reserve(objects_.size());
+    for (const UncertainObject& o : objects_) dists.push_back(&o.dist);
+    planes_cache_ = std::make_shared<const DistPlanes>(dists);
+  }
+  return planes_cache_;
+}
+
+const DistPlanes& CleaningProblem::planes() const { return *planes_ptr(); }
 
 }  // namespace factcheck

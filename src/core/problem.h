@@ -6,11 +6,14 @@
 #ifndef FACTCHECK_CORE_PROBLEM_H_
 #define FACTCHECK_CORE_PROBLEM_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/object.h"
 
 namespace factcheck {
+
+class DistPlanes;
 
 // An instance of the data-cleaning selection problem (without the budget,
 // which varies per experiment).
@@ -42,8 +45,22 @@ class CleaningProblem {
   // re-quantization).
   void ReplaceDistribution(int i, DiscreteDistribution dist);
 
+  // Shared SoA view of every object's atoms (dist/planes.h), built lazily
+  // on first use and reused by all evaluators of this problem instance —
+  // the columnar layout the convolution kernels read.  Invalidated by
+  // the distribution mutations (Clean, ReplaceDistribution); the returned
+  // reference is valid until the next such mutation.  Thread-safe to call
+  // concurrently on a const problem.
+  const DistPlanes& planes() const;
+  // Same snapshot with shared ownership, for holders that must outlive
+  // later mutations of this problem (e.g. ClaimEvEvaluator).
+  std::shared_ptr<const DistPlanes> planes_ptr() const;
+
  private:
   std::vector<UncertainObject> objects_;
+  // Copies share the cache snapshot (cheap, correct: mutation resets only
+  // the mutated instance's pointer).
+  mutable std::shared_ptr<const DistPlanes> planes_cache_;
 };
 
 }  // namespace factcheck

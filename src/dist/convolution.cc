@@ -1,101 +1,56 @@
 #include "dist/convolution.h"
 
-#include <algorithm>
 #include <cmath>
 
+#include "dist/kernels.h"
 #include "util/check.h"
 
+// The AoS entry points below are compatibility shims: the convolution
+// algorithm itself lives in dist/kernels.cc as SoA flat-plane kernels
+// (ConvolveSumFlat / ConvolveSum2Flat), which also guard the
+// support-product growth against size_t overflow via kMaxConvolutionAtoms.
+// Callers holding DiscreteDistributions (ratio.cc, tests) keep this API;
+// the claims hot path (claims/ev_fast.cc) calls the kernels directly on
+// shared DistPlanes with reused workspaces.
+
 namespace factcheck {
-namespace {
-
-// Sorts atoms by value and merges exactly-equal values in place.
-void Canonicalize(SumDistribution& d) {
-  std::sort(d.begin(), d.end(),
-            [](const SumAtom& x, const SumAtom& y) { return x.value < y.value; });
-  size_t out = 0;
-  for (size_t i = 0; i < d.size(); ++i) {
-    if (out > 0 && d[out - 1].value == d[i].value) {
-      d[out - 1].prob += d[i].prob;
-    } else {
-      d[out++] = d[i];
-    }
-  }
-  d.resize(out);
-}
-
-void Canonicalize2(SumDistribution2& d) {
-  std::sort(d.begin(), d.end(), [](const SumAtom2& x, const SumAtom2& y) {
-    return x.a != y.a ? x.a < y.a : x.b < y.b;
-  });
-  size_t out = 0;
-  for (size_t i = 0; i < d.size(); ++i) {
-    if (out > 0 && d[out - 1].a == d[i].a && d[out - 1].b == d[i].b) {
-      d[out - 1].prob += d[i].prob;
-    } else {
-      d[out++] = d[i];
-    }
-  }
-  d.resize(out);
-}
-
-}  // namespace
 
 SumDistribution ConvolveSum(const std::vector<WeightedTerm>& terms) {
-  SumDistribution acc = {{0.0, 1.0}};
+  std::vector<FlatTerm> flat;
+  flat.reserve(terms.size());
   for (const WeightedTerm& term : terms) {
     FC_CHECK(term.dist != nullptr);
     const DiscreteDistribution& x = *term.dist;
-    if (x.is_point_mass()) {
-      // Point masses (and zero coefficients) only shift; no growth.
-      double shift = term.coeff * x.value(0);
-      for (SumAtom& a : acc) a.value += shift;
-      continue;
-    }
-    if (term.coeff == 0.0) continue;
-    SumDistribution next;
-    next.reserve(acc.size() * x.support_size());
-    for (const SumAtom& a : acc) {
-      for (int k = 0; k < x.support_size(); ++k) {
-        next.push_back({a.value + term.coeff * x.value(k),
-                        a.prob * x.prob(k)});
-      }
-    }
-    Canonicalize(next);
-    acc = std::move(next);
+    flat.push_back({x.values().data(), x.probs().data(), x.support_size(),
+                    term.coeff});
   }
-  Canonicalize(acc);
-  return acc;
+  ConvolutionWorkspace ws;
+  int count = ConvolveSumFlat(flat.data(), static_cast<int>(flat.size()), ws,
+                              /*counters=*/nullptr);
+  SumDistribution out(count);
+  for (int i = 0; i < count; ++i) {
+    out[i] = {ws.values()[i], ws.probs()[i]};
+  }
+  return out;
 }
 
 SumDistribution2 ConvolveSum2(const std::vector<WeightedTerm2>& terms) {
-  SumDistribution2 acc = {{0.0, 0.0, 1.0}};
+  std::vector<FlatTerm2> flat;
+  flat.reserve(terms.size());
   for (const WeightedTerm2& term : terms) {
     FC_CHECK(term.dist != nullptr);
     const DiscreteDistribution& x = *term.dist;
-    if (x.is_point_mass()) {
-      double da = term.coeff_a * x.value(0);
-      double db = term.coeff_b * x.value(0);
-      for (SumAtom2& a : acc) {
-        a.a += da;
-        a.b += db;
-      }
-      continue;
-    }
-    if (term.coeff_a == 0.0 && term.coeff_b == 0.0) continue;
-    SumDistribution2 next;
-    next.reserve(acc.size() * x.support_size());
-    for (const SumAtom2& a : acc) {
-      for (int k = 0; k < x.support_size(); ++k) {
-        next.push_back({a.a + term.coeff_a * x.value(k),
-                        a.b + term.coeff_b * x.value(k),
-                        a.prob * x.prob(k)});
-      }
-    }
-    Canonicalize2(next);
-    acc = std::move(next);
+    flat.push_back({x.values().data(), x.probs().data(), x.support_size(),
+                    term.coeff_a, term.coeff_b});
   }
-  Canonicalize2(acc);
-  return acc;
+  ConvolutionWorkspace2 ws;
+  int count = ConvolveSum2Flat(flat.data(), static_cast<int>(flat.size()), ws,
+                               /*counters=*/nullptr);
+  SumDistribution2 out(count);
+  for (int i = 0; i < count; ++i) {
+    out[i] = {ws.a()[i], ws.b()[i], ws.probs()[i]};
+  }
+  return out;
 }
 
 double SumMean(const SumDistribution& d) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "dist/kernels.h"
 #include "util/random.h"
 
 namespace factcheck {
@@ -77,49 +78,34 @@ DiscreteDistribution DiscreteDistribution::PointMass(double v) {
   return d;
 }
 
+// The moment/CDF loops are the flat-plane reduction kernels applied to
+// this distribution's own contiguous storage (same accumulation order, so
+// values are unchanged bit-for-bit).
+
 double DiscreteDistribution::Mean() const {
-  double acc = 0.0;
-  for (int k = 0; k < support_size(); ++k) acc += probs_[k] * values_[k];
-  return acc;
+  return WeightedSum(values_.data(), probs_.data(), support_size());
 }
 
 double DiscreteDistribution::SecondMoment() const {
-  double acc = 0.0;
-  for (int k = 0; k < support_size(); ++k) {
-    acc += probs_[k] * values_[k] * values_[k];
-  }
-  return acc;
+  return WeightedSquareSum(values_.data(), probs_.data(), support_size());
 }
 
 double DiscreteDistribution::Variance() const {
   // Centered one-pass form for numerical stability on large supports.
-  double mean = Mean();
-  double acc = 0.0;
-  for (int k = 0; k < support_size(); ++k) {
-    double d = values_[k] - mean;
-    acc += probs_[k] * d * d;
-  }
-  return acc;
+  return CenteredSquareSum(values_.data(), probs_.data(), support_size(),
+                           Mean());
 }
 
 double DiscreteDistribution::Entropy() const {
-  double acc = 0.0;
-  for (double p : probs_) {
-    if (p > 0.0) acc -= p * std::log(p);
-  }
-  return acc;
+  return EntropySum(probs_.data(), support_size());
 }
 
 double DiscreteDistribution::CdfBelow(double x) const {
-  double acc = 0.0;
-  for (int k = 0; k < support_size() && values_[k] < x; ++k) acc += probs_[k];
-  return acc;
+  return MassBelow(values_.data(), probs_.data(), support_size(), x);
 }
 
 double DiscreteDistribution::CdfAtOrBelow(double x) const {
-  double acc = 0.0;
-  for (int k = 0; k < support_size() && values_[k] <= x; ++k) acc += probs_[k];
-  return acc;
+  return MassAtOrBelow(values_.data(), probs_.data(), support_size(), x);
 }
 
 DiscreteDistribution DiscreteDistribution::Shifted(double delta) const {

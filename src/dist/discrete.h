@@ -35,14 +35,16 @@ class DiscreteDistribution {
   int support_size() const { return static_cast<int>(values_.size()); }
   bool is_point_mass() const { return values_.size() == 1; }
 
+  // Hot-path accessors: bounds checks are debug-only (FC_DCHECK) so the
+  // convolution and moment kernels stay branch-free in release builds.
   double value(int k) const {
-    FC_CHECK_GE(k, 0);
-    FC_CHECK_LT(k, support_size());
+    FC_DCHECK_GE(k, 0);
+    FC_DCHECK_LT(k, support_size());
     return values_[k];
   }
   double prob(int k) const {
-    FC_CHECK_GE(k, 0);
-    FC_CHECK_LT(k, support_size());
+    FC_DCHECK_GE(k, 0);
+    FC_DCHECK_LT(k, support_size());
     return probs_[k];
   }
   const std::vector<double>& values() const { return values_; }

@@ -1,0 +1,45 @@
+#include "dist/planes.h"
+
+namespace factcheck {
+namespace {
+
+// Rows are padded to a multiple of 8 doubles (one 64-byte cache line) so
+// consecutive objects never share a line and vector loads starting at a
+// row see a uniformly aligned offset pattern.
+constexpr std::size_t kRowAlignDoubles = 8;
+
+std::size_t PadRow(std::size_t atoms) {
+  return (atoms + kRowAlignDoubles - 1) / kRowAlignDoubles * kRowAlignDoubles;
+}
+
+}  // namespace
+
+DistPlanes::DistPlanes(
+    const std::vector<const DiscreteDistribution*>& dists) {
+  offset_.reserve(dists.size());
+  size_.reserve(dists.size());
+  std::size_t cursor = 0;
+  for (const DiscreteDistribution* d : dists) {
+    FC_CHECK(d != nullptr);
+    offset_.push_back(cursor);
+    size_.push_back(d->support_size());
+    cursor += PadRow(static_cast<std::size_t>(d->support_size()));
+    total_atoms_ += d->support_size();
+  }
+  prob_base_ = cursor;
+  // Zero-filled padding keeps reads of a full padded row well-defined
+  // (kernels only consume size_[i] atoms, but vector tails may touch the
+  // pad).
+  arena_.assign(2 * cursor, 0.0);
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    const DiscreteDistribution& d = *dists[i];
+    double* v = arena_.data() + offset_[i];
+    double* p = arena_.data() + prob_base_ + offset_[i];
+    for (int k = 0; k < d.support_size(); ++k) {
+      v[k] = d.values()[k];
+      p[k] = d.probs()[k];
+    }
+  }
+}
+
+}  // namespace factcheck

@@ -1,0 +1,87 @@
+// DistPlanes: structure-of-arrays storage for a set of discrete
+// distributions — the columnar layout behind the vectorized convolution
+// kernels (dist/kernels.h).
+//
+// A DiscreteDistribution is an AoS-friendly object: each instance owns two
+// small vectors, so iterating the atoms of many objects chases one pointer
+// pair per object and the accessors carry (debug-only) bounds checks.  The
+// planes store instead packs EVERY object's atoms into two contiguous
+// arena-backed arrays — one value plane, one probability plane — with a
+// shared per-object offset table:
+//
+//   values plane: [ o0.v0 o0.v1 .. | pad | o1.v0 .. | pad | o2.v0 .. ]
+//   probs  plane: [ o0.p0 o0.p1 .. | pad | o1.p0 .. | pad | o2.p0 .. ]
+//                   ^offset(0)            ^offset(1)       ^offset(2)
+//
+// Each object's row starts at a 64-byte-aligned offset (padding rows to a
+// multiple of 8 doubles), so a kernel can load any object's atoms with
+// aligned contiguous reads.  Both planes live in ONE arena allocation
+// (values first, then probabilities at `prob_base_`), built once per
+// problem and shared read-only by every evaluator (see
+// CleaningProblem::planes()).
+//
+// The atom payload is a bit-exact copy of the source distributions:
+// kernels reading planes see the same doubles, in the same order, as
+// legacy loops reading DiscreteDistribution::value/prob.
+
+#ifndef FACTCHECK_DIST_PLANES_H_
+#define FACTCHECK_DIST_PLANES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/discrete.h"
+#include "util/check.h"
+
+namespace factcheck {
+
+class DistPlanes {
+ public:
+  DistPlanes() = default;
+
+  // Packs the given distributions (borrowed for the duration of the call;
+  // atom data is copied into the arena).
+  explicit DistPlanes(const std::vector<const DiscreteDistribution*>& dists);
+
+  int num_objects() const { return static_cast<int>(size_.size()); }
+
+  int support_size(int i) const {
+    FC_DCHECK_GE(i, 0);
+    FC_DCHECK_LT(i, num_objects());
+    return size_[i];
+  }
+  bool is_point_mass(int i) const { return support_size(i) == 1; }
+
+  // Contiguous, 64-byte-aligned atom rows for object i.
+  const double* values(int i) const {
+    FC_DCHECK_GE(i, 0);
+    FC_DCHECK_LT(i, num_objects());
+    return arena_.data() + offset_[i];
+  }
+  const double* probs(int i) const {
+    FC_DCHECK_GE(i, 0);
+    FC_DCHECK_LT(i, num_objects());
+    return arena_.data() + prob_base_ + offset_[i];
+  }
+
+  // Total number of stored atoms (without padding) and the arena footprint
+  // in bytes — surfaced by the dist_kernels bench cell.
+  std::int64_t total_atoms() const { return total_atoms_; }
+  std::int64_t arena_bytes() const {
+    return static_cast<std::int64_t>(arena_.size() * sizeof(double));
+  }
+
+ private:
+  // One arena: values plane at [0, prob_base_), probs plane at
+  // [prob_base_, end); per-object row k spans [offset_[k], offset_[k] +
+  // size_[k]) within its plane.
+  std::vector<double> arena_;
+  std::vector<std::size_t> offset_;
+  std::vector<int> size_;
+  std::size_t prob_base_ = 0;
+  std::int64_t total_atoms_ = 0;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_DIST_PLANES_H_

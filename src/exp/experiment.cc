@@ -102,6 +102,8 @@ std::optional<ExperimentCell> ExperimentRunner::TryRunCell(
   cell.cache_hits = cell.result.stats.cache_hits;
   cell.probes = cell.result.stats.probes;
   cell.commits = cell.result.stats.commits;
+  cell.kernel_calls = cell.result.stats.kernel_calls;
+  cell.kernel_atoms = cell.result.stats.kernel_atoms;
 
   if (with_objective) {
     if (workload.metric != nullptr) {
@@ -227,6 +229,8 @@ void WriteCellJson(const ExperimentCell& cell, JsonWriter& writer) {
   writer.Key("cache_hits").Int(cell.cache_hits);
   writer.Key("probes").Int(cell.probes);
   writer.Key("commits").Int(cell.commits);
+  writer.Key("kernel_calls").Int(cell.kernel_calls);
+  writer.Key("kernel_atoms").Int(cell.kernel_atoms);
   writer.Key("picked").Int(
       static_cast<std::int64_t>(cell.result.selection.cleaned.size()));
   writer.Key("cost").Number(cell.result.selection.cost);

@@ -286,6 +286,41 @@ Workload BuildEngineScaling(const WorkloadOptions& options) {
   return w;
 }
 
+// The kernel-layer perf gate behind BENCH_dist.json: overlapping
+// sliding-window fragility claims (width 6, stride 2) on URx, so every
+// greedy step drives both the 1-D per-claim and the 2-D per-pair
+// convolution kernels (the stride makes every claim overlap its four
+// neighbours).  Two algorithm columns — claims_greedy_minvar on the SoA
+// planes path and claims_greedy_minvar_aos pinned to the legacy AoS path
+// — let the checked-in baseline record both sides of the kernel speedup
+// and CI diff the deterministic kernel counters.
+Workload BuildDistKernels(const WorkloadOptions& options) {
+  int size = SizeOrDefault(options, 48);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed,
+      {.size = size, .min_support = 3, .max_support = 5}));
+  const int width = 6;
+  const int stride = 2;
+  PerturbationSet context;
+  context.original = MakeWindowSumClaim(0, width);
+  std::vector<double> distances;
+  for (int start = stride; start + width <= size; start += stride) {
+    context.perturbations.push_back(MakeWindowSumClaim(start, width));
+    distances.push_back(start / static_cast<double>(stride));
+  }
+  context.sensibilities = ExponentialSensibilities(distances, 1.05);
+  auto context_ptr =
+      std::make_shared<const PerturbationSet>(std::move(context));
+  double gamma = GammaOrDefault(
+      options, MedianPerturbationValue(*problem, *context_ptr));
+  Workload w = MakeClaimsWorkload("dist_kernels", problem, context_ptr,
+                                  QualityMeasure::kFragility, gamma,
+                                  StrengthDirection::kHigherIsStronger);
+  w.default_algorithms = {"claims_greedy_minvar", "claims_greedy_minvar_aos"};
+  w.default_budget_fractions = {0.15, 0.30};
+  return w;
+}
+
 // Fig 11: CDC-firearms with injected covariance
 // Cov(X_i, X_j) = gamma^{|j-i|} sigma_i sigma_j; the metric is the
 // conditional variance of the bias under the full covariance.
@@ -569,6 +604,20 @@ Workload MakeClaimsWorkload(std::string name,
                                     reference, direction);
          return evaluator.GreedyMinVar(ctx.request.budget, ctx.greedy);
        }});
+  // The same greedy pinned to the legacy AoS data path: the bit-identity
+  // oracle for the SoA kernels and the "before" column of the planes
+  // speedup (its kernel counters are identically zero).
+  w.EnsureLocalRegistry().Register(
+      {.name = "claims_greedy_minvar_aos",
+       .summary = "Theorem-3.8 greedy on the legacy AoS path (planes off)",
+       .objective = ObjectiveKind::kMinVar,
+       .run = [problem, context, measure, reference,
+               direction](const PlanContext& ctx) {
+         ClaimEvEvaluator evaluator(problem.get(), context.get(), measure,
+                                    reference, direction,
+                                    /*use_planes=*/false);
+         return evaluator.GreedyMinVar(ctx.request.budget, ctx.greedy);
+       }});
   return w;
 }
 
@@ -678,6 +727,9 @@ void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
   add({.name = "engine_scaling",
        .summary = "Perf gate: incremental vs batch engine greedy (--size)",
        .build = BuildEngineScaling});
+  add({.name = "dist_kernels",
+       .summary = "Perf gate: SoA kernels vs AoS on overlapping claims",
+       .build = BuildDistKernels});
   add({.name = "cdc_dependency",
        .summary =
            "Fig 11: injected covariance on CDC-firearms (--gamma = corr)",

@@ -1,9 +1,13 @@
 // Lightweight assertion macros in the spirit of absl/glog CHECK.
 //
 // The library does not use exceptions (Google style); programmer errors and
-// violated preconditions abort with a diagnostic.  All macros are active in
-// every build type because the costs they guard (index arithmetic on small
-// problem instances) are negligible next to the combinatorial work.
+// violated preconditions abort with a diagnostic.  FC_CHECK is active in
+// every build type and guards structural invariants whose cost is
+// negligible next to the combinatorial work.  FC_DCHECK is the debug-only
+// variant for per-element preconditions on hot paths (distribution atom
+// accessors, kernel index arithmetic): it compiles to nothing under NDEBUG
+// so release inner loops stay branch-free, but still aborts in Debug and
+// sanitizer builds.
 
 #ifndef FACTCHECK_UTIL_CHECK_H_
 #define FACTCHECK_UTIL_CHECK_H_
@@ -37,5 +41,25 @@ namespace internal {
 #define FC_CHECK_LE(a, b) FC_CHECK_OP(a, <=, b)
 #define FC_CHECK_GT(a, b) FC_CHECK_OP(a, >, b)
 #define FC_CHECK_GE(a, b) FC_CHECK_OP(a, >=, b)
+
+// Debug-only checks: full FC_CHECK semantics without NDEBUG, zero code in
+// release builds.  The sizeof keeps the expression parsed (names stay
+// checked, no unused-variable warnings) without evaluating it.
+#ifdef NDEBUG
+#define FC_DCHECK(expr)   \
+  do {                    \
+    (void)sizeof((expr)); \
+  } while (false)
+#else
+#define FC_DCHECK(expr) FC_CHECK(expr)
+#endif
+
+#define FC_DCHECK_OP(a, op, b) FC_DCHECK((a)op(b))
+#define FC_DCHECK_EQ(a, b) FC_DCHECK_OP(a, ==, b)
+#define FC_DCHECK_NE(a, b) FC_DCHECK_OP(a, !=, b)
+#define FC_DCHECK_LT(a, b) FC_DCHECK_OP(a, <, b)
+#define FC_DCHECK_LE(a, b) FC_DCHECK_OP(a, <=, b)
+#define FC_DCHECK_GT(a, b) FC_DCHECK_OP(a, >, b)
+#define FC_DCHECK_GE(a, b) FC_DCHECK_OP(a, >=, b)
 
 #endif  // FACTCHECK_UTIL_CHECK_H_

@@ -51,6 +51,8 @@ TEST(WorkloadRegistry, GoldenListWorkloads) {
       "CDC-firearms\n"
       "cdc_firearms_uniqueness    Fig 2a: claim uniqueness (duplicity) on "
       "CDC-firearms\n"
+      "dist_kernels               Perf gate: SoA kernels vs AoS on "
+      "overlapping claims\n"
       "engine_scaling             Perf gate: incremental vs batch engine "
       "greedy (--size)\n"
       "lnx_uniqueness             Fig 4: window-sum uniqueness on LNx "
@@ -196,7 +198,8 @@ TEST(ExperimentJson, SchemaKeys) {
         "\"seed\":", "\"threads\":", "\"lazy\":", "\"repetitions\":",
         "\"wall_ms\":", "\"wall_ms_min\":", "\"wall_ms_mean\":",
         "\"evaluations\":", "\"cache_hits\":", "\"probes\":",
-        "\"commits\":", "\"picked\":", "\"cost\":", "\"objective\":"}) {
+        "\"commits\":", "\"kernel_calls\":", "\"kernel_atoms\":",
+        "\"picked\":", "\"cost\":", "\"objective\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   EXPECT_NE(json.find("\"workload\":\"urx_uniqueness\""), std::string::npos);

@@ -6,10 +6,12 @@ Usage: compare_bench.py BASELINE.json CURRENT.json
 The CI perf-smoke gate: cells are matched on their identity axes
 (workload, algo, seed, budget / budget_fraction, threads, lazy,
 repetitions) and compared on the counters that are bit-deterministic for
-a given seed — `evaluations` and `probes` — never on wall-clock, which
-depends on the machine.  Any counter increase (> 0% regression) fails, as
-does a baseline cell with no matching current cell.  Improvements and new
-cells are reported but pass.
+a given seed — `evaluations` and `probes`, plus the SoA kernel-work
+counters `kernel_calls` / `kernel_atoms` when the baseline cell records
+them — never on wall-clock, which depends on the machine.  Any counter
+increase (> 0% regression) fails, as does a baseline cell with no
+matching current cell or a baseline counter the current cell dropped.
+Improvements and new cells are reported but pass.
 
 Regenerate the checked-in baseline with the spec documented in README.md
 ("Perf baselines") whenever an intentional algorithmic change shifts the
@@ -20,6 +22,9 @@ import json
 import sys
 
 COUNTERS = ("evaluations", "probes")
+# Gated only when the baseline cell records them (older baselines predate
+# the kernel layer); once gated, dropping the counter is itself a failure.
+OPTIONAL_COUNTERS = ("kernel_calls", "kernel_atoms")
 
 
 def cell_key(cell):
@@ -66,7 +71,12 @@ def main(argv):
         if cur_cell is None:
             regressions.append(f"missing cell: {key}")
             continue
-        for counter in COUNTERS:
+        counters = list(COUNTERS)
+        counters += [c for c in OPTIONAL_COUNTERS if c in base_cell]
+        for counter in counters:
+            if counter not in cur_cell:
+                regressions.append(f"{key}: {counter} missing from current")
+                continue
             base = int(base_cell[counter])
             cur = int(cur_cell[counter])
             if cur > base:
