@@ -62,6 +62,28 @@ std::int64_t KeyBytes(const std::vector<int>& key) {
 
 }  // namespace
 
+EvalEngine::ApiGuard::ApiGuard(EvalEngine* engine) : engine_(engine) {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};  // free
+  if (!engine_->api_owner_.compare_exchange_strong(
+          expected, self, std::memory_order_acquire)) {
+    // Taken: either a nested call from the owning thread (the greedy
+    // drivers funnel through the batch entry points — fine) or a second
+    // thread violating the single-writer contract.
+    FC_CHECK(expected == self &&
+             "EvalEngine: concurrent API calls from two threads; serialize "
+             "sessions (see serve/service.h) or give each thread its own "
+             "engine");
+    nested_ = true;
+  }
+}
+
+EvalEngine::ApiGuard::~ApiGuard() {
+  if (!nested_) {
+    engine_->api_owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+}
+
 std::size_t EvalEngine::KeyHash::operator()(
     const std::vector<int>& key) const {
   // FNV-1a over the index sequence (exact-key fallback table).
@@ -147,6 +169,7 @@ void EvalEngine::EvaluateMisses(int count) {
 }
 
 double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
+  ApiGuard guard(this);
   CanonicalInto(cleaned, scratch_key_);
   std::uint64_t sig = SignatureOf(scratch_key_);
   double value;
@@ -162,6 +185,7 @@ double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
 
 std::vector<double> EvalEngine::EvaluateBatch(
     const std::vector<std::vector<int>>& candidates) {
+  ApiGuard guard(this);
   const int n = static_cast<int>(candidates.size());
   std::vector<double> out(n, 0.0);
   std::vector<int> miss_slot(n, -1);
@@ -210,6 +234,7 @@ std::vector<double> EvalEngine::EvaluateBatch(
 void EvalEngine::EvaluateExtensions(const std::vector<int>& base,
                                     const std::vector<int>& extras,
                                     std::vector<double>* out) {
+  ApiGuard guard(this);
   FC_CHECK(std::is_sorted(base.begin(), base.end()));
   const int n = static_cast<int>(extras.size());
   out->assign(n, 0.0);
@@ -258,12 +283,14 @@ void EvalEngine::EvaluateExtensions(const std::vector<int>& base,
 Selection EvalEngine::PlainGreedy(const std::vector<double>& costs,
                                   double budget,
                                   const GreedyOptions& options) {
+  ApiGuard guard(this);
   return Greedy(costs, budget, options, /*lazy=*/false);
 }
 
 Selection EvalEngine::LazyGreedy(const std::vector<double>& costs,
                                  double budget,
                                  const GreedyOptions& options) {
+  ApiGuard guard(this);
   return Greedy(costs, budget, options, /*lazy=*/true);
 }
 

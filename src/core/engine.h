@@ -42,18 +42,32 @@
 //     drivers run the batch path unchanged (bit-identical to the
 //     pre-incremental engine).
 //
-// The engine itself is single-threaded at the API level (call it from one
-// thread); the objective must tolerate concurrent invocations when a pool
-// is attached (the exact evaluators are pure, and the Monte Carlo
-// objectives re-seed a local Rng per call, so all shipped objectives do).
-// Incremental objectives are never invoked from the pool.  brute_force
-// stays off the engine on purpose: it is the oracle the equivalence tests
-// compare against.
+// The engine itself is single-writer at the API level: exactly one thread
+// may be inside a public evaluation/greedy call at a time (nested calls
+// from that thread — the greedy drivers call the batch entry points — are
+// fine).  This is ENFORCED: every public entry point asserts via an
+// atomic owner-thread guard and aborts with a diagnostic on concurrent
+// use, so a serving layer that shares one memo-warm engine across
+// requests (serve/service.h holds a per-session mutex) can never
+// silently corrupt the memo/overflow tables.  The objective must
+// tolerate concurrent invocations when a pool is attached (the exact
+// evaluators are pure, and the Monte Carlo objectives re-seed a local Rng
+// per call, so all shipped objectives do).  Incremental objectives are
+// never invoked from the pool.  brute_force stays off the engine on
+// purpose: it is the oracle the equivalence tests compare against.
+//
+// An engine may outlive a single selection: a long-lived holder (the
+// planning service) reuses one instance across requests on the same
+// problem+objective, so the memo — keyed only by the cleaned set — serves
+// later requests from cache.  Stats accumulate monotonically across the
+// engine's lifetime.
 
 #ifndef FACTCHECK_CORE_ENGINE_H_
 #define FACTCHECK_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +101,11 @@ struct EngineStats {
   // knapsack algorithms).
   std::int64_t kernel_calls = 0;
   std::int64_t kernel_atoms = 0;
+  // Plan requests served by a serve::PlanningService session (the engine
+  // itself never touches this — the service's aggregated stats and the
+  // closed-loop service_scaling bench report through it).  Zero outside
+  // the serving path.
+  std::int64_t requests = 0;
 };
 
 class EvalEngine {
@@ -139,6 +158,7 @@ class EvalEngine {
 
   const EngineStats& stats() const { return stats_; }
   ThreadPool* pool() const { return pool_; }
+  OptimizeDirection direction() const { return direction_; }
 
   // Test hook: makes every element hash to the same signature so all sets
   // collide and the exact-key fallback carries the whole cache.  The
@@ -147,6 +167,23 @@ class EvalEngine {
   void UseDegenerateSignatureForTest() { degenerate_signature_ = true; }
 
  private:
+  // RAII single-writer assertion taken by every public entry point: the
+  // first frame claims the engine for its thread, nested frames from the
+  // same thread pass through, and a second thread aborts immediately via
+  // FC_CHECK instead of racing on the memo tables.  Cheap enough to stay
+  // on in release builds (one relaxed-ish atomic CAS per public call).
+  class ApiGuard {
+   public:
+    explicit ApiGuard(EvalEngine* engine);
+    ~ApiGuard();
+    ApiGuard(const ApiGuard&) = delete;
+    ApiGuard& operator=(const ApiGuard&) = delete;
+
+   private:
+    EvalEngine* engine_;
+    bool nested_ = false;
+  };
+
   struct KeyHash {
     std::size_t operator()(const std::vector<int>& key) const;
   };
@@ -189,6 +226,9 @@ class EvalEngine {
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::unordered_map<std::vector<int>, double, KeyHash> overflow_;
   bool degenerate_signature_ = false;
+
+  // Owner thread of the in-flight public API call (default id = free).
+  std::atomic<std::thread::id> api_owner_{};
 
   // Reusable scratch: one canonicalization buffer, plus per-miss-slot key
   // buffers (each owned by exactly one pool task during a batch) and their

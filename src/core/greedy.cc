@@ -92,6 +92,14 @@ Selection AdaptiveGreedy(const std::vector<double>& costs, double budget,
                          const SetObjective& objective,
                          OptimizeDirection direction,
                          const GreedyOptions& options) {
+  if (options.engine != nullptr) {
+    // Persistent engine: its retained objective stands in for `objective`
+    // (the caller guarantees they compute the same function), so the memo
+    // built by earlier selections stays valid.
+    FC_CHECK(options.engine->direction() == direction);
+    return options.lazy ? options.engine->LazyGreedy(costs, budget, options)
+                        : options.engine->PlainGreedy(costs, budget, options);
+  }
   EvalEngine engine(objective, direction, options.pool);
   return options.lazy ? engine.LazyGreedy(costs, budget, options)
                       : engine.PlainGreedy(costs, budget, options);

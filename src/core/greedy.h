@@ -27,6 +27,7 @@ namespace factcheck {
 
 class ThreadPool;
 struct EngineStats;
+class EvalEngine;
 class IncrementalObjective;
 
 // The outcome of a selection algorithm.
@@ -65,6 +66,15 @@ struct GreedyOptions {
   // must outlive the call; single-run state, never share an instance
   // across concurrent selections.
   IncrementalObjective* incremental = nullptr;
+  // Optional persistent engine (core/engine.h) to drive the selection on
+  // instead of a fresh per-call one, so a long-lived holder (the planning
+  // service) keeps the set-objective memo warm across requests.  Borrowed,
+  // must outlive the call; its retained objective must compute the same
+  // function as the `objective` argument (which is then ignored), and its
+  // direction must match the driver.  The engine enforces one in-flight
+  // API call at a time, so callers sharing one engine must serialize
+  // selections themselves.
+  EvalEngine* engine = nullptr;
   // When set, the engine-backed drivers copy their EvalEngine's final
   // counters here (evaluations / cache hits / incremental probes and
   // commits / key bytes hashed) on EVERY exit path, including the

@@ -37,6 +37,7 @@ void PlanResult::WriteJson(JsonWriter& writer) const {
   writer.Key("key_bytes_hashed").Int(stats.key_bytes_hashed);
   writer.Key("kernel_calls").Int(stats.kernel_calls);
   writer.Key("kernel_atoms").Int(stats.kernel_atoms);
+  writer.Key("requests").Int(stats.requests);
   writer.EndObject();
   writer.Key("wall_ms").Number(wall_seconds * 1e3);
   writer.EndObject();

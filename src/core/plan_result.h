@@ -42,7 +42,8 @@ struct PlanResult {
   //    "selection":{"cleaned":[..],"order":[..],"labels":[..],"cost":..},
   //    "objective_value":..|null,"trajectory":[..],
   //    "stats":{"evaluations":..,"cache_hits":..,"probes":..,
-  //             "commits":..,"key_bytes_hashed":..},"wall_ms":..}
+  //             "commits":..,"key_bytes_hashed":..,"kernel_calls":..,
+  //             "kernel_atoms":..,"requests":..},"wall_ms":..}
   std::string ToJson() const;
 
   // Streams the same object into an open writer (for aggregating many

@@ -306,6 +306,14 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
   ctx.greedy.pool = pool.has_value() ? &*pool : nullptr;
   ctx.greedy.incremental = incremental.get();
   ctx.greedy.stats_out = &result.stats;
+  // Persistent engine: same uses_objective gate as the incremental factory
+  // — the engine's retained objective mirrors PlanContext::objective, so
+  // only algorithms that greedy-drive it may run on the shared memo.
+  const bool shared_engine =
+      request.session_engine != nullptr && algo->uses_objective;
+  if (shared_engine) {
+    ctx.greedy.engine = request.session_engine;
+  }
 
   Stopwatch stopwatch;
   result.selection = algo->run(ctx);
@@ -327,15 +335,26 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
     const std::vector<int>& picks = result.selection.order.empty()
                                         ? result.selection.cleaned
                                         : result.selection.order;
-    std::vector<int> prefix;
-    result.trajectory.reserve(picks.size() + 1);
-    result.trajectory.push_back(objective({}));
+    std::vector<std::vector<int>> prefixes;
+    prefixes.reserve(picks.size() + 1);
+    prefixes.emplace_back();
     for (int i : picks) {
-      prefix.push_back(i);
-      std::vector<int> canonical = prefix;
-      std::sort(canonical.begin(), canonical.end());
-      result.trajectory.push_back(objective(canonical));
+      prefixes.push_back(prefixes.back());
+      prefixes.back().push_back(i);
     }
+    // All prefixes go through one engine batch (spread over the pool when
+    // threads > 1) instead of a serial objective loop.  A session engine
+    // that drove the selection also serves the trajectory, so repeat
+    // requests answer it from the cross-request memo; otherwise a local
+    // engine still dedupes the prefixes the selection already evaluated
+    // within this batch.
+    std::optional<EvalEngine> local_engine;
+    if (!shared_engine) {
+      local_engine.emplace(objective, ctx.direction, ctx.greedy.pool);
+    }
+    EvalEngine& trajectory_engine =
+        shared_engine ? *request.session_engine : *local_engine;
+    result.trajectory = trajectory_engine.EvaluateBatch(prefixes);
     result.objective_value = result.trajectory.back();
     result.has_objective_value = true;
   }

@@ -77,6 +77,18 @@ struct PlanRequest {
   // (stats report probes/commits instead of evaluations).
   IncrementalFactory custom_incremental;
 
+  // Optional persistent evaluation engine shared across requests (the
+  // serving layer's cross-request memo).  Attached to
+  // GreedyOptions::engine — only for algorithms whose registry entry sets
+  // uses_objective, for the same reason as custom_incremental above — and
+  // also used to evaluate the trajectory prefixes, so repeat requests on
+  // the same problem serve both the selection and the trajectory from
+  // cache.  The engine's retained objective must compute the same
+  // function as this request's objective, and its direction must match
+  // `objective`.  Borrowed; callers sharing one engine across threads
+  // must serialize requests (the engine aborts on concurrent API calls).
+  EvalEngine* session_engine = nullptr;
+
   ObjectiveKind objective = ObjectiveKind::kMinVar;
   double budget = 0.0;
   double tau = 0.0;  // MaxPr surprise threshold

@@ -15,6 +15,45 @@ CleaningProblem::CleaningProblem(std::vector<UncertainObject> objects)
   }
 }
 
+CleaningProblem::CleaningProblem(const CleaningProblem& other)
+    : objects_(other.objects_) {
+  // Snapshot the source's cache under its mutex: copying from a const
+  // problem must be safe concurrently with other const readers (who may
+  // be publishing the lazily built planes right now).  The copy shares
+  // the snapshot — cheap and correct, since a later mutation resets only
+  // the mutated instance's pointer.
+  std::lock_guard<std::mutex> lock(other.planes_mutex_);
+  planes_cache_ = other.planes_cache_;
+}
+
+CleaningProblem& CleaningProblem::operator=(const CleaningProblem& other) {
+  if (this == &other) return *this;
+  objects_ = other.objects_;
+  std::shared_ptr<const DistPlanes> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.planes_mutex_);
+    snapshot = other.planes_cache_;
+  }
+  std::lock_guard<std::mutex> lock(planes_mutex_);
+  planes_cache_ = std::move(snapshot);
+  return *this;
+}
+
+CleaningProblem::CleaningProblem(CleaningProblem&& other) noexcept
+    : objects_(std::move(other.objects_)) {
+  // Moving requires external exclusivity on `other` (it is being gutted),
+  // so its mutex is not taken.
+  planes_cache_ = std::move(other.planes_cache_);
+}
+
+CleaningProblem& CleaningProblem::operator=(CleaningProblem&& other) noexcept {
+  if (this == &other) return *this;
+  objects_ = std::move(other.objects_);
+  std::lock_guard<std::mutex> lock(planes_mutex_);
+  planes_cache_ = std::move(other.planes_cache_);
+  return *this;
+}
+
 const UncertainObject& CleaningProblem::object(int i) const {
   FC_CHECK_GE(i, 0);
   FC_CHECK_LT(i, size());
@@ -64,6 +103,10 @@ void CleaningProblem::Clean(int i, double v) {
   FC_CHECK_LT(i, size());
   objects_[i].current_value = v;
   objects_[i].dist = DiscreteDistribution::PointMass(v);
+  // The cache reset must synchronize with planes_ptr(): a reader holding
+  // the mutex either sees the old snapshot (still valid — snapshots are
+  // immutable) or the cleared pointer, never a torn shared_ptr.
+  std::lock_guard<std::mutex> lock(planes_mutex_);
   planes_cache_.reset();
 }
 
@@ -71,16 +114,17 @@ void CleaningProblem::ReplaceDistribution(int i, DiscreteDistribution dist) {
   FC_CHECK_GE(i, 0);
   FC_CHECK_LT(i, size());
   objects_[i].dist = std::move(dist);
+  std::lock_guard<std::mutex> lock(planes_mutex_);
   planes_cache_.reset();
 }
 
 std::shared_ptr<const DistPlanes> CleaningProblem::planes_ptr() const {
-  // One global build lock: planes are built once per problem instance and
-  // the accessor must be safe on a const problem shared across threads.
-  // Publishing through the shared_ptr under the lock keeps readers from
-  // observing a half-built store.
-  static std::mutex build_mutex;
-  std::lock_guard<std::mutex> lock(build_mutex);
+  // Per-instance build lock: planes are built once per problem instance
+  // and the accessor must be safe on a const problem shared across
+  // threads (unrelated problems never contend).  Publishing through the
+  // shared_ptr under the lock keeps readers from observing a half-built
+  // store; the same lock orders the resets in Clean/ReplaceDistribution.
+  std::lock_guard<std::mutex> lock(planes_mutex_);
   if (planes_cache_ == nullptr) {
     std::vector<const DiscreteDistribution*> dists;
     dists.reserve(objects_.size());

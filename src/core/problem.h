@@ -7,6 +7,7 @@
 #define FACTCHECK_CORE_PROBLEM_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/object.h"
@@ -17,10 +18,35 @@ class DistPlanes;
 
 // An instance of the data-cleaning selection problem (without the budget,
 // which varies per experiment).
+//
+// Thread-safety contract (the serving layer shares const problems across
+// requests):
+//   * Const reads — object()/objects()/the column views/planes()/
+//     planes_ptr() — are safe to call concurrently from any number of
+//     threads, including the lazy first build of the planes cache, which
+//     is guarded by a per-instance mutex.
+//   * Mutations — set_current_value, Clean, ReplaceDistribution, and the
+//     assignment operators — require external exclusivity: no other
+//     thread may be reading or writing this instance while one runs.
+//     The mutations still take the planes mutex internally when touching
+//     the cache, so a stale DistPlanes snapshot obtained through
+//     planes_ptr() before the mutation stays valid and fully built; what
+//     the lock does NOT make safe is reading the object rows themselves
+//     (objects()/Means()/...) concurrently with a mutation.
 class CleaningProblem {
  public:
   CleaningProblem() = default;
   explicit CleaningProblem(std::vector<UncertainObject> objects);
+
+  // Copies share the planes-cache snapshot (cheap and correct: a mutation
+  // resets only the mutated instance's pointer).  The per-instance mutex
+  // is not copied; the source's mutex is taken while snapshotting its
+  // cache so copying from a const problem is safe concurrently with other
+  // const readers.
+  CleaningProblem(const CleaningProblem& other);
+  CleaningProblem& operator=(const CleaningProblem& other);
+  CleaningProblem(CleaningProblem&& other) noexcept;
+  CleaningProblem& operator=(CleaningProblem&& other) noexcept;
 
   int size() const { return static_cast<int>(objects_.size()); }
   const UncertainObject& object(int i) const;
@@ -58,6 +84,10 @@ class CleaningProblem {
 
  private:
   std::vector<UncertainObject> objects_;
+  // Guards planes_cache_ — lazy build on const instances shared across
+  // threads, and the resets in Clean/ReplaceDistribution.  Per instance,
+  // so unrelated problems never serialize on each other's builds.
+  mutable std::mutex planes_mutex_;
   // Copies share the cache snapshot (cheap, correct: mutation resets only
   // the mutated instance's pointer).
   mutable std::shared_ptr<const DistPlanes> planes_cache_;

@@ -104,6 +104,7 @@ std::optional<ExperimentCell> ExperimentRunner::TryRunCell(
   cell.commits = cell.result.stats.commits;
   cell.kernel_calls = cell.result.stats.kernel_calls;
   cell.kernel_atoms = cell.result.stats.kernel_atoms;
+  cell.requests = cell.result.stats.requests;
 
   if (with_objective) {
     if (workload.metric != nullptr) {
@@ -231,6 +232,7 @@ void WriteCellJson(const ExperimentCell& cell, JsonWriter& writer) {
   writer.Key("commits").Int(cell.commits);
   writer.Key("kernel_calls").Int(cell.kernel_calls);
   writer.Key("kernel_atoms").Int(cell.kernel_atoms);
+  writer.Key("requests").Int(cell.requests);
   writer.Key("picked").Int(
       static_cast<std::int64_t>(cell.result.selection.cleaned.size()));
   writer.Key("cost").Number(cell.result.selection.cost);

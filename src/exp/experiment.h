@@ -10,7 +10,8 @@
 // (one flat object per cell with keys workload / algo / seed / budget /
 // budget_fraction / threads / lazy / repetitions / wall_ms / wall_ms_min /
 // wall_ms_mean / evaluations / cache_hits / probes / commits /
-// kernel_calls / kernel_atoms / picked / cost / objective), which is what
+// kernel_calls / kernel_atoms / requests / picked / cost / objective),
+// which is what
 // the BENCH_*.json perf-trajectory
 // artifacts, the CI bench-smoke job, and the tools/compare_bench.py
 // counter-regression gate consume.  Non-finite numbers serialize as null.
@@ -73,6 +74,7 @@ struct ExperimentCell {
   std::int64_t commits = 0;  // incremental set extensions committed
   std::int64_t kernel_calls = 0;  // SoA convolution-kernel invocations
   std::int64_t kernel_atoms = 0;  // atoms written by those kernels
+  std::int64_t requests = 0;  // plan requests served (serving workloads)
 
   double objective = 0.0;  // workload metric of the selected set
   bool has_objective = false;

@@ -7,6 +7,8 @@
 #include <optional>
 #include <vector>
 
+#include <thread>
+
 #include "claims/claim.h"
 #include "claims/ev_fast.h"
 #include "claims/perturbation.h"
@@ -18,8 +20,12 @@
 #include "data/adoptions.h"
 #include "data/cdc.h"
 #include "data/dependency.h"
+#include "data/problem_io.h"
 #include "data/synthetic.h"
+#include "serve/json_value.h"
+#include "serve/service.h"
 #include "util/check.h"
+#include "util/json.h"
 
 namespace factcheck {
 namespace exp {
@@ -282,6 +288,141 @@ Workload BuildEngineScaling(const WorkloadOptions& options) {
          opts.incremental = nullptr;
          return AdaptiveGreedyMinimize(ctx.costs, ctx.request.budget,
                                        ctx.objective, opts);
+       }});
+  return w;
+}
+
+// --- service_scaling: the serving perf gate behind BENCH_serve.json ------
+
+constexpr int kServeClients = 4;
+constexpr int kServeRequestsPerClient = 8;
+
+// Pulls the selection out of a plan response's "result" object.
+Selection SelectionFromResponse(const serve::JsonValue& result) {
+  const serve::JsonValue* selection = result.Find("selection");
+  FC_CHECK(selection != nullptr);
+  Selection out;
+  for (const serve::JsonValue& v : selection->Find("cleaned")->array()) {
+    out.cleaned.push_back(static_cast<int>(v.number()));
+  }
+  for (const serve::JsonValue& v : selection->Find("order")->array()) {
+    out.order.push_back(static_cast<int>(v.number()));
+  }
+  out.cost = selection->Find("cost")->number();
+  return out;
+}
+
+// The closed loop: an in-process PlanningService with the workload's
+// problem registered once, hammered by kServeClients threads issuing
+// kServeRequestsPerClient identical plan requests each, plus one final
+// request whose selection is the cell's result.  Every response must
+// carry the same selection (requests on one problem serialize on the
+// session engine, so the shared memo cannot change what greedy picks),
+// and the cell's counters are the service-side aggregates: lifetime
+// engine evaluations / cache_hits — cross-request reuse means the
+// evaluation count stays at the one-request cost while cache_hits absorb
+// the other 32 requests — plus the served request count.  All of them
+// are interleaving-independent (each distinct set is evaluated exactly
+// once, and each request's probe multiset is fixed), which is what lets
+// BENCH_serve.json gate them exactly.
+Selection RunServeLoop(const std::string& csv, const PlanContext& ctx) {
+  serve::PlanningService service;
+  std::string error;
+  bool registered = service.RegisterProblem("bench", csv, {}, {}, &error);
+  FC_CHECK(registered);
+
+  JsonWriter request;
+  request.BeginObject()
+      .Key("op")
+      .String("plan")
+      .Key("problem")
+      .String("bench")
+      .Key("algo")
+      .String("greedy_minvar")
+      .Key("budget")
+      .Number(ctx.request.budget)
+      .EndObject();
+  const std::string line = request.str();
+
+  std::vector<std::string> responses(kServeClients * kServeRequestsPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kServeClients);
+  for (int c = 0; c < kServeClients; ++c) {
+    clients.emplace_back([&service, &responses, &line, c] {
+      for (int r = 0; r < kServeRequestsPerClient; ++r) {
+        responses[c * kServeRequestsPerClient + r] = service.HandleLine(line);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  std::optional<serve::JsonValue> final_response =
+      serve::JsonValue::Parse(service.HandleLine(line), &error);
+  FC_CHECK(final_response.has_value());
+  FC_CHECK(final_response->Find("ok")->boolean());
+  const serve::JsonValue* result = final_response->Find("result");
+  Selection selection = SelectionFromResponse(*result);
+
+  for (const std::string& response : responses) {
+    std::optional<serve::JsonValue> parsed =
+        serve::JsonValue::Parse(response, &error);
+    FC_CHECK(parsed.has_value());
+    FC_CHECK(parsed->Find("ok")->boolean());
+    Selection concurrent = SelectionFromResponse(*parsed->Find("result"));
+    FC_CHECK(concurrent.cleaned == selection.cleaned);
+    FC_CHECK(concurrent.order == selection.order);
+  }
+
+  if (ctx.greedy.stats_out != nullptr) {
+    const serve::JsonValue* stats = result->Find("stats");
+    EngineStats out;
+    out.evaluations =
+        static_cast<std::int64_t>(stats->Find("evaluations")->number());
+    out.cache_hits =
+        static_cast<std::int64_t>(stats->Find("cache_hits")->number());
+    out.probes = static_cast<std::int64_t>(stats->Find("probes")->number());
+    out.commits = static_cast<std::int64_t>(stats->Find("commits")->number());
+    out.key_bytes_hashed = static_cast<std::int64_t>(
+        stats->Find("key_bytes_hashed")->number());
+    out.requests =
+        static_cast<std::int64_t>(stats->Find("requests")->number());
+    *ctx.greedy.stats_out = out;
+  }
+  return selection;
+}
+
+// A small exact-enumeration problem (n = 12, binary supports -> 4096
+// scenarios per evaluation), so one evaluation is expensive enough for
+// reuse to matter and cheap enough for 33 requests per cell.  The second
+// algorithm column runs the same plan cold through the ordinary planner
+// path, so the checked-in baseline records the one-shot cost next to the
+// amortized serving cost.
+Workload BuildServiceScaling(const WorkloadOptions& options) {
+  int size = SizeOrDefault(options, 12);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed,
+      {.size = size, .min_support = 2, .max_support = 2}));
+  std::vector<int> refs(size);
+  for (int i = 0; i < size; ++i) refs[i] = i;
+  auto query = std::make_shared<const LinearQueryFunction>(
+      refs, std::vector<double>(size, 1.0));
+  auto csv = std::make_shared<const std::string>(data::ProblemToCsv(*problem));
+
+  Workload w;
+  w.name = "service_scaling";
+  w.problem = problem;
+  w.query = query;
+  w.linear = query;
+  w.default_algorithms = {"serve_loop", "greedy_minvar"};
+  w.default_budget_fractions = {0.15, 0.30};
+  w.holders = {problem, query, csv};
+  w.EnsureLocalRegistry().Register(
+      {.name = "serve_loop",
+       .summary = "closed-loop PlanningService clients on one warm engine",
+       .objective = ObjectiveKind::kMinVar,
+       .uses_objective = true,
+       .run = [csv](const PlanContext& ctx) {
+         return RunServeLoop(*csv, ctx);
        }});
   return w;
 }
@@ -730,6 +871,9 @@ void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
   add({.name = "dist_kernels",
        .summary = "Perf gate: SoA kernels vs AoS on overlapping claims",
        .build = BuildDistKernels});
+  add({.name = "service_scaling",
+       .summary = "Serving gate: concurrent clients on one warm engine",
+       .build = BuildServiceScaling});
   add({.name = "cdc_dependency",
        .summary =
            "Fig 11: injected covariance on CDC-firearms (--gamma = corr)",

@@ -1,0 +1,227 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/service.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace serve {
+namespace {
+
+bool FillAddress(const std::string& path, sockaddr_un* addr,
+                 std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path must be 1.." +
+               std::to_string(sizeof(addr->sun_path) - 1) +
+               " bytes: \"" + path + "\"";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// write(2) until done; EINTR-safe.  False on any hard error (including
+// EPIPE when the peer vanished — the caller just drops the connection).
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads from `fd` into `buffer` until it holds a '\n'; pops and returns
+// the first line (without the newline).  False on EOF/error with no
+// complete line.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    size_t pos = buffer->find('\n');
+    if (pos != std::string::npos) {
+      line->assign(*buffer, 0, pos);
+      buffer->erase(0, pos + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(PlanningService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  FC_CHECK(service_ != nullptr);
+  FC_CHECK_GE(options_.threads, 1);
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+bool SocketServer::Start(std::string* error) {
+  FC_CHECK(listen_fd_ < 0 && "Start() called twice");
+  sockaddr_un addr;
+  if (!FillAddress(options_.socket_path, &addr, error)) return false;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return false;
+  }
+  // A stale socket file from a previous run would make bind fail.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) {
+      *error = Errno("bind(" + options_.socket_path + ")");
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = Errno("listen");
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return false;
+  }
+  listen_fd_ = fd;
+  stopping_.store(false);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop(), or a hard error
+    }
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (stopping_.load()) {
+        ::close(fd);
+        break;
+      }
+      connections_.insert(fd);
+    }
+    // The handler task owns fd from here; futures are dropped on purpose
+    // (Stop() tears connections down via shutdown + pool join).
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  std::string buffer, line;
+  while (!stopping_.load() && ReadLine(fd, &buffer, &line)) {
+    if (line.empty()) continue;  // blank keep-alives are fine
+    std::string response = service_->HandleLine(line);
+    response.push_back('\n');
+    if (!WriteAll(fd, response)) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void SocketServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Unblock accept(), then unblock every in-flight read.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins the handler tasks (they close their own fds)
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  fd_ = other.fd_;
+  buffer_ = std::move(other.buffer_);
+  other.fd_ = -1;
+  return *this;
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool LineClient::Connect(const std::string& socket_path, std::string* error) {
+  Close();
+  sockaddr_un addr;
+  if (!FillAddress(socket_path, &addr, error)) return false;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error != nullptr) *error = Errno("connect(" + socket_path + ")");
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool LineClient::Call(const std::string& request, std::string* response,
+                      std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  if (!WriteAll(fd_, request + "\n")) {
+    if (error != nullptr) *error = Errno("write");
+    return false;
+  }
+  if (!ReadLine(fd_, &buffer_, response)) {
+    if (error != nullptr) *error = "connection closed before response";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace factcheck

@@ -1,0 +1,104 @@
+// SocketServer: the transport in front of PlanningService — a Unix-domain
+// stream socket speaking the line-delimited JSON protocol (one request
+// object per line in, one response object per line out).
+//
+// An accept thread hands each connection to the shared ThreadPool; a
+// connection task reads lines, calls PlanningService::HandleLine, and
+// writes responses until the peer closes.  Concurrency therefore comes in
+// two layers: up to pool-size connections are served simultaneously
+// (requests on DISTINCT problems run in parallel), while requests on the
+// same problem serialize on its run mutex inside the service.  A client
+// pipelining multiple lines on one connection gets responses in request
+// order.
+//
+// LineClient is the matching blocking client, used by the tests and the
+// factcheck_serve --call mode.
+
+#ifndef FACTCHECK_SERVE_SERVER_H_
+#define FACTCHECK_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace factcheck {
+namespace serve {
+
+class PlanningService;
+
+struct ServerOptions {
+  std::string socket_path;  // required; unlinked and rebound on Start
+  int threads = 4;          // connection-handler pool size
+};
+
+class SocketServer {
+ public:
+  // `service` is borrowed and must outlive the server.
+  SocketServer(PlanningService* service, ServerOptions options);
+  ~SocketServer();  // Stop()s if still running
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens, and starts the accept thread.  False + diagnostic on
+  // socket errors (path too long for sockaddr_un, bind failure, ...).
+  bool Start(std::string* error);
+
+  // Shuts down the listener and every open connection, then joins the
+  // accept thread and the handler pool.  Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  PlanningService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex connections_mutex_;
+  std::set<int> connections_;
+};
+
+// Blocking client for the protocol above: connects, sends one line per
+// Call, reads one line back.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  // Connects to a Unix socket path; false + diagnostic on failure.
+  bool Connect(const std::string& socket_path, std::string* error);
+
+  // Sends `request` (a single-line JSON document; the trailing newline is
+  // added here) and blocks for the one-line response.  False on I/O
+  // errors or a mid-line peer close.
+  bool Call(const std::string& request, std::string* response,
+            std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned line
+};
+
+}  // namespace serve
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SERVE_SERVER_H_

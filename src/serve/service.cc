@@ -1,0 +1,400 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "core/ev.h"
+#include "core/maxpr.h"
+#include "core/plan_result.h"
+#include "core/registry.h"
+#include "data/problem_io.h"
+#include "serve/json_value.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace factcheck {
+namespace serve {
+namespace {
+
+std::string ErrorResponse(const std::string& message) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ok")
+      .Bool(false)
+      .Key("error")
+      .String(message)
+      .EndObject();
+  return writer.str();
+}
+
+// Reads an optional finite number; false (with a diagnostic) on a
+// present-but-wrong-typed member.
+bool ReadNumber(const JsonValue& request, const std::string& key, bool* found,
+                double* out, std::string* error) {
+  const JsonValue* value = request.Find(key);
+  *found = value != nullptr;
+  if (value == nullptr) return true;
+  if (!value->is_number()) {
+    *error = "\"" + key + "\" must be a number";
+    return false;
+  }
+  *out = value->number();
+  return true;
+}
+
+bool ReadBool(const JsonValue& request, const std::string& key,
+              bool default_value, bool* out, std::string* error) {
+  const JsonValue* value = request.Find(key);
+  if (value == nullptr) {
+    *out = default_value;
+    return true;
+  }
+  if (!value->is_bool()) {
+    *error = "\"" + key + "\" must be a boolean";
+    return false;
+  }
+  *out = value->boolean();
+  return true;
+}
+
+bool ReadString(const JsonValue& request, const std::string& key,
+                std::string* out, std::string* error) {
+  const JsonValue* value = request.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    *error = "\"" + key + "\" (string) is required";
+    return false;
+  }
+  *out = value->string();
+  return true;
+}
+
+}  // namespace
+
+bool PlanningService::RegisterProblem(const std::string& name,
+                                      const std::string& csv,
+                                      std::vector<int> refs,
+                                      std::vector<double> coeffs,
+                                      std::string* error) {
+  if (name.empty()) {
+    if (error != nullptr) *error = "problem name must be non-empty";
+    return false;
+  }
+  std::optional<CleaningProblem> problem = data::ProblemFromCsv(csv, error);
+  if (!problem.has_value()) return false;
+  const int n = problem->size();
+  // Default query: the all-ones sum, as factcheck_cli run does.
+  if (refs.empty()) {
+    refs.reserve(n);
+    for (int i = 0; i < n; ++i) refs.push_back(i);
+  }
+  for (int ref : refs) {
+    if (ref < 0 || ref >= n) {
+      if (error != nullptr) {
+        *error = "query ref " + std::to_string(ref) +
+                 " out of range (problem has " + std::to_string(n) +
+                 " objects)";
+      }
+      return false;
+    }
+  }
+  if (coeffs.empty()) coeffs.assign(refs.size(), 1.0);
+  if (coeffs.size() != refs.size()) {
+    if (error != nullptr) *error = "refs and coeffs must have the same length";
+    return false;
+  }
+  auto entry = std::make_unique<ProblemEntry>(
+      name, std::move(*problem), std::move(refs), std::move(coeffs));
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto [it, inserted] = problems_.try_emplace(name, std::move(entry));
+  if (!inserted) {
+    if (error != nullptr) {
+      *error = "problem \"" + name +
+               "\" is already registered (re-registration would orphan its "
+               "engines' memos)";
+    }
+    return false;
+  }
+  return true;
+}
+
+PlanningService::ProblemEntry* PlanningService::FindEntry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = problems_.find(name);
+  return it == problems_.end() ? nullptr : it->second.get();
+}
+
+EvalEngine* PlanningService::EngineFor(ProblemEntry* entry, ObjectiveKind kind,
+                                       double tau) {
+  std::string key = kind == ObjectiveKind::kMinVar
+                        ? "minvar"
+                        : "maxpr@" + JsonNumber(tau);
+  auto it = entry->engines.find(key);
+  if (it == entry->engines.end()) {
+    SetObjective objective =
+        kind == ObjectiveKind::kMinVar
+            ? MinVarObjective(entry->query, entry->problem)
+            : MaxPrObjective(entry->query, entry->problem, tau);
+    OptimizeDirection direction = kind == ObjectiveKind::kMinVar
+                                      ? OptimizeDirection::kMinimize
+                                      : OptimizeDirection::kMaximize;
+    // No pool: service-side evaluation is serial per problem, so the
+    // concurrency story stays one-dimensional (requests in parallel
+    // across problems, single-writer per engine).
+    it = entry->engines
+             .emplace(std::move(key), std::make_unique<EvalEngine>(
+                                          std::move(objective), direction))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string PlanningService::HandleRegister(const JsonValue& request) {
+  std::string error;
+  std::string name, csv;
+  if (!ReadString(request, "problem", &name, &error)) {
+    return ErrorResponse(error);
+  }
+  if (!ReadString(request, "csv", &csv, &error)) return ErrorResponse(error);
+  std::vector<int> refs;
+  if (const JsonValue* value = request.Find("refs")) {
+    if (!value->is_array()) return ErrorResponse("\"refs\" must be an array");
+    for (const JsonValue& item : value->array()) {
+      if (!item.is_number()) {
+        return ErrorResponse("\"refs\" must hold integers");
+      }
+      refs.push_back(static_cast<int>(item.number()));
+    }
+  }
+  std::vector<double> coeffs;
+  if (const JsonValue* value = request.Find("coeffs")) {
+    if (!value->is_array()) {
+      return ErrorResponse("\"coeffs\" must be an array");
+    }
+    for (const JsonValue& item : value->array()) {
+      if (!item.is_number()) {
+        return ErrorResponse("\"coeffs\" must hold numbers");
+      }
+      coeffs.push_back(item.number());
+    }
+  }
+  if (!RegisterProblem(name, csv, std::move(refs), std::move(coeffs),
+                       &error)) {
+    return ErrorResponse(error);
+  }
+  ProblemEntry* entry = FindEntry(name);
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ok")
+      .Bool(true)
+      .Key("op")
+      .String("register")
+      .Key("problem")
+      .String(name)
+      .Key("objects")
+      .Int(entry->problem.size())
+      .Key("total_cost")
+      .Number(entry->problem.TotalCost())
+      .EndObject();
+  return writer.str();
+}
+
+std::string PlanningService::HandlePlan(const JsonValue& request) {
+  std::string error;
+  std::string name, algo_name;
+  if (!ReadString(request, "problem", &name, &error)) {
+    return ErrorResponse(error);
+  }
+  if (!ReadString(request, "algo", &algo_name, &error)) {
+    return ErrorResponse(error);
+  }
+  ProblemEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return ErrorResponse("unknown problem \"" + name + "\" (register first)");
+  }
+  const AlgorithmRegistry::Algorithm* algo =
+      planner_.registry().Find(algo_name);
+  if (algo == nullptr) {
+    return ErrorResponse("unknown algorithm \"" + algo_name + "\"");
+  }
+
+  bool has_budget = false, has_frac = false;
+  double budget = 0.0, budget_frac = 0.0;
+  if (!ReadNumber(request, "budget", &has_budget, &budget, &error) ||
+      !ReadNumber(request, "budget_frac", &has_frac, &budget_frac, &error)) {
+    return ErrorResponse(error);
+  }
+  if (!has_budget && !has_frac) {
+    return ErrorResponse("\"budget\" or \"budget_frac\" is required");
+  }
+
+  PlanRequest plan;
+  plan.problem = &entry->problem;
+  plan.query = &entry->query;
+  plan.linear_query = &entry->query;
+  plan.budget =
+      has_budget ? budget : budget_frac * entry->problem.TotalCost();
+
+  // Objective defaulting mirrors the CLI: the algorithm's native kind,
+  // minvar when it supports both.
+  if (const JsonValue* value = request.Find("objective")) {
+    if (!value->is_string()) {
+      return ErrorResponse("\"objective\" must be \"minvar\" or \"maxpr\"");
+    }
+    std::optional<ObjectiveKind> kind = ParseObjectiveKind(value->string());
+    if (!kind.has_value()) {
+      return ErrorResponse("\"objective\" must be \"minvar\" or \"maxpr\"");
+    }
+    plan.objective = *kind;
+  } else {
+    plan.objective = algo->objective.value_or(ObjectiveKind::kMinVar);
+  }
+
+  bool found = false;
+  double tau = 0.0;
+  if (!ReadNumber(request, "tau", &found, &tau, &error)) {
+    return ErrorResponse(error);
+  }
+  plan.tau = tau;
+  double seed = 0.0;
+  if (!ReadNumber(request, "seed", &found, &seed, &error)) {
+    return ErrorResponse(error);
+  }
+  if (found) plan.engine.seed = static_cast<std::uint64_t>(seed);
+  double mc_samples = 0.0;
+  if (!ReadNumber(request, "mc_samples", &found, &mc_samples, &error)) {
+    return ErrorResponse(error);
+  }
+  if (found) {
+    if (mc_samples < 1) return ErrorResponse("\"mc_samples\" must be >= 1");
+    plan.engine.mc_samples = static_cast<int>(mc_samples);
+  }
+  if (!ReadBool(request, "lazy", false, &plan.engine.lazy, &error) ||
+      !ReadBool(request, "with_trajectory", true, &plan.with_trajectory,
+                &error)) {
+    return ErrorResponse(error);
+  }
+
+  // The serialized section: one plan at a time per problem, because the
+  // session engine is single-writer.  Everything inside is deterministic
+  // for a fixed request multiset, so the counters the bench gates on do
+  // not depend on how client threads interleave.
+  std::optional<PlanResult> result;
+  std::int64_t requests_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry->run_mutex);
+    plan.session_engine = EngineFor(entry, plan.objective, plan.tau);
+    Stopwatch stopwatch;
+    result = planner_.TryPlan(plan, algo_name, &error);
+    double seconds = stopwatch.ElapsedSeconds();
+    if (result.has_value()) {
+      entry->latency.Record(seconds);
+      requests_after = ++entry->requests;
+      // Lifetime engine counters plus the service's own request count;
+      // engine-free algorithms report the request count alone.
+      result->stats.requests = requests_after;
+    }
+  }
+  if (!result.has_value()) return ErrorResponse(error);
+
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ok")
+      .Bool(true)
+      .Key("op")
+      .String("plan")
+      .Key("problem")
+      .String(name)
+      .Key("requests")
+      .Int(requests_after)
+      .Key("result");
+  result->WriteJson(writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string PlanningService::HandleLine(const std::string& line) {
+  std::string error;
+  std::optional<JsonValue> request = JsonValue::Parse(line, &error);
+  if (!request.has_value()) return ErrorResponse(error);
+  if (!request->is_object()) {
+    return ErrorResponse("request must be a JSON object");
+  }
+  std::string op;
+  if (!ReadString(*request, "op", &op, &error)) return ErrorResponse(error);
+  if (op == "register") return HandleRegister(*request);
+  if (op == "plan") return HandlePlan(*request);
+  if (op == "stats") {
+    // StatsJson is a complete JSON object; splice it in as the "stats"
+    // member value.
+    return "{\"ok\":true,\"op\":\"stats\",\"stats\":" + StatsJson() + "}";
+  }
+  if (op == "ping") {
+    return "{\"ok\":true,\"op\":\"ping\"}";
+  }
+  return ErrorResponse("unknown op \"" + op +
+                       "\" (register | plan | stats | ping)");
+}
+
+std::string PlanningService::StatsJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("problems").BeginArray();
+  std::int64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& [name, entry] : problems_) {
+      std::lock_guard<std::mutex> run_lock(entry->run_mutex);
+      total += entry->requests;
+      writer.BeginObject()
+          .Key("name")
+          .String(name)
+          .Key("objects")
+          .Int(entry->problem.size())
+          .Key("requests")
+          .Int(entry->requests);
+      writer.Key("latency")
+          .BeginObject()
+          .Key("count")
+          .Int(entry->latency.count())
+          .Key("p50_ms")
+          .Number(entry->latency.p50() * 1e3)
+          .Key("p99_ms")
+          .Number(entry->latency.p99() * 1e3)
+          .EndObject();
+      writer.Key("engines").BeginArray();
+      for (const auto& [key, engine] : entry->engines) {
+        const EngineStats& stats = engine->stats();
+        writer.BeginObject()
+            .Key("objective")
+            .String(key)
+            .Key("evaluations")
+            .Int(stats.evaluations)
+            .Key("cache_hits")
+            .Int(stats.cache_hits)
+            .Key("probes")
+            .Int(stats.probes)
+            .Key("commits")
+            .Int(stats.commits)
+            .EndObject();
+      }
+      writer.EndArray();
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Key("total_requests").Int(total).EndObject();
+  return writer.str();
+}
+
+std::int64_t PlanningService::total_requests() const {
+  std::int64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& [name, entry] : problems_) {
+    std::lock_guard<std::mutex> run_lock(entry->run_mutex);
+    total += entry->requests;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace factcheck

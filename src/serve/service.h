@@ -1,0 +1,139 @@
+// PlanningService: the long-lived planning core behind factcheck_serve.
+//
+// Every CLI entry point is one-shot — each plan re-parses the problem,
+// rebuilds the distribution planes, and starts a cold EvalEngine.  The
+// service inverts that: a problem is registered once (CSV + linear query
+// spec, the same convention as `factcheck_cli run`), and the service
+// keeps its CleaningProblem, lazily built DistPlanes, and one persistent
+// EvalEngine per objective hot, so the set-signature memo built by one
+// request answers the next one's probes from cache.
+//
+// Requests are single JSON objects, one per line (see HandleLine).
+// Supported operations:
+//
+//   {"op":"register","problem":NAME,"csv":CSV,
+//    "refs":[i,...]?, "coeffs":[a,...]?}
+//       -> {"ok":true,"op":"register","problem":NAME,"objects":n,
+//           "total_cost":C}
+//     refs/coeffs default to all objects with coefficient 1, exactly as
+//     the CLI does; re-registering a name is an error (a replaced
+//     problem would silently invalidate its engines' memos).
+//
+//   {"op":"plan","problem":NAME,"algo":ALGO,
+//    "budget":B | "budget_frac":F,
+//    "objective":"minvar"|"maxpr"?, "tau":T?, "lazy":BOOL?,
+//    "seed":N?, "mc_samples":N?, "with_trajectory":BOOL?}
+//       -> {"ok":true,"op":"plan","problem":NAME,"requests":N,
+//           "result":{...PlanResult JSON...}}
+//     Defaults mirror the CLI (`objective` falls back to the algorithm's
+//     native kind, trajectory on), so a plan response is bit-identical
+//     to the equivalent one-shot `factcheck_cli run --json` — the
+//     equivalence suite in tests/serve_test.cc pins this.
+//
+//   {"op":"stats"} -> {"ok":true,"op":"stats","stats":{...}}   (StatsJson)
+//   {"op":"ping"}  -> {"ok":true,"op":"ping"}
+//
+// Errors come back as {"ok":false,"error":DIAGNOSTIC}; the connection
+// stays usable.
+//
+// Concurrency: HandleLine is safe to call from any number of threads.
+// The registry map takes a short registry mutex; each problem owns a run
+// mutex that serializes plan execution on it, because the persistent
+// engines are single-writer by design (core/engine.h — the engine aborts
+// on concurrent API calls rather than corrupt its memo).  Distinct
+// problems plan fully in parallel.  Within one problem the serialization
+// is also what makes the counters deterministic: for a fixed request
+// multiset, total evaluations equal the number of distinct sets probed
+// and cache_hits equal probes minus that, independent of arrival order —
+// the service_scaling bench gates on exactly those counters.
+
+#ifndef FACTCHECK_SERVE_SERVICE_H_
+#define FACTCHECK_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query_function.h"
+#include "serve/stats.h"
+
+namespace factcheck {
+namespace serve {
+
+class JsonValue;
+
+class PlanningService {
+ public:
+  PlanningService() = default;
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  // Registers `csv` (data/problem_io.h format) under `name` with a linear
+  // query over `refs`/`coeffs` (empty: all objects / all ones).  Returns
+  // false and a diagnostic on malformed CSV, bad refs, or a duplicate
+  // name.
+  bool RegisterProblem(const std::string& name, const std::string& csv,
+                       std::vector<int> refs, std::vector<double> coeffs,
+                       std::string* error);
+
+  // Handles one line of the request protocol and returns the one-line
+  // JSON response (never throws, never aborts on malformed input).
+  std::string HandleLine(const std::string& line);
+
+  // The /stats document:
+  //   {"problems":[{"name":..,"objects":..,"requests":..,
+  //     "latency":{"count":..,"p50_ms":..,"p99_ms":..},
+  //     "engines":[{"objective":..,"evaluations":..,"cache_hits":..,
+  //                 "probes":..,"commits":..}]}],
+  //    "total_requests":..}
+  std::string StatsJson() const;
+
+  // Total successful plan requests across all problems (test hook).
+  std::int64_t total_requests() const;
+
+ private:
+  struct ProblemEntry {
+    std::string name;
+    CleaningProblem problem;
+    LinearQueryFunction query;
+    // Serializes plan execution on this problem: the persistent engines
+    // below are single-writer, and the serialized section is also where
+    // the request counter and latency histogram are updated.
+    std::mutex run_mutex;
+    // One engine per objective — "minvar", or "maxpr@<tau>" since the
+    // MaxPr objective bakes in the threshold.  The engine's retained
+    // objective captures `problem` and `query` by reference; entries are
+    // heap-allocated and immutable after registration, so the references
+    // stay valid for the service's lifetime.
+    std::map<std::string, std::unique_ptr<EvalEngine>> engines;
+    std::int64_t requests = 0;
+    LatencyHistogram latency;
+
+    ProblemEntry(std::string name_in, CleaningProblem problem_in,
+                 std::vector<int> refs, std::vector<double> coeffs)
+        : name(std::move(name_in)),
+          problem(std::move(problem_in)),
+          query(std::move(refs), std::move(coeffs)) {}
+  };
+
+  ProblemEntry* FindEntry(const std::string& name) const;
+  // Must hold entry->run_mutex.
+  EvalEngine* EngineFor(ProblemEntry* entry, ObjectiveKind kind, double tau);
+
+  std::string HandleRegister(const JsonValue& request);
+  std::string HandlePlan(const JsonValue& request);
+
+  Planner planner_;
+  mutable std::mutex registry_mutex_;  // guards problems_ (the map only —
+                                       // entries are stable unique_ptrs)
+  std::map<std::string, std::unique_ptr<ProblemEntry>> problems_;
+};
+
+}  // namespace serve
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SERVE_SERVICE_H_

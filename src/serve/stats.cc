@@ -1,0 +1,43 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace factcheck {
+namespace serve {
+namespace {
+
+// Bucket b spans (2^(b-1), 2^b] microseconds; bucket 0 is [0, 1us].
+int BucketFor(double seconds) {
+  double micros = seconds * 1e6;
+  if (!(micros > 1.0)) return 0;  // also catches NaN / negatives
+  int b = static_cast<int>(std::ceil(std::log2(micros)));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  ++buckets_[BucketFor(seconds)];
+  ++count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  FC_CHECK_GE(q, 0.0);
+  FC_CHECK_LE(q, 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the quantile sample, 1-based: ceil(q * count), at least 1.
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count_));
+  rank = std::max<std::int64_t>(rank, 1);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::ldexp(1.0, b) * 1e-6;
+  }
+  return std::ldexp(1.0, kBuckets - 1) * 1e-6;
+}
+
+}  // namespace serve
+}  // namespace factcheck

@@ -1,0 +1,46 @@
+// Latency accounting for the planning service: a fixed-bucket
+// logarithmic histogram cheap enough to update on every request, with
+// quantile readout for the /stats endpoint.
+//
+// Buckets are powers of two in microseconds (1us, 2us, ..., ~1.2h), so
+// the histogram is a fixed 44-slot array — no allocation per record, and
+// a quantile is a single counting pass.  A reported quantile is the
+// upper bound of the bucket the rank lands in, i.e. accurate to within
+// 2x, which is what a p50/p99 dashboard needs (exact latencies are never
+// deterministic anyway; the bench baselines gate only on counters).
+
+#ifndef FACTCHECK_SERVE_STATS_H_
+#define FACTCHECK_SERVE_STATS_H_
+
+#include <cstdint>
+#include <array>
+
+namespace factcheck {
+namespace serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 44;
+
+  // Records one request latency (negative values clamp to zero).
+  void Record(double seconds);
+
+  std::int64_t count() const { return count_; }
+
+  // Upper bound, in seconds, of the bucket holding the q-th quantile
+  // sample (0 <= q <= 1); 0 when empty.  q=0.5 / q=0.99 are the p50/p99
+  // the service exports.
+  double Quantile(double q) const;
+
+  double p50() const { return Quantile(0.50); }
+  double p99() const { return Quantile(0.99); }
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+};
+
+}  // namespace serve
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SERVE_STATS_H_

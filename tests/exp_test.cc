@@ -57,6 +57,8 @@ TEST(WorkloadRegistry, GoldenListWorkloads) {
       "greedy (--size)\n"
       "lnx_uniqueness             Fig 4: window-sum uniqueness on LNx "
       "(--gamma sweeps)\n"
+      "service_scaling            Serving gate: concurrent clients on one "
+      "warm engine\n"
       "smx_uniqueness             Fig 5: window-sum uniqueness on SMx "
       "(--gamma sweeps)\n"
       "urx_action                 Fig 9: in-action uniqueness on URx, "
@@ -199,7 +201,7 @@ TEST(ExperimentJson, SchemaKeys) {
         "\"wall_ms\":", "\"wall_ms_min\":", "\"wall_ms_mean\":",
         "\"evaluations\":", "\"cache_hits\":", "\"probes\":",
         "\"commits\":", "\"kernel_calls\":", "\"kernel_atoms\":",
-        "\"picked\":", "\"cost\":", "\"objective\":"}) {
+        "\"requests\":", "\"picked\":", "\"cost\":", "\"objective\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   EXPECT_NE(json.find("\"workload\":\"urx_uniqueness\""), std::string::npos);

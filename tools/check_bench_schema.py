@@ -17,7 +17,7 @@ CELL_KEYS = {
     "workload", "algo", "seed", "budget", "budget_fraction", "threads",
     "lazy", "repetitions", "wall_ms", "wall_ms_min", "wall_ms_mean",
     "evaluations", "cache_hits", "probes", "commits", "kernel_calls",
-    "kernel_atoms", "picked", "cost", "objective",
+    "kernel_atoms", "requests", "picked", "cost", "objective",
 }
 SPEC_KEYS = {
     "workload", "size", "gamma", "algorithms", "budget_fractions",

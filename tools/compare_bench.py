@@ -13,6 +13,12 @@ increase (> 0% regression) fails, as does a baseline cell with no
 matching current cell or a baseline counter the current cell dropped.
 Improvements and new cells are reported but pass.
 
+`cache_hits` and `requests` are exact-equality counters, gated when the
+baseline cell records a nonzero value: fewer cache hits means lost
+cross-request reuse (the serving regression this gate exists to catch)
+and MORE cache hits under identical evaluations means the workload
+changed shape, so any drift fails rather than just increases.
+
 Regenerate the checked-in baseline with the spec documented in README.md
 ("Perf baselines") whenever an intentional algorithmic change shifts the
 counters, and say so in the commit message.
@@ -25,6 +31,10 @@ COUNTERS = ("evaluations", "probes")
 # Gated only when the baseline cell records them (older baselines predate
 # the kernel layer); once gated, dropping the counter is itself a failure.
 OPTIONAL_COUNTERS = ("kernel_calls", "kernel_atoms")
+# Must match the baseline exactly (both directions are regressions), and
+# only gated when the baseline records a nonzero value — a zero means the
+# cell never exercised the serving/memo path.
+EXACT_COUNTERS = ("cache_hits", "requests")
 
 
 def cell_key(cell):
@@ -86,6 +96,15 @@ def main(argv):
             elif cur < base:
                 improvements += 1
                 print(f"improved  {key}: {counter} {base} -> {cur}")
+        for counter in EXACT_COUNTERS:
+            if int(base_cell.get(counter, 0) or 0) == 0:
+                continue
+            base = int(base_cell[counter])
+            cur = int(cur_cell.get(counter, 0) or 0)
+            if cur != base:
+                regressions.append(
+                    f"{key}: {counter} changed {base} -> {cur} "
+                    "(exact-match counter)")
     new_cells = set(current) - set(baseline)
     for key in sorted(new_cells):
         print(f"new cell  {key} (not gated; add to the baseline)")

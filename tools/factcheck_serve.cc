@@ -1,0 +1,174 @@
+// factcheck_serve: the long-lived planning daemon over serve/service.h.
+//
+// Serve mode binds a Unix-domain socket, optionally pre-registers CSV
+// problems, and answers line-delimited JSON requests until SIGINT /
+// SIGTERM.  Call mode is a one-shot client for scripting and smoke
+// checks.  See the README "factcheck_serve" section for the protocol.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/json.h"
+#include "util/parse.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage:\n"
+    "  factcheck_serve --socket PATH [--threads N]\n"
+    "                  [--problem NAME=FILE.csv ...]\n"
+    "      run the daemon until SIGINT/SIGTERM\n"
+    "  factcheck_serve call --socket PATH REQUEST_JSON [...]\n"
+    "      send one request line per argument, print one response line "
+    "each\n";
+
+bool Fail(const std::string& message) {
+  std::fprintf(stderr, "factcheck_serve: %s\n", message.c_str());
+  return false;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int CallMain(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> requests;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        Fail("--socket needs a value");
+        return 1;
+      }
+      socket_path = argv[++i];
+    } else {
+      requests.push_back(arg);
+    }
+  }
+  if (socket_path.empty() || requests.empty()) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  factcheck::serve::LineClient client;
+  std::string error;
+  if (!client.Connect(socket_path, &error)) {
+    Fail(error);
+    return 1;
+  }
+  for (const std::string& request : requests) {
+    std::string response;
+    if (!client.Call(request, &response, &error)) {
+      Fail(error);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+  }
+  return 0;
+}
+
+int ServeMain(int argc, char** argv) {
+  factcheck::serve::ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> preload;  // name -> path
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return Fail(arg + " needs a value");
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--socket") {
+      if (!next(&options.socket_path)) return 1;
+    } else if (arg == "--threads") {
+      std::int64_t threads;
+      if (!next(&value) || !factcheck::ParseInt64(value, &threads) ||
+          threads < 1 || threads > 256) {
+        Fail("--threads needs an integer in 1..256");
+        return 1;
+      }
+      options.threads = static_cast<int>(threads);
+    } else if (arg == "--problem") {
+      if (!next(&value)) return 1;
+      size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        Fail("--problem needs NAME=FILE.csv");
+        return 1;
+      }
+      preload.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      Fail("unknown flag " + arg);
+      std::fputs(kUsage, stderr);
+      return 1;
+    }
+  }
+  if (options.socket_path.empty()) {
+    Fail("--socket is required");
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+
+  factcheck::serve::PlanningService service;
+  for (const auto& [name, path] : preload) {
+    std::string csv, error;
+    if (!ReadFile(path, &csv)) {
+      Fail("cannot open " + path);
+      return 1;
+    }
+    if (!service.RegisterProblem(name, csv, {}, {}, &error)) {
+      Fail(path + ": " + error);
+      return 1;
+    }
+    std::fprintf(stderr, "factcheck_serve: registered \"%s\" from %s\n",
+                 name.c_str(), path.c_str());
+  }
+
+  // Block the termination signals before starting any thread, so every
+  // thread inherits the mask and only the sigwait below sees them.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  factcheck::serve::SocketServer server(&service, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    Fail(error);
+    return 1;
+  }
+  std::fprintf(stderr, "factcheck_serve: listening on %s (%d threads)\n",
+               options.socket_path.c_str(), options.threads);
+
+  int signal = 0;
+  sigwait(&signals, &signal);
+  std::fprintf(stderr, "factcheck_serve: signal %d, shutting down\n", signal);
+  server.Stop();
+  std::fprintf(stderr, "factcheck_serve: final stats %s\n",
+               service.StatsJson().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "call") {
+    return CallMain(argc - 2, argv + 2);
+  }
+  return ServeMain(argc - 1, argv + 1);
+}
