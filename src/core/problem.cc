@@ -1,7 +1,5 @@
 #include "core/problem.h"
 
-#include <mutex>
-
 #include "dist/planes.h"
 #include "util/check.h"
 
@@ -21,9 +19,16 @@ CleaningProblem::CleaningProblem(const CleaningProblem& other)
   // problem must be safe concurrently with other const readers (who may
   // be publishing the lazily built planes right now).  The copy shares
   // the snapshot — cheap and correct, since a later mutation resets only
-  // the mutated instance's pointer.
-  std::lock_guard<std::mutex> lock(other.planes_mutex_);
-  planes_cache_ = other.planes_cache_;
+  // the mutated instance's pointer.  Our own mutex is uncontended here
+  // (nobody else can see a half-constructed object) but taking it keeps
+  // the lock contract uniform for the analysis.
+  std::shared_ptr<const DistPlanes> snapshot;
+  {
+    fc::MutexLock lock(&other.planes_mutex_);
+    snapshot = other.planes_cache_;
+  }
+  fc::MutexLock self_lock(&planes_mutex_);
+  planes_cache_ = std::move(snapshot);
 }
 
 CleaningProblem& CleaningProblem::operator=(const CleaningProblem& other) {
@@ -31,26 +36,39 @@ CleaningProblem& CleaningProblem::operator=(const CleaningProblem& other) {
   objects_ = other.objects_;
   std::shared_ptr<const DistPlanes> snapshot;
   {
-    std::lock_guard<std::mutex> lock(other.planes_mutex_);
+    fc::MutexLock lock(&other.planes_mutex_);
     snapshot = other.planes_cache_;
   }
-  std::lock_guard<std::mutex> lock(planes_mutex_);
+  fc::MutexLock self_lock(&planes_mutex_);
   planes_cache_ = std::move(snapshot);
   return *this;
 }
 
 CleaningProblem::CleaningProblem(CleaningProblem&& other) noexcept
     : objects_(std::move(other.objects_)) {
-  // Moving requires external exclusivity on `other` (it is being gutted),
-  // so its mutex is not taken.
-  planes_cache_ = std::move(other.planes_cache_);
+  // Moving requires external exclusivity on `other` (it is being gutted);
+  // the mutexes are uncontended by contract and taken only so the cache
+  // handoff satisfies the same machine-checked discipline as every other
+  // planes_cache_ access.
+  std::shared_ptr<const DistPlanes> snapshot;
+  {
+    fc::MutexLock lock(&other.planes_mutex_);
+    snapshot = std::move(other.planes_cache_);
+  }
+  fc::MutexLock self_lock(&planes_mutex_);
+  planes_cache_ = std::move(snapshot);
 }
 
 CleaningProblem& CleaningProblem::operator=(CleaningProblem&& other) noexcept {
   if (this == &other) return *this;
   objects_ = std::move(other.objects_);
-  std::lock_guard<std::mutex> lock(planes_mutex_);
-  planes_cache_ = std::move(other.planes_cache_);
+  std::shared_ptr<const DistPlanes> snapshot;
+  {
+    fc::MutexLock lock(&other.planes_mutex_);
+    snapshot = std::move(other.planes_cache_);
+  }
+  fc::MutexLock self_lock(&planes_mutex_);
+  planes_cache_ = std::move(snapshot);
   return *this;
 }
 
@@ -106,7 +124,7 @@ void CleaningProblem::Clean(int i, double v) {
   // The cache reset must synchronize with planes_ptr(): a reader holding
   // the mutex either sees the old snapshot (still valid — snapshots are
   // immutable) or the cleared pointer, never a torn shared_ptr.
-  std::lock_guard<std::mutex> lock(planes_mutex_);
+  fc::MutexLock lock(&planes_mutex_);
   planes_cache_.reset();
 }
 
@@ -114,7 +132,7 @@ void CleaningProblem::ReplaceDistribution(int i, DiscreteDistribution dist) {
   FC_CHECK_GE(i, 0);
   FC_CHECK_LT(i, size());
   objects_[i].dist = std::move(dist);
-  std::lock_guard<std::mutex> lock(planes_mutex_);
+  fc::MutexLock lock(&planes_mutex_);
   planes_cache_.reset();
 }
 
@@ -124,7 +142,7 @@ std::shared_ptr<const DistPlanes> CleaningProblem::planes_ptr() const {
   // threads (unrelated problems never contend).  Publishing through the
   // shared_ptr under the lock keeps readers from observing a half-built
   // store; the same lock orders the resets in Clean/ReplaceDistribution.
-  std::lock_guard<std::mutex> lock(planes_mutex_);
+  fc::MutexLock lock(&planes_mutex_);
   if (planes_cache_ == nullptr) {
     std::vector<const DiscreteDistribution*> dists;
     dists.reserve(objects_.size());

@@ -7,10 +7,10 @@
 #define FACTCHECK_CORE_PROBLEM_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/object.h"
+#include "util/annotations.h"
 
 namespace factcheck {
 
@@ -80,17 +80,19 @@ class CleaningProblem {
   const DistPlanes& planes() const;
   // Same snapshot with shared ownership, for holders that must outlive
   // later mutations of this problem (e.g. ClaimEvEvaluator).
-  std::shared_ptr<const DistPlanes> planes_ptr() const;
+  std::shared_ptr<const DistPlanes> planes_ptr() const
+      FC_EXCLUDES(planes_mutex_);
 
  private:
   std::vector<UncertainObject> objects_;
   // Guards planes_cache_ — lazy build on const instances shared across
   // threads, and the resets in Clean/ReplaceDistribution.  Per instance,
   // so unrelated problems never serialize on each other's builds.
-  mutable std::mutex planes_mutex_;
+  mutable fc::Mutex planes_mutex_;
   // Copies share the cache snapshot (cheap, correct: mutation resets only
   // the mutated instance's pointer).
-  mutable std::shared_ptr<const DistPlanes> planes_cache_;
+  mutable std::shared_ptr<const DistPlanes> planes_cache_
+      FC_GUARDED_BY(planes_mutex_);
 };
 
 }  // namespace factcheck

@@ -65,7 +65,8 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
   }
   // Renormalize the kept mass (a no-op when nothing was dropped beyond
   // floating-point dust).
-  double kept = std::accumulate(probs_.begin(), probs_.end(), 0.0);
+  double kept = 0.0;
+  for (double p : probs_) kept += p;  // first-to-last, bit-deterministic
   if (kept != 1.0) {
     for (double& p : probs_) p /= kept;
   }

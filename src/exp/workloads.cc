@@ -628,9 +628,9 @@ Workload BuildRatioWorkload(const std::string& name,
        .summary = "incremental ratio-claim greedy (fresh evaluator per run)",
        .objective = ObjectiveKind::kMinVar,
        .run = [problem, context, claimed](const PlanContext& ctx) {
-         RatioEvEvaluator evaluator(problem.get(), context.get(),
-                                    QualityMeasure::kDuplicity, claimed);
-         return evaluator.GreedyMinVar(ctx.request.budget);
+         RatioEvEvaluator fresh(problem.get(), context.get(),
+                                QualityMeasure::kDuplicity, claimed);
+         return fresh.GreedyMinVar(ctx.request.budget);
        }});
   return w;
 }
@@ -741,9 +741,9 @@ Workload MakeClaimsWorkload(std::string name,
        .objective = ObjectiveKind::kMinVar,
        .run = [problem, context, measure, reference,
                direction](const PlanContext& ctx) {
-         ClaimEvEvaluator evaluator(problem.get(), context.get(), measure,
-                                    reference, direction);
-         return evaluator.GreedyMinVar(ctx.request.budget, ctx.greedy);
+         ClaimEvEvaluator fresh(problem.get(), context.get(), measure,
+                                reference, direction);
+         return fresh.GreedyMinVar(ctx.request.budget, ctx.greedy);
        }});
   // The same greedy pinned to the legacy AoS data path: the bit-identity
   // oracle for the SoA kernels and the "before" column of the planes
@@ -754,10 +754,10 @@ Workload MakeClaimsWorkload(std::string name,
        .objective = ObjectiveKind::kMinVar,
        .run = [problem, context, measure, reference,
                direction](const PlanContext& ctx) {
-         ClaimEvEvaluator evaluator(problem.get(), context.get(), measure,
-                                    reference, direction,
-                                    /*use_planes=*/false);
-         return evaluator.GreedyMinVar(ctx.request.budget, ctx.greedy);
+         ClaimEvEvaluator fresh(problem.get(), context.get(), measure,
+                                reference, direction,
+                                /*use_planes=*/false);
+         return fresh.GreedyMinVar(ctx.request.budget, ctx.greedy);
        }});
   return w;
 }

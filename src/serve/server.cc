@@ -121,7 +121,7 @@ void SocketServer::AcceptLoop() {
       break;  // listener closed by Stop(), or a hard error
     }
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      fc::MutexLock lock(&connections_mutex_);
       if (stopping_.load()) {
         ::close(fd);
         break;
@@ -143,7 +143,7 @@ void SocketServer::ServeConnection(int fd) {
     if (!WriteAll(fd, response)) break;
   }
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    fc::MutexLock lock(&connections_mutex_);
     connections_.erase(fd);
   }
   ::close(fd);
@@ -156,7 +156,7 @@ void SocketServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    fc::MutexLock lock(&connections_mutex_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();

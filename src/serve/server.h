@@ -19,12 +19,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "util/annotations.h"
 #include "util/thread_pool.h"
 
 namespace factcheck {
@@ -57,17 +57,19 @@ class SocketServer {
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  void AcceptLoop() FC_EXCLUDES(connections_mutex_);
+  void ServeConnection(int fd) FC_EXCLUDES(connections_mutex_);
 
   PlanningService* service_;
   ServerOptions options_;
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;  // written by Start/Stop only (caller-serialized)
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
-  std::mutex connections_mutex_;
-  std::set<int> connections_;
+  // Guards the live-connection set shared by the accept loop, the
+  // handler tasks (which erase themselves), and Stop's shutdown sweep.
+  fc::Mutex connections_mutex_;
+  std::set<int> connections_ FC_GUARDED_BY(connections_mutex_);
 };
 
 // Blocking client for the protocol above: connects, sends one line per

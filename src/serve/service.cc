@@ -103,7 +103,7 @@ bool PlanningService::RegisterProblem(const std::string& name,
   }
   auto entry = std::make_unique<ProblemEntry>(
       name, std::move(*problem), std::move(refs), std::move(coeffs));
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  fc::MutexLock lock(&registry_mutex_);
   auto [it, inserted] = problems_.try_emplace(name, std::move(entry));
   if (!inserted) {
     if (error != nullptr) {
@@ -118,7 +118,7 @@ bool PlanningService::RegisterProblem(const std::string& name,
 
 PlanningService::ProblemEntry* PlanningService::FindEntry(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  fc::MutexLock lock(&registry_mutex_);
   auto it = problems_.find(name);
   return it == problems_.end() ? nullptr : it->second.get();
 }
@@ -281,7 +281,7 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
   std::optional<PlanResult> result;
   std::int64_t requests_after = 0;
   {
-    std::lock_guard<std::mutex> lock(entry->run_mutex);
+    fc::MutexLock lock(&entry->run_mutex);
     plan.session_engine = EngineFor(entry, plan.objective, plan.tau);
     Stopwatch stopwatch;
     result = planner_.TryPlan(plan, algo_name, &error);
@@ -341,13 +341,14 @@ std::string PlanningService::StatsJson() const {
   writer.Key("problems").BeginArray();
   std::int64_t total = 0;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    for (const auto& [name, entry] : problems_) {
-      std::lock_guard<std::mutex> run_lock(entry->run_mutex);
+    fc::MutexLock lock(&registry_mutex_);
+    for (const auto& kv : problems_) {
+      ProblemEntry* entry = kv.second.get();
+      fc::MutexLock run_lock(&entry->run_mutex);
       total += entry->requests;
       writer.BeginObject()
           .Key("name")
-          .String(name)
+          .String(kv.first)
           .Key("objects")
           .Int(entry->problem.size())
           .Key("requests")
@@ -388,9 +389,10 @@ std::string PlanningService::StatsJson() const {
 
 std::int64_t PlanningService::total_requests() const {
   std::int64_t total = 0;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  for (const auto& [name, entry] : problems_) {
-    std::lock_guard<std::mutex> run_lock(entry->run_mutex);
+  fc::MutexLock lock(&registry_mutex_);
+  for (const auto& kv : problems_) {
+    ProblemEntry* entry = kv.second.get();
+    fc::MutexLock run_lock(&entry->run_mutex);
     total += entry->requests;
   }
   return total;

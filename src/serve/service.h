@@ -53,13 +53,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/planner.h"
 #include "core/query_function.h"
 #include "serve/stats.h"
+#include "util/annotations.h"
 
 namespace factcheck {
 namespace serve {
@@ -98,20 +98,24 @@ class PlanningService {
  private:
   struct ProblemEntry {
     std::string name;
+    // `problem` and `query` are immutable after registration (the
+    // engines' objectives hold references into them), so they carry no
+    // lock annotation — concurrent const reads are the contract.
     CleaningProblem problem;
     LinearQueryFunction query;
     // Serializes plan execution on this problem: the persistent engines
     // below are single-writer, and the serialized section is also where
     // the request counter and latency histogram are updated.
-    std::mutex run_mutex;
+    fc::Mutex run_mutex;
     // One engine per objective — "minvar", or "maxpr@<tau>" since the
     // MaxPr objective bakes in the threshold.  The engine's retained
     // objective captures `problem` and `query` by reference; entries are
     // heap-allocated and immutable after registration, so the references
     // stay valid for the service's lifetime.
-    std::map<std::string, std::unique_ptr<EvalEngine>> engines;
-    std::int64_t requests = 0;
-    LatencyHistogram latency;
+    std::map<std::string, std::unique_ptr<EvalEngine>> engines
+        FC_GUARDED_BY(run_mutex);
+    std::int64_t requests FC_GUARDED_BY(run_mutex) = 0;
+    LatencyHistogram latency;  // internally synchronized (serve/stats.h)
 
     ProblemEntry(std::string name_in, CleaningProblem problem_in,
                  std::vector<int> refs, std::vector<double> coeffs)
@@ -120,17 +124,20 @@ class PlanningService {
           query(std::move(refs), std::move(coeffs)) {}
   };
 
-  ProblemEntry* FindEntry(const std::string& name) const;
-  // Must hold entry->run_mutex.
-  EvalEngine* EngineFor(ProblemEntry* entry, ObjectiveKind kind, double tau);
+  ProblemEntry* FindEntry(const std::string& name) const
+      FC_EXCLUDES(registry_mutex_);
+  EvalEngine* EngineFor(ProblemEntry* entry, ObjectiveKind kind, double tau)
+      FC_REQUIRES(entry->run_mutex);
 
   std::string HandleRegister(const JsonValue& request);
   std::string HandlePlan(const JsonValue& request);
 
   Planner planner_;
-  mutable std::mutex registry_mutex_;  // guards problems_ (the map only —
-                                       // entries are stable unique_ptrs)
-  std::map<std::string, std::unique_ptr<ProblemEntry>> problems_;
+  // Guards problems_ (the map only — entries are stable unique_ptrs, so a
+  // ProblemEntry* stays valid after the lock drops).
+  mutable fc::Mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<ProblemEntry>> problems_
+      FC_GUARDED_BY(registry_mutex_);
 };
 
 }  // namespace serve

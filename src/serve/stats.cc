@@ -20,16 +20,27 @@ int BucketFor(double seconds) {
 }  // namespace
 
 void LatencyHistogram::Record(double seconds) {
-  ++buckets_[BucketFor(seconds)];
+  const int bucket = BucketFor(seconds);
+  fc::MutexLock lock(&mu_);
+  ++buckets_[bucket];
   ++count_;
+}
+
+std::int64_t LatencyHistogram::count() const {
+  fc::MutexLock lock(&mu_);
+  return count_;
 }
 
 double LatencyHistogram::Quantile(double q) const {
   FC_CHECK_GE(q, 0.0);
   FC_CHECK_LE(q, 1.0);
+  fc::MutexLock lock(&mu_);
   if (count_ == 0) return 0.0;
   // Rank of the quantile sample, 1-based: ceil(q * count), at least 1.
-  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count_));
+  // Explicit widening: int64 -> double is exact for every count below
+  // 2^53, and the quantile is bucket-resolution anyway.
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
   rank = std::max<std::int64_t>(rank, 1);
   std::int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {

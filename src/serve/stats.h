@@ -15,29 +15,40 @@
 #include <cstdint>
 #include <array>
 
+#include "util/annotations.h"
+
 namespace factcheck {
 namespace serve {
 
+// Internally synchronized: Record and the readers take a per-histogram
+// fc::Mutex, so a histogram is safe to share across recording threads on
+// its own.  (The service additionally updates it inside each problem's
+// run-mutex section; the inner lock is uncontended there.)
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 44;
 
-  // Records one request latency (negative values clamp to zero).
-  void Record(double seconds);
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
 
-  std::int64_t count() const { return count_; }
+  // Records one request latency (negative values clamp to zero).
+  void Record(double seconds) FC_EXCLUDES(mu_);
+
+  std::int64_t count() const FC_EXCLUDES(mu_);
 
   // Upper bound, in seconds, of the bucket holding the q-th quantile
   // sample (0 <= q <= 1); 0 when empty.  q=0.5 / q=0.99 are the p50/p99
   // the service exports.
-  double Quantile(double q) const;
+  double Quantile(double q) const FC_EXCLUDES(mu_);
 
   double p50() const { return Quantile(0.50); }
   double p99() const { return Quantile(0.99); }
 
  private:
-  std::array<std::int64_t, kBuckets> buckets_{};
-  std::int64_t count_ = 0;
+  mutable fc::Mutex mu_;
+  std::array<std::int64_t, kBuckets> buckets_ FC_GUARDED_BY(mu_){};
+  std::int64_t count_ FC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

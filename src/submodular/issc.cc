@@ -141,7 +141,8 @@ std::vector<int> MinimizeSubmodularCover(const SetFunction& g,
 Selection BestMinVar(const SetObjective& ev, const std::vector<double>& costs,
                      double budget, const IsscOptions& options) {
   int n = static_cast<int>(costs.size());
-  double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  double total = 0.0;
+  for (double c : costs) total += c;  // first-to-last, bit-deterministic
   Selection sel;
   if (budget >= total) {  // clean everything
     for (int i = 0; i < n; ++i) sel.cleaned.push_back(i);

@@ -1,0 +1,151 @@
+// Clang Thread Safety Analysis annotations and the annotated mutex
+// wrappers the project locks with.
+//
+// The FC_* macros expand to Clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) under Clang and
+// to nothing elsewhere, so GCC/MSVC builds see plain declarations.  The
+// Clang build compiles with -Werror=thread-safety (see CMakeLists.txt),
+// which turns every lock contract written with these macros into a
+// compile-time check: an unguarded read of an FC_GUARDED_BY field, a call
+// to an FC_REQUIRES function without the lock, or a forgotten release is
+// a build break, not a TSan lottery ticket.  PR 7's bugs (the unguarded
+// planes cache, the cross-thread engine writer) are exactly the class
+// this bans.
+//
+// Lock vocabulary:
+//   * fc::Mutex       — std::mutex with the `capability` attribute; the
+//                       only mutex type the library declares.
+//   * fc::MutexLock   — scoped lock (the project's RAII idiom; analysis
+//                       knows acquisition ends at scope exit).
+//   * fc::CondVar     — condition variable whose Wait requires the mutex,
+//                       so predicate state stays provably guarded.
+//
+// Style: annotate the *data* (FC_GUARDED_BY on fields) first; annotate
+// functions (FC_REQUIRES/FC_EXCLUDES) only where a lock is part of the
+// caller contract.  FC_NO_THREAD_SAFETY_ANALYSIS is a last resort and
+// must carry a comment explaining the external exclusivity argument.
+
+#ifndef FACTCHECK_UTIL_ANNOTATIONS_H_
+#define FACTCHECK_UTIL_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define FC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define FC_THREAD_ANNOTATION__(x)  // no-op on GCC / MSVC
+#endif
+
+// On types: this class is a lockable capability / a scoped lock.
+#define FC_CAPABILITY(x) FC_THREAD_ANNOTATION__(capability(x))
+#define FC_SCOPED_CAPABILITY FC_THREAD_ANNOTATION__(scoped_lockable)
+
+// On data members: reads and writes require the capability (the pointee,
+// for FC_PT_GUARDED_BY).
+#define FC_GUARDED_BY(x) FC_THREAD_ANNOTATION__(guarded_by(x))
+#define FC_PT_GUARDED_BY(x) FC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// On functions: caller must hold / must not hold the capability.
+#define FC_REQUIRES(...) \
+  FC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define FC_REQUIRES_SHARED(...) \
+  FC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define FC_EXCLUDES(...) FC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// On functions: this function acquires / releases the capability.
+#define FC_ACQUIRE(...) \
+  FC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define FC_ACQUIRE_SHARED(...) \
+  FC_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define FC_RELEASE(...) \
+  FC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define FC_RELEASE_SHARED(...) \
+  FC_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define FC_TRY_ACQUIRE(...) \
+  FC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Lock-ordering documentation (checked under -Wthread-safety-beta).
+#define FC_ACQUIRED_BEFORE(...) \
+  FC_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define FC_ACQUIRED_AFTER(...) \
+  FC_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// On functions returning a reference to a capability-guarded object.
+#define FC_RETURN_CAPABILITY(x) FC_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch; every use must document why exclusivity holds anyway.
+#define FC_NO_THREAD_SAFETY_ANALYSIS \
+  FC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace fc {
+
+class CondVar;
+
+// std::mutex carrying the `capability` attribute so Clang can track what
+// it protects.  Same cost, same semantics; Lock/Unlock naming follows the
+// Google style the rest of the library uses.
+class FC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FC_ACQUIRE() { mu_.lock(); }
+  void Unlock() FC_RELEASE() { mu_.unlock(); }
+  bool TryLock() FC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() needs the wrapped std::mutex
+  std::mutex mu_;
+};
+
+// RAII lock over fc::Mutex — the project's only locking idiom (manual
+// Lock/Unlock pairs don't survive early returns).  SCOPED_CAPABILITY
+// tells the analysis the capability is held exactly for this object's
+// lifetime.
+class FC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() FC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to fc::Mutex.  Wait requires the mutex, so
+// the predicate loop around it reads FC_GUARDED_BY state with the
+// analysis watching:
+//
+//   fc::MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+//
+// (Callers write the `while` themselves — a predicate lambda would be
+// analyzed as a separate function and lose the lock context.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires it before
+  // returning; may wake spuriously (hence the `while`).
+  void Wait(Mutex* mu) FC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fc
+
+#endif  // FACTCHECK_UTIL_ANNOTATIONS_H_

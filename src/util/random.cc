@@ -40,7 +40,8 @@ bool Rng::Bernoulli(double p) {
 
 int Rng::Categorical(const std::vector<double>& weights) {
   FC_CHECK(!weights.empty());
-  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double total = 0.0;
+  for (double w : weights) total += w;  // first-to-last, bit-deterministic
   FC_CHECK_GT(total, 0.0);
   double r = Uniform(0.0, total);
   double acc = 0.0;

@@ -12,14 +12,14 @@
 #ifndef FACTCHECK_UTIL_THREAD_POOL_H_
 #define FACTCHECK_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace factcheck {
 
@@ -55,14 +55,14 @@ class ThreadPool {
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
  private:
-  void Enqueue(std::function<void()> task);
-  void Worker();
+  void Enqueue(std::function<void()> task) FC_EXCLUDES(mu_);
+  void Worker() FC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  fc::Mutex mu_;
+  fc::CondVar cv_;
+  std::deque<std::function<void()>> queue_ FC_GUARDED_BY(mu_);
+  bool stop_ FC_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written only in ctor/dtor
 };
 
 }  // namespace factcheck

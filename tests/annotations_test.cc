@@ -1,0 +1,154 @@
+// Tests for src/util/annotations.h: the fc::Mutex / fc::MutexLock /
+// fc::CondVar wrappers and the FC_* capability macros.
+//
+// Two things are under test.  (1) Runtime semantics: the wrappers are
+// real locks — mutual exclusion, TryLock contention, condition-variable
+// handoff.  (2) Compile-time portability: this file uses every macro the
+// project's annotated classes use, so building the suite on GCC (macros
+// expand to nothing) and on Clang (full thread-safety analysis under
+// -Werror=thread-safety) proves both paths accept the vocabulary.  The
+// matching *negative* check — that Clang actually rejects an unguarded
+// access — is the try_compile gate in CMakeLists.txt over
+// tests/negative/unguarded_access.cc.
+
+#include "util/annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// A guarded counter exercising the field + function annotation surface:
+// GUARDED_BY data, REQUIRES/EXCLUDES/ACQUIRE/RELEASE contracts, and a
+// capability-typed member.
+class GuardedCounter {
+ public:
+  void Increment() FC_EXCLUDES(mu_) {
+    fc::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  void IncrementLocked() FC_REQUIRES(mu_) { ++value_; }
+
+  void Lock() FC_ACQUIRE(mu_) { mu_.Lock(); }
+  void Unlock() FC_RELEASE(mu_) { mu_.Unlock(); }
+
+  int value() const FC_EXCLUDES(mu_) {
+    fc::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable fc::Mutex mu_;
+  int value_ FC_GUARDED_BY(mu_) = 0;
+};
+
+TEST(Annotations, MutexLockProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(Annotations, RequiresContractWorksWithManualAcquire) {
+  GuardedCounter counter;
+  counter.Lock();
+  counter.IncrementLocked();
+  counter.IncrementLocked();
+  counter.Unlock();
+  EXPECT_EQ(counter.value(), 2);
+}
+
+TEST(Annotations, TryLockReportsContention) {
+  fc::Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // A second owner must be refused while we hold the lock; probe from
+  // another thread because relocking a held std::mutex from the owning
+  // thread is undefined.
+  bool second = true;
+  std::thread probe([&mu, &second] {
+    second = mu.TryLock();
+    if (second) mu.Unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+// The ThreadPool wait idiom: a manual predicate loop around CondVar::Wait
+// with the guarded state read inside the MutexLock scope.
+class Gate {
+ public:
+  void Open() FC_EXCLUDES(mu_) {
+    {
+      fc::MutexLock lock(&mu_);
+      open_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  void Await() FC_EXCLUDES(mu_) {
+    fc::MutexLock lock(&mu_);
+    while (!open_) cv_.Wait(&mu_);
+  }
+
+ private:
+  fc::Mutex mu_;
+  fc::CondVar cv_;
+  bool open_ FC_GUARDED_BY(mu_) = false;
+};
+
+TEST(Annotations, CondVarWakesAllWaiters) {
+  Gate gate;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&gate] { gate.Await(); });
+  }
+  gate.Open();
+  for (std::thread& t : waiters) t.join();  // hangs = failure (test timeout)
+  SUCCEED();
+}
+
+// FC_PT_GUARDED_BY, FC_ACQUIRED_AFTER, and FC_RETURN_CAPABILITY are the
+// remaining macros the annotated classes may grow into; instantiating
+// them here keeps both compiler paths honest about the whole vocabulary.
+class VocabularyCheck {
+ public:
+  fc::Mutex& mu() FC_RETURN_CAPABILITY(mu_) { return mu_; }
+  void SetBoth() FC_EXCLUDES(mu_, inner_) {
+    fc::MutexLock outer(&mu_);
+    fc::MutexLock inner(&inner_);
+    *heap_flag_ = true;
+    flag_ = true;
+  }
+
+ private:
+  fc::Mutex mu_;
+  fc::Mutex inner_ FC_ACQUIRED_AFTER(mu_);
+  bool flag_ FC_GUARDED_BY(inner_) = false;
+  std::unique_ptr<bool> heap_flag_ FC_PT_GUARDED_BY(mu_) =
+      std::make_unique<bool>(false);
+};
+
+TEST(Annotations, VocabularyCompilesOnThisCompiler) {
+  VocabularyCheck check;
+  check.SetBoth();
+  check.mu().Lock();
+  check.mu().Unlock();
+}
+
+}  // namespace

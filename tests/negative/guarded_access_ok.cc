@@ -1,0 +1,29 @@
+// Positive control for the negative-compile thread-safety gate: the same
+// counter as tests/negative/unguarded_access.cc with the lock taken.
+// This file must COMPILE under -Werror=thread-safety; if it does not,
+// the gate's toolchain setup (include path, flags) is broken and the
+// "expected failure" of the negative fixture proves nothing.
+
+#include "util/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    fc::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  fc::Mutex mu_;
+  int value_ FC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

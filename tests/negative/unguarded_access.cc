@@ -1,0 +1,31 @@
+// Negative-compile fixture for the thread-safety gate (CMakeLists.txt
+// runs this through try_compile with -Werror=thread-safety on Clang and
+// REQUIRES the build to FAIL): the unguarded increment below reads and
+// writes an FC_GUARDED_BY field without holding its mutex — the exact
+// shape of PR 7's planes-cache bug.  If this file ever compiles under
+// the Clang gate, the analysis is off and the configure step aborts.
+//
+// tests/negative/guarded_access_ok.cc is the matching positive control,
+// so a failure here can't be blamed on a broken include path.
+
+#include "util/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (on purpose): touches value_ without mu_.
+  void Increment() { ++value_; }
+
+ private:
+  fc::Mutex mu_;
+  int value_ FC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -129,7 +129,8 @@ TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
 
 TEST(StopwatchTest, ResetRestarts) {
   Stopwatch sw;
-  for (volatile int i = 0; i < 100000; ++i) {
+  // `i = i + 1`, not `++i`: increment of a volatile is deprecated in C++20.
+  for (volatile int i = 0; i < 100000; i = i + 1) {
   }
   double before = sw.ElapsedSeconds();
   sw.Reset();

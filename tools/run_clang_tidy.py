@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Drive clang-tidy over the project's compile database.
+
+Usage:
+    tools/run_clang_tidy.py -p BUILD_DIR [--jobs N] [--filter REGEX]
+                            [--clang-tidy BIN] [--fix] [PATHS...]
+
+Reads BUILD_DIR/compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON), keeps the translation units under
+src/ (or the given PATHS), runs clang-tidy on them in parallel with the
+checked-in .clang-tidy config, and exits nonzero if any diagnostic is
+emitted — the config promotes all warnings to errors, so "tidy-clean" is
+a hard gate, not a report.
+
+The binary is resolved from --clang-tidy, $CLANG_TIDY, or the first
+versioned/unversioned clang-tidy on PATH.  A missing binary is an error
+(exit 3): the CI static-analysis job installs one, and a silent skip
+would let the gate rot.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+CANDIDATE_BINARIES = ["clang-tidy"] + [
+    f"clang-tidy-{version}" for version in range(21, 13, -1)
+]
+
+
+def find_clang_tidy(explicit):
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("CLANG_TIDY"):
+        candidates.append(os.environ["CLANG_TIDY"])
+    candidates.extend(CANDIDATE_BINARIES)
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.stderr.write(
+            f"run_clang_tidy: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON\n"
+        )
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def select_sources(entries, repo_root, wanted_paths):
+    """Absolute paths of TUs under any of wanted_paths (repo-relative)."""
+    wanted = [os.path.normpath(os.path.join(repo_root, p)) for p in wanted_paths]
+    sources = set()
+    for entry in entries:
+        source = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if any(
+            source == root or source.startswith(root + os.sep)
+            for root in wanted
+        ):
+            sources.add(source)
+    return sorted(sources)
+
+
+def run_one(binary, build_dir, source, fix):
+    cmd = [binary, "-p", build_dir, "--quiet"]
+    if fix:
+        cmd.append("--fix")
+    cmd.append(source)
+    proc = subprocess.run(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        check=False,
+    )
+    # clang-tidy prints "N warnings generated." noise on stderr even for
+    # clean runs; diagnostics proper go to stdout.  Keep stderr lines that
+    # are not the boilerplate so real driver errors stay visible.
+    stderr = "\n".join(
+        line
+        for line in proc.stderr.splitlines()
+        if line.strip()
+        and not re.match(r"^\d+ warnings? generated\.?$", line.strip())
+        and "Suppressed" not in line
+        and "non-user code" not in line
+    )
+    return source, proc.returncode, proc.stdout.strip(), stderr.strip()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", required=True)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--filter", default=None,
+                        help="only TUs whose path matches this regex")
+    parser.add_argument("--clang-tidy", default=None)
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes in place")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="repo-relative roots to lint (default: src)")
+    args = parser.parse_args()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        sys.stderr.write(
+            "run_clang_tidy: no clang-tidy binary found (tried --clang-tidy, "
+            "$CLANG_TIDY, PATH); install clang-tidy or point me at one\n"
+        )
+        sys.exit(3)
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    entries = load_compile_db(args.build_dir)
+    sources = select_sources(entries, repo_root, args.paths or ["src"])
+    if args.filter:
+        pattern = re.compile(args.filter)
+        sources = [s for s in sources if pattern.search(s)]
+    if not sources:
+        sys.stderr.write("run_clang_tidy: no matching translation units\n")
+        sys.exit(2)
+
+    print(f"run_clang_tidy: {binary} over {len(sources)} TUs "
+          f"({args.jobs} jobs)")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, binary, args.build_dir, source, args.fix)
+            for source in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            source, returncode, stdout, stderr = future.result()
+            rel = os.path.relpath(source, repo_root)
+            if returncode != 0 or stdout:
+                failures += 1
+                print(f"== {rel}: NOT CLEAN")
+                if stdout:
+                    print(stdout)
+                if stderr:
+                    print(stderr, file=sys.stderr)
+
+    if failures:
+        print(f"run_clang_tidy: {failures}/{len(sources)} TUs with "
+              "diagnostics")
+        return 1
+    print(f"run_clang_tidy: clean ({len(sources)} TUs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
