@@ -118,6 +118,7 @@ ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
           g_planes_enabled.load(std::memory_order_relaxed))) {
   FC_CHECK(problem_ != nullptr);
   FC_CHECK(context_ != nullptr);
+  seen_epoch_ = problem_->epoch();
   int m = context_->size();
   int n = problem_->size();
   claim_components_.resize(m);
@@ -237,6 +238,107 @@ ClaimEvEvaluator::ClaimEvEvaluator(const CleaningProblem* problem,
 double ClaimEvEvaluator::Transform(int k, double q) const {
   return QualityTransform(measure_, q, reference_,
                           context_->sensibilities[k], direction_);
+}
+
+void ClaimEvEvaluator::RefreshIfStale() const {
+  const std::uint64_t now = problem_->epoch();
+  if (now == seen_epoch_) return;
+  CleaningProblem::ProblemChanges changes;
+  const bool covered = problem_->ChangesSince(seen_epoch_, &changes);
+  seen_epoch_ = now;
+  if (!covered || changes.structure_changed) {
+    RefreshStructure();
+    RefreshAllTerms();
+    return;
+  }
+  if (!changes.dist_changed.empty()) RefreshObjects(changes.dist_changed);
+  // Value/cost-only changes invalidate nothing: EVar/ECov terms integrate
+  // only over the error distributions (the reference is pinned at
+  // construction by contract).
+}
+
+void ClaimEvEvaluator::RefreshStructure() const {
+  const int n = problem_->size();
+  const int old_n = static_cast<int>(object_claims_.size());
+  for (int i = n; i < old_n; ++i) {
+    // Removal is only legal while no claim references the object —
+    // otherwise the fixed claim structure would point past the end.
+    FC_CHECK(object_claims_[i].empty());
+    FC_CHECK(object_pairs_[i].empty());
+  }
+  object_claims_.resize(n);
+  object_pairs_.resize(n);
+  if (!term_inc_offset_.empty()) {
+    // Objects added at the tail carry no incidences, so growing repeats
+    // the terminal offset; shrinking truncates rows that (checked above)
+    // contributed no entries.
+    const int term_tail = term_inc_offset_.back();
+    const int pair_tail = pair_inc_offset_.back();
+    term_inc_offset_.resize(n + 1, term_tail);
+    pair_inc_offset_.resize(n + 1, pair_tail);
+  }
+}
+
+void ClaimEvEvaluator::RefreshAllTerms() const {
+  for (auto& c : evar_cache_) c.clear();
+  for (auto& c : ecov_cache_) c.clear();
+  for (auto& c : evar_flat_cache_) {
+    c.value.clear();
+    c.present.clear();
+  }
+  for (auto& c : ecov_flat_cache_) {
+    c.value.clear();
+    c.present.clear();
+  }
+  if (use_planes_) planes_ = problem_->planes_ptr();
+  // The EVFast base values are re-derived lazily by the next InitFastEv
+  // (which also resizes cleaned_scratch_ to the new object count).
+  fast_ev_ready_ = false;
+}
+
+void ClaimEvEvaluator::RefreshObjects(const std::vector<int>& changed) const {
+  if (use_planes_) planes_ = problem_->planes_ptr();
+  // Theorem 3.8's locality in reverse: a distribution change to object i
+  // can only move the terms of claims/pairs referencing i.  Gather that
+  // footprint (sorted unique — neighbouring changed objects share terms)
+  // and drop exactly those cache rows.
+  std::vector<int> touched_claims, touched_pairs;
+  for (int i : changed) {
+    FC_DCHECK_GE(i, 0);
+    FC_DCHECK_LT(i, static_cast<int>(object_claims_.size()));
+    for (int k : object_claims_[i]) touched_claims.push_back(k);
+    for (int p : object_pairs_[i]) touched_pairs.push_back(p);
+  }
+  std::sort(touched_claims.begin(), touched_claims.end());
+  touched_claims.erase(
+      std::unique(touched_claims.begin(), touched_claims.end()),
+      touched_claims.end());
+  std::sort(touched_pairs.begin(), touched_pairs.end());
+  touched_pairs.erase(std::unique(touched_pairs.begin(), touched_pairs.end()),
+                      touched_pairs.end());
+  for (int k : touched_claims) {
+    evar_cache_[k].clear();
+    evar_flat_cache_[k].value.clear();
+    evar_flat_cache_[k].present.clear();
+  }
+  for (int p : touched_pairs) {
+    ecov_cache_[p].clear();
+    ecov_flat_cache_[p].value.clear();
+    ecov_flat_cache_[p].present.clear();
+  }
+  if (fast_ev_ready_) {
+    // Re-derive the touched empty-set bases, then re-sum base_ev_total_
+    // over ALL terms in InitFastEv's exact accumulation order — an
+    // incremental "+= delta" would round differently from a freshly
+    // constructed evaluator, and the equivalence suites pin selections
+    // across the two.
+    for (int k : touched_claims) base_evar_[k] = EVarTermMask(k, 0);
+    for (int p : touched_pairs) base_ecov_[p] = ECovTermMask(p, 0);
+    double total = 0.0;
+    for (double v : base_evar_) total += v;
+    for (double v : base_ecov_) total += 2.0 * v;
+    base_ev_total_ = total;
+  }
 }
 
 double* ClaimEvEvaluator::FlatSlot(FlatTermCache& cache, int width,
@@ -657,6 +759,7 @@ double ClaimEvEvaluator::EVFast(const std::vector<int>& cleaned) const {
 }
 
 double ClaimEvEvaluator::EV(const std::vector<int>& cleaned) const {
+  RefreshIfStale();
   if (fast_ev_ok_) return EVFast(cleaned);  // planes path, narrow terms
   cleaned_scratch_.assign(problem_->size(), false);
   std::vector<bool>& is_cleaned = cleaned_scratch_;
@@ -674,6 +777,7 @@ double ClaimEvEvaluator::EV(const std::vector<int>& cleaned) const {
 }
 
 QualityMoments ClaimEvEvaluator::Moments() const {
+  RefreshIfStale();
   std::vector<bool> is_cleaned(problem_->size(), false);
   QualityMoments moments;
   for (int k = 0; k < context_->size(); ++k) {
@@ -737,7 +841,12 @@ class ClaimIncrementalObjective final : public IncrementalObjective {
   }
 
   void Reset(const std::vector<int>& cleaned) override {
+    // A run always starts with Reset, so syncing here covers every probe
+    // and commit of the run (the problem cannot mutate mid-run — the
+    // holder serializes mutations against selections).
+    ev_->RefreshIfStale();
     ready_ = true;
+    is_cleaned_.resize(ev_->problem_->size());
     std::fill(is_cleaned_.begin(), is_cleaned_.end(), false);
     for (int i : cleaned) {
       FC_CHECK_GE(i, 0);
@@ -804,6 +913,7 @@ Selection ClaimEvEvaluator::GreedyMinVar(double budget) const {
 
 Selection ClaimEvEvaluator::GreedyMinVar(double budget,
                                          const GreedyOptions& options) const {
+  RefreshIfStale();
   int n = problem_->size();
   // Incremental-work counters surfaced through options.stats_out: every
   // per-claim / per-pair term (re)computation counts as one evaluation —

@@ -110,6 +110,21 @@ class ClaimEvEvaluator {
   // How many perturbations reference the given object.
   int NumClaimsReferencing(int object) const;
 
+  // Epoch resynchronization with the underlying problem, run by every
+  // public evaluation entry point (EV, Moments, GreedyMinVar, and the
+  // incremental objective's Reset): if the problem mutated since this
+  // evaluator last looked (CleaningProblem::epoch), the touched term
+  // caches — and, on the planes path, the planes snapshot and the EVFast
+  // base values — are refreshed before any value is served.  A
+  // distribution change to object i invalidates exactly the claims/pairs
+  // referencing i (Theorem 3.8's locality, applied in reverse);
+  // value/cost-only changes invalidate nothing (the terms integrate only
+  // over distributions); structural changes (and a journal that no longer
+  // reaches our stamp) refresh everything.  The claim set itself is fixed
+  // at construction: objects added later are cleanable but unreferenced,
+  // and an object may only be removed while no claim references it.
+  void RefreshIfStale() const;
+
  private:
   friend class ClaimIncrementalObjective;
 
@@ -132,6 +147,14 @@ class ClaimEvEvaluator {
   };
 
   double Transform(int k, double q) const;
+
+  // RefreshIfStale's three repair stages: resize the object-indexed
+  // tables after a tail add/remove, drop and re-derive everything, or
+  // drop and re-derive only the terms referencing `changed` objects
+  // (ascending, duplicate-free).
+  void RefreshStructure() const;
+  void RefreshAllTerms() const;
+  void RefreshObjects(const std::vector<int>& changed) const;
 
   // --- Legacy AoS data path (use_planes = false; the oracle) --------------
 
@@ -191,8 +214,8 @@ class ClaimEvEvaluator {
   // E_T[Var(g_k | X_T)] for claim k, memoized on the cleaned-subset mask
   // of the claim's references (a claim term has at most 2^W distinct
   // values, so repeated EV queries — e.g. from the ISSC algorithm — hit
-  // the cache).  The underlying problem must not change after
-  // construction.
+  // the cache).  Problem mutations between public calls are absorbed by
+  // RefreshIfStale, which drops the memo entries of every touched term.
   double EVarTerm(int k, const std::vector<bool>& is_cleaned) const;
   double EVarTermUncached(int k, const std::vector<bool>& is_cleaned) const;
   // E[g_k] under the current (partially cleaned) distributions.
@@ -231,8 +254,10 @@ class ClaimEvEvaluator {
   std::vector<Pair> pairs_;
 
   // Incidence: object -> claims / pairs whose terms depend on it.
-  std::vector<std::vector<int>> object_claims_;
-  std::vector<std::vector<int>> object_pairs_;
+  // Mutable only for RefreshStructure's tail resize after add/remove
+  // deltas; entries for pre-existing objects never change.
+  mutable std::vector<std::vector<int>> object_claims_;
+  mutable std::vector<std::vector<int>> object_pairs_;
 
   // Memoization: term value keyed by the cleaned-subset bitmask over the
   // term's member objects.  The planes path uses a lazily-allocated flat
@@ -258,10 +283,12 @@ class ClaimEvEvaluator {
   // kernel workspaces and flat-term scratch (reused across calls — the
   // evaluator is single-threaded by contract, see MakeIncremental).
   bool use_planes_;
-  // Shared ownership pins the arena even if the problem is mutated (and
-  // its cache invalidated) after construction — the evaluator's caches go
-  // stale in that case either way, but never dangle.
-  std::shared_ptr<const DistPlanes> planes_;
+  // Shared ownership pins the arena across problem mutations (the old
+  // snapshot never dangles); RefreshIfStale re-acquires the problem's
+  // current snapshot whenever a distribution changed.
+  mutable std::shared_ptr<const DistPlanes> planes_;
+  // Last problem epoch this evaluator's caches were synchronized with.
+  mutable std::uint64_t seen_epoch_ = 0;
   mutable ConvolutionWorkspace ws1_a_, ws1_b_;
   mutable ConvolutionWorkspace2 ws2_a_, ws2_b_;
   mutable std::vector<FlatTerm> term_scratch_;
@@ -277,7 +304,9 @@ class ClaimEvEvaluator {
   // accumulation loop never chases per-object heap blocks.
   bool fast_ev_ok_ = false;  // all term widths fit the flat caches
   mutable bool fast_ev_ready_ = false;
-  std::vector<int> term_inc_offset_, pair_inc_offset_;
+  // Offsets are mutable for RefreshStructure's tail resize (new objects
+  // carry no incidences, so the entry arrays themselves never change).
+  mutable std::vector<int> term_inc_offset_, pair_inc_offset_;
   std::vector<std::pair<int, std::uint32_t>> term_inc_, pair_inc_;
   mutable std::vector<double> base_evar_, base_ecov_;
   mutable double base_ev_total_ = 0.0;

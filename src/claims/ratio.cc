@@ -121,6 +121,7 @@ RatioEvEvaluator::RatioEvEvaluator(const CleaningProblem* problem,
       direction_(direction) {
   FC_CHECK(problem_ != nullptr);
   FC_CHECK(context_ != nullptr);
+  seen_epoch_ = problem_->epoch();
   object_claims_.assign(problem_->size(), {});
   for (int k = 0; k < context_->size(); ++k) {
     claim_refs_.push_back(context_->perturbations[k].References());
@@ -138,6 +139,30 @@ RatioEvEvaluator::RatioEvEvaluator(const CleaningProblem* problem,
 double RatioEvEvaluator::Transform(int k, double q) const {
   return QualityTransform(measure_, q, reference_,
                           context_->sensibilities[k], direction_);
+}
+
+void RatioEvEvaluator::RefreshIfStale() const {
+  const std::uint64_t now = problem_->epoch();
+  if (now == seen_epoch_) return;
+  CleaningProblem::ProblemChanges changes;
+  const bool covered = problem_->ChangesSince(seen_epoch_, &changes);
+  seen_epoch_ = now;
+  if (!covered || changes.structure_changed) {
+    const int n = problem_->size();
+    for (int i = n; i < static_cast<int>(object_claims_.size()); ++i) {
+      // Removal is only legal while no claim references the object.
+      FC_CHECK(object_claims_[i].empty());
+    }
+    object_claims_.resize(n);
+    for (auto& cache : evar_cache_) cache.clear();
+    return;
+  }
+  // Disjoint references: a distribution change to object i moves exactly
+  // the one claim referencing i (if any).  Value/cost-only changes move
+  // nothing — the terms integrate only over the distributions.
+  for (int i : changes.dist_changed) {
+    for (int k : object_claims_[i]) evar_cache_[k].clear();
+  }
 }
 
 namespace {
@@ -221,6 +246,7 @@ double RatioEvEvaluator::MeanTerm(int k,
 }
 
 double RatioEvEvaluator::EV(const std::vector<int>& cleaned) const {
+  RefreshIfStale();
   std::vector<bool> is_cleaned(problem_->size(), false);
   for (int i : cleaned) {
     FC_CHECK_GE(i, 0);
@@ -233,6 +259,7 @@ double RatioEvEvaluator::EV(const std::vector<int>& cleaned) const {
 }
 
 QualityMoments RatioEvEvaluator::Moments() const {
+  RefreshIfStale();
   std::vector<bool> is_cleaned(problem_->size(), false);
   QualityMoments moments;
   for (int k = 0; k < context_->size(); ++k) {
@@ -247,6 +274,83 @@ Selection RatioEvEvaluator::GreedyMinVar(double budget) const {
       problem_->Costs(), budget, [&](const std::vector<int>& t) {
         return EV(t);
       });
+}
+
+// The engine-pluggable face of the ratio evaluator: the committed set
+// lives here (flags + cached per-claim term values), a probe touches only
+// the single claim referencing the probed object (disjointness), and
+// Value() re-sums the cached terms in EV's claim order so it is bit-equal
+// to the batch EV of the same set.
+class RatioIncrementalObjective final : public IncrementalObjective {
+ public:
+  explicit RatioIncrementalObjective(const RatioEvEvaluator* evaluator)
+      : ev_(evaluator),
+        is_cleaned_(ev_->problem_->size(), false),
+        evar_terms_(ev_->context_->size(), 0.0) {}
+
+  void Reset(const std::vector<int>& cleaned) override {
+    // A run always starts with Reset, so syncing here covers every probe
+    // and commit of the run.
+    ev_->RefreshIfStale();
+    ready_ = true;
+    is_cleaned_.resize(ev_->problem_->size());
+    std::fill(is_cleaned_.begin(), is_cleaned_.end(), false);
+    for (int i : cleaned) {
+      FC_CHECK_GE(i, 0);
+      FC_CHECK_LT(i, ev_->problem_->size());
+      is_cleaned_[i] = true;
+    }
+    for (int k = 0; k < ev_->context_->size(); ++k) {
+      evar_terms_[k] = ev_->EVarTerm(k, is_cleaned_);
+    }
+    RecomputeValue();
+  }
+
+  double Value() const override {
+    FC_CHECK(ready_);
+    return value_;
+  }
+
+  double ProbeGain(int i) override {
+    FC_CHECK(ready_);
+    FC_CHECK(!is_cleaned_[i]);
+    double before = 0.0, after = 0.0;
+    is_cleaned_[i] = true;
+    for (int k : ev_->object_claims_[i]) {
+      before += evar_terms_[k];
+      after += ev_->EVarTerm(k, is_cleaned_);
+    }
+    is_cleaned_[i] = false;
+    return after - before;
+  }
+
+  void Commit(int i) override {
+    FC_CHECK(ready_);
+    FC_CHECK(!is_cleaned_[i]);
+    is_cleaned_[i] = true;
+    for (int k : ev_->object_claims_[i]) {
+      evar_terms_[k] = ev_->EVarTerm(k, is_cleaned_);
+    }
+    RecomputeValue();
+  }
+
+ private:
+  void RecomputeValue() {
+    double ev = 0.0;
+    for (double t : evar_terms_) ev += t;
+    value_ = ev;
+  }
+
+  const RatioEvEvaluator* ev_;
+  std::vector<bool> is_cleaned_;
+  std::vector<double> evar_terms_;
+  double value_ = 0.0;
+  bool ready_ = false;  // Reset() must run before the first use
+};
+
+std::unique_ptr<IncrementalObjective> RatioEvEvaluator::MakeIncremental()
+    const {
+  return std::make_unique<RatioIncrementalObjective>(this);
 }
 
 }  // namespace factcheck

@@ -22,6 +22,7 @@
 
 #include "claims/quality.h"
 #include "core/greedy.h"
+#include "core/incremental.h"
 #include "core/problem.h"
 
 namespace factcheck {
@@ -66,6 +67,8 @@ LambdaQueryFunction RatioQualityFunction(const RatioPerturbationSet& context,
                                          double reference,
                                          StrengthDirection direction);
 
+class RatioIncrementalObjective;
+
 // Exact EV evaluator for ratio-claim quality measures over independent X
 // with pairwise-disjoint perturbations (aborts otherwise).
 class RatioEvEvaluator {
@@ -83,11 +86,32 @@ class RatioEvEvaluator {
   // Adaptive greedy (Algorithm 1) with per-claim benefit locality.
   Selection GreedyMinVar(double budget) const;
 
+  // The per-claim benefit locality packaged as an engine-pluggable
+  // IncrementalObjective: disjoint references mean cleaning object i
+  // moves exactly one claim's term, so ProbeGain(i) recomputes at most
+  // one 2-D convolution term instead of the full EV sum — ratio
+  // workloads stop paying batch cost per probe.  Value() re-sums the
+  // cached terms in EV's claim order, so it is bit-equal to the batch EV
+  // of the same set (the bespoke GreedyMinVar and the engine's
+  // incremental greedy select identical sets).  Shares this evaluator's
+  // memoized term caches (not locked — single-threaded by contract); the
+  // evaluator must outlive the returned objective.
+  std::unique_ptr<IncrementalObjective> MakeIncremental() const;
+
+  // Epoch resynchronization with the underlying problem (see
+  // ClaimEvEvaluator::RefreshIfStale — same protocol): drops the term
+  // caches of claims referencing mutated objects, so evaluations after a
+  // Clean/ReplaceDistribution/Apply are computed against the new state.
+  void RefreshIfStale() const;
+
  private:
+  friend class RatioIncrementalObjective;
+
   double Transform(int k, double q) const;
   // E_T[Var(g_k | X_T)] and E[g_k] via joint (earlier, later) convolutions;
   // EVarTerm memoizes on the cleaned-subset mask of the claim's references
-  // (the problem must not change after construction).
+  // (problem mutations between public calls are absorbed by
+  // RefreshIfStale).
   double EVarTerm(int k, const std::vector<bool>& is_cleaned) const;
   double EVarTermUncached(int k, const std::vector<bool>& is_cleaned) const;
   double MeanTerm(int k, const std::vector<bool>& is_cleaned) const;
@@ -97,9 +121,12 @@ class RatioEvEvaluator {
   QualityMeasure measure_;
   double reference_;
   StrengthDirection direction_;
-  std::vector<std::vector<int>> object_claims_;
+  // Mutable only for RefreshIfStale's tail resize after add/remove
+  // deltas; rows for pre-existing objects never change.
+  mutable std::vector<std::vector<int>> object_claims_;
   std::vector<std::vector<int>> claim_refs_;  // sorted refs per claim
   mutable std::vector<std::unordered_map<uint32_t, double>> evar_cache_;
+  mutable std::uint64_t seen_epoch_ = 0;
 };
 
 }  // namespace factcheck

@@ -1,0 +1,70 @@
+// ProblemDelta: the typed streaming-update unit of the delta subsystem.
+//
+// Production problems are not static — source tables get corrected
+// (replace-distribution), rows appear and retire (add/remove object), and
+// cleaning prices change (set-cost).  A ProblemDelta captures exactly one
+// such change; CleaningProblem::Apply folds it into the instance in
+// O(changed objects), bumps the instance's monotone mutation epoch, and
+// records the change in a bounded journal so downstream caches (engine
+// memos, distribution planes, claim-term caches) can *downdate* —
+// re-derive only the state the change touched — instead of rebuilding
+// from scratch.  See CleaningProblem::epoch() / ChangesSince().
+//
+// Index stability contract: objects are addressed by dense index
+// everywhere (query refs, claim components, cached set keys), so removal
+// is TAIL-ONLY — only the last object may be removed.  Interior removal
+// would renumber every later object and silently re-aim every cached
+// reference; ValidateDelta rejects it and Apply aborts on it.
+//
+// Apply aborts (FC_CHECK) on an invalid delta; callers handling untrusted
+// input (the serving `update` verb, changelog replay) must gate each
+// delta through ValidateDelta first, which reports a diagnostic instead.
+
+#ifndef FACTCHECK_CORE_DELTA_H_
+#define FACTCHECK_CORE_DELTA_H_
+
+#include <string>
+
+#include "core/object.h"
+#include "dist/discrete.h"
+
+namespace factcheck {
+
+class CleaningProblem;
+
+enum class DeltaKind {
+  kReplaceDistribution,  // swap object's error distribution (dist payload)
+  kAddObject,            // append `added` as the new last object
+  kRemoveObject,         // drop the LAST object (object must be size-1)
+  kSetCost,              // object's cleaning cost := value (> 0)
+  kSetCurrentValue,      // object's current value := value
+  kClean,                // observe truth `value`: point-mass dist + value
+};
+
+const char* DeltaKindName(DeltaKind kind);
+
+struct ProblemDelta {
+  DeltaKind kind = DeltaKind::kSetCost;
+  int object = -1;   // target index; unused by kAddObject
+  double value = 0.0;  // kSetCost / kSetCurrentValue / kClean payload
+  DiscreteDistribution dist;  // kReplaceDistribution payload
+  UncertainObject added;      // kAddObject payload
+
+  static ProblemDelta ReplaceDistribution(int object,
+                                          DiscreteDistribution dist);
+  static ProblemDelta AddObject(UncertainObject object);
+  static ProblemDelta RemoveObject(int object);  // must be the last index
+  static ProblemDelta SetCost(int object, double cost);
+  static ProblemDelta SetCurrentValue(int object, double value);
+  static ProblemDelta Clean(int object, double value);
+};
+
+// Whether `delta` can be applied to `problem` in its current state: index
+// in range, positive cost, tail-only removal, positive added cost.  On
+// failure fills `*error` (when non-null) and returns false; never aborts.
+bool ValidateDelta(const CleaningProblem& problem, const ProblemDelta& delta,
+                   std::string* error);
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_CORE_DELTA_H_

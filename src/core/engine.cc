@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/problem.h"
 #include "util/check.h"
 
 namespace factcheck {
@@ -60,6 +61,21 @@ std::int64_t KeyBytes(const std::vector<int>& key) {
   return static_cast<std::int64_t>(key.size() * sizeof(int));
 }
 
+// Whether two ascending duplicate-free index sequences share an element
+// (merge walk — the eviction predicate of InvalidateObjects).
+bool IntersectsSorted(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 EvalEngine::ApiGuard::ApiGuard(EvalEngine* engine) : engine_(engine) {
@@ -99,6 +115,67 @@ EvalEngine::EvalEngine(SetObjective objective, OptimizeDirection direction,
                        ThreadPool* pool)
     : objective_(std::move(objective)), direction_(direction), pool_(pool) {
   FC_CHECK(objective_ != nullptr);
+}
+
+void EvalEngine::BindProblem(const CleaningProblem* problem,
+                             CacheDependency dependency) {
+  bound_problem_ = problem;
+  dependency_ = dependency;
+  seen_epoch_ = problem != nullptr ? problem->epoch() : 0;
+}
+
+void EvalEngine::SyncEpoch() {
+  if (bound_problem_ == nullptr) return;
+  const std::uint64_t now = bound_problem_->epoch();
+  if (now == seen_epoch_) return;
+  CleaningProblem::ProblemChanges changes;
+  if (!bound_problem_->ChangesSince(seen_epoch_, &changes)) {
+    // The journal no longer reaches our stamp (too many mutations, or the
+    // instance was replaced wholesale): everything is suspect.
+    InvalidateAll();
+  } else if (changes.structure_changed || changes.values_changed) {
+    // Both policies read every current value (MaxPr's threshold and
+    // conditioning, MinVar through the query), and a structural change
+    // re-aims indices — full flush.
+    InvalidateAll();
+  } else if (!changes.dist_changed.empty()) {
+    if (dependency_ == CacheDependency::kAllObjects) {
+      InvalidateAll();
+    } else {
+      InvalidateObjects(changes.dist_changed);
+    }
+  }
+  // Pure cost changes fall through: objective values never read costs.
+  seen_epoch_ = now;
+}
+
+void EvalEngine::InvalidateObjects(const std::vector<int>& changed) {
+  // Erase-while-iterating over the unordered tables: the surviving set is
+  // determined solely by the intersection predicate, so the visit order
+  // cannot affect any observable state (see determinism allowlist).
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (IntersectsSorted(it->second.key, changed)) {
+      it = cache_.erase(it);
+      ++stats_.cache_evictions;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    if (IntersectsSorted(it->first, changed)) {
+      it = overflow_.erase(it);
+      ++stats_.cache_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EvalEngine::InvalidateAll() {
+  stats_.cache_evictions +=
+      static_cast<std::int64_t>(cache_.size() + overflow_.size());
+  cache_.clear();
+  overflow_.clear();
 }
 
 std::uint64_t EvalEngine::HashElement(int x) {
@@ -170,6 +247,7 @@ void EvalEngine::EvaluateMisses(int count) {
 
 double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
   ApiGuard guard(this);
+  SyncEpoch();
   CanonicalInto(cleaned, scratch_key_);
   std::uint64_t sig = SignatureOf(scratch_key_);
   double value;
@@ -186,6 +264,7 @@ double EvalEngine::Evaluate(const std::vector<int>& cleaned) {
 std::vector<double> EvalEngine::EvaluateBatch(
     const std::vector<std::vector<int>>& candidates) {
   ApiGuard guard(this);
+  SyncEpoch();
   const int n = static_cast<int>(candidates.size());
   std::vector<double> out(n, 0.0);
   std::vector<int> miss_slot(n, -1);
@@ -235,6 +314,7 @@ void EvalEngine::EvaluateExtensions(const std::vector<int>& base,
                                     const std::vector<int>& extras,
                                     std::vector<double>* out) {
   ApiGuard guard(this);
+  SyncEpoch();
   FC_CHECK(std::is_sorted(base.begin(), base.end()));
   const int n = static_cast<int>(extras.size());
   out->assign(n, 0.0);
@@ -284,6 +364,7 @@ Selection EvalEngine::PlainGreedy(const std::vector<double>& costs,
                                   double budget,
                                   const GreedyOptions& options) {
   ApiGuard guard(this);
+  SyncEpoch();
   return Greedy(costs, budget, options, /*lazy=*/false);
 }
 
@@ -291,6 +372,7 @@ Selection EvalEngine::LazyGreedy(const std::vector<double>& costs,
                                  double budget,
                                  const GreedyOptions& options) {
   ApiGuard guard(this);
+  SyncEpoch();
   return Greedy(costs, budget, options, /*lazy=*/true);
 }
 

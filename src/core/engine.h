@@ -61,6 +61,15 @@
 // problem+objective, so the memo — keyed only by the cleaned set — serves
 // later requests from cache.  Stats accumulate monotonically across the
 // engine's lifetime.
+//
+// Long-lived engines over MUTABLE problems bind to the problem via
+// BindProblem: every public entry point then compares the problem's
+// mutation epoch (CleaningProblem::epoch) against the last one this
+// engine synchronized with and *downdates* the memo before doing any
+// work — evicting exactly the entries the intervening changes could have
+// altered (per the declared CacheDependency) instead of serving stale
+// values or discarding a warm memo wholesale.  Unbound engines skip the
+// check entirely and behave exactly as before.
 
 #ifndef FACTCHECK_CORE_ENGINE_H_
 #define FACTCHECK_CORE_ENGINE_H_
@@ -77,10 +86,26 @@
 
 namespace factcheck {
 
+class CleaningProblem;
+
 // Whether the driver seeks the smallest (MinVar) or largest (MaxPr)
 // objective value.  Maximize mode stops early once no candidate improves
 // the objective, matching AdaptiveGreedyMaximize.
 enum class OptimizeDirection { kMinimize, kMaximize };
+
+// What a bound engine's cached values depend on, i.e. how much of the
+// memo a distribution change can invalidate:
+//   * kCleanedSubset — value(T) depends only on the distributions of the
+//     objects IN T (plus every current value).  Exact MaxPr is the model:
+//     Pr[f(X) < f(u) − τ | X_{O∖T} = u_{O∖T}] integrates only over T's
+//     distributions.  A dist change to object i evicts exactly the
+//     entries whose set contains i.
+//   * kAllObjects — value(T) reads every object's distribution (exact
+//     MinVar: the outer expectation runs over the uncleaned objects too),
+//     so any dist change flushes the whole memo.
+// Value or structural changes flush everything under either policy; pure
+// cost changes never touch objective values and evict nothing.
+enum class CacheDependency { kAllObjects, kCleanedSubset };
 
 struct EngineStats {
   std::int64_t evaluations = 0;  // full-objective invocations (cache misses;
@@ -101,11 +126,19 @@ struct EngineStats {
   // knapsack algorithms).
   std::int64_t kernel_calls = 0;
   std::int64_t kernel_atoms = 0;
+  // Memo entries evicted by the epoch downdating of a bound engine (see
+  // BindProblem) — selective evictions and full flushes both count every
+  // dropped entry.  Zero on unbound engines.
+  std::int64_t cache_evictions = 0;
   // Plan requests served by a serve::PlanningService session (the engine
   // itself never touches this — the service's aggregated stats and the
   // closed-loop service_scaling bench report through it).  Zero outside
   // the serving path.
   std::int64_t requests = 0;
+  // Distribution-plane rows repacked by the problem this engine ran
+  // against (CleaningProblem::plane_rows_rebuilt; filled by holders, like
+  // `requests`) — the partial-rebuild meter of the streaming-delta path.
+  std::int64_t plane_rows_rebuilt = 0;
 };
 
 class EvalEngine {
@@ -118,6 +151,19 @@ class EvalEngine {
 
   EvalEngine(const EvalEngine&) = delete;
   EvalEngine& operator=(const EvalEngine&) = delete;
+
+  // Binds this engine to the problem its objective reads, stamping the
+  // problem's current epoch.  From then on every public entry point
+  // resynchronizes first: if the problem mutated since the stamp, the
+  // memo is downdated per `dependency` (see CacheDependency) before any
+  // lookup, so a mutation between two requests can never serve a value
+  // computed against the old state.  `problem` is borrowed and must
+  // outlive the binding (rebind or pass nullptr to sever); the caller
+  // must serialize mutations of the problem against this engine's calls
+  // (the service's per-problem run mutex does).  Binding does not clear
+  // an existing memo — entries are presumed consistent with the problem's
+  // state as of this call.
+  void BindProblem(const CleaningProblem* problem, CacheDependency dependency);
 
   // Memoized objective value of `cleaned` (any order, duplicates ok).
   double Evaluate(const std::vector<int>& cleaned);
@@ -199,6 +245,16 @@ class EvalEngine {
   Selection GreedyIncremental(const std::vector<double>& costs, double budget,
                               const GreedyOptions& options, bool lazy);
 
+  // Epoch resynchronization against the bound problem (no-op when
+  // unbound or already current) — called by every public entry point
+  // before touching the memo.
+  void SyncEpoch();
+  // Evicts every memo entry whose key intersects `changed` (ascending,
+  // duplicate-free) / every entry.  Both count into
+  // stats_.cache_evictions.
+  void InvalidateObjects(const std::vector<int>& changed);
+  void InvalidateAll();
+
   // Commutative per-element signature hash (identical for any insertion
   // order of the same set).
   std::uint64_t HashElement(int x);
@@ -220,6 +276,12 @@ class EvalEngine {
   SetObjective objective_;
   OptimizeDirection direction_;
   ThreadPool* pool_;
+
+  // Epoch binding (BindProblem): the problem whose mutations invalidate
+  // this memo, the eviction policy, and the last epoch synchronized with.
+  const CleaningProblem* bound_problem_ = nullptr;
+  CacheDependency dependency_ = CacheDependency::kAllObjects;
+  std::uint64_t seen_epoch_ = 0;
 
   // Primary memo keyed by the 64-bit set signature; `overflow_` holds the
   // sets whose signature slot was already taken by a different set.

@@ -37,6 +37,8 @@ void PlanResult::WriteJson(JsonWriter& writer) const {
   writer.Key("key_bytes_hashed").Int(stats.key_bytes_hashed);
   writer.Key("kernel_calls").Int(stats.kernel_calls);
   writer.Key("kernel_atoms").Int(stats.kernel_atoms);
+  writer.Key("cache_evictions").Int(stats.cache_evictions);
+  writer.Key("plane_rows_rebuilt").Int(stats.plane_rows_rebuilt);
   writer.Key("requests").Int(stats.requests);
   writer.EndObject();
   writer.Key("wall_ms").Number(wall_seconds * 1e3);

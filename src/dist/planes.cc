@@ -40,6 +40,55 @@ DistPlanes::DistPlanes(
       p[k] = d.probs()[k];
     }
   }
+  rows_rebuilt_ = static_cast<int>(dists.size());
+}
+
+DistPlanes::DistPlanes(const std::vector<const DiscreteDistribution*>& dists,
+                       const DistPlanes& prev,
+                       const std::vector<int>& changed_rows) {
+  FC_CHECK_EQ(static_cast<int>(dists.size()), prev.num_objects());
+  offset_.reserve(dists.size());
+  size_.reserve(dists.size());
+  // Offsets are recomputed from scratch: a changed row's support size may
+  // differ from prev's, shifting every later row.
+  std::size_t cursor = 0;
+  for (const DiscreteDistribution* d : dists) {
+    FC_CHECK(d != nullptr);
+    offset_.push_back(cursor);
+    size_.push_back(d->support_size());
+    cursor += PadRow(static_cast<std::size_t>(d->support_size()));
+    total_atoms_ += d->support_size();
+  }
+  prob_base_ = cursor;
+  arena_.assign(2 * cursor, 0.0);
+  std::size_t next_changed = 0;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    double* v = arena_.data() + offset_[i];
+    double* p = arena_.data() + prob_base_ + offset_[i];
+    const bool changed = next_changed < changed_rows.size() &&
+                         changed_rows[next_changed] == static_cast<int>(i);
+    if (changed) {
+      ++next_changed;
+      const DiscreteDistribution& d = *dists[i];
+      for (int k = 0; k < d.support_size(); ++k) {
+        v[k] = d.values()[k];
+        p[k] = d.probs()[k];
+      }
+      ++rows_rebuilt_;
+    } else {
+      // Unchanged since prev was built: its arena holds the identical
+      // doubles, so copying them (rather than re-reading the dist) is
+      // bit-exact and skips the atom-by-atom pack.
+      FC_DCHECK_EQ(size_[i], prev.size_[i]);
+      const double* pv = prev.arena_.data() + prev.offset_[i];
+      const double* pp = prev.arena_.data() + prev.prob_base_ + prev.offset_[i];
+      for (int k = 0; k < size_[i]; ++k) {
+        v[k] = pv[k];
+        p[k] = pp[k];
+      }
+    }
+  }
+  FC_CHECK_EQ(next_changed, changed_rows.size());
 }
 
 }  // namespace factcheck

@@ -43,6 +43,18 @@ class DistPlanes {
   // atom data is copied into the arena).
   explicit DistPlanes(const std::vector<const DiscreteDistribution*>& dists);
 
+  // Partial rebuild: packs `dists` reusing `prev` (a snapshot built from
+  // the same object list before some distributions changed) for every row
+  // NOT in `changed_rows` (ascending, duplicate-free, in range).  Rows in
+  // `changed_rows` are re-read from `dists`; all other rows must be
+  // unchanged since `prev` was built and are copied from its arena —
+  // bit-identical to a full build, at O(changed rows) packing cost (row
+  // offsets are still recomputed, since a changed row's support size may
+  // differ).  This is what makes a one-object streaming delta cost one
+  // plane row instead of n (CleaningProblem::Apply).
+  DistPlanes(const std::vector<const DiscreteDistribution*>& dists,
+             const DistPlanes& prev, const std::vector<int>& changed_rows);
+
   int num_objects() const { return static_cast<int>(size_.size()); }
 
   int support_size(int i) const {
@@ -71,6 +83,12 @@ class DistPlanes {
     return static_cast<std::int64_t>(arena_.size() * sizeof(double));
   }
 
+  // How many rows THIS build packed from source distributions (the full
+  // constructor packs all of them; the partial constructor only
+  // `changed_rows.size()`) — the work meter behind
+  // CleaningProblem::plane_rows_rebuilt().
+  int rows_rebuilt() const { return rows_rebuilt_; }
+
  private:
   // One arena: values plane at [0, prob_base_), probs plane at
   // [prob_base_, end); per-object row k spans [offset_[k], offset_[k] +
@@ -80,6 +98,7 @@ class DistPlanes {
   std::vector<int> size_;
   std::size_t prob_base_ = 0;
   std::int64_t total_atoms_ = 0;
+  int rows_rebuilt_ = 0;
 };
 
 }  // namespace factcheck

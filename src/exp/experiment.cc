@@ -100,10 +100,12 @@ std::optional<ExperimentCell> ExperimentRunner::TryRunCell(
   cell.wall_ms_mean = sum / static_cast<double>(wall_ms.size());
   cell.evaluations = cell.result.stats.evaluations;
   cell.cache_hits = cell.result.stats.cache_hits;
+  cell.cache_evictions = cell.result.stats.cache_evictions;
   cell.probes = cell.result.stats.probes;
   cell.commits = cell.result.stats.commits;
   cell.kernel_calls = cell.result.stats.kernel_calls;
   cell.kernel_atoms = cell.result.stats.kernel_atoms;
+  cell.plane_rows_rebuilt = cell.result.stats.plane_rows_rebuilt;
   cell.requests = cell.result.stats.requests;
 
   if (with_objective) {
@@ -228,10 +230,12 @@ void WriteCellJson(const ExperimentCell& cell, JsonWriter& writer) {
   writer.Key("wall_ms_mean").Number(cell.wall_ms_mean);
   writer.Key("evaluations").Int(cell.evaluations);
   writer.Key("cache_hits").Int(cell.cache_hits);
+  writer.Key("cache_evictions").Int(cell.cache_evictions);
   writer.Key("probes").Int(cell.probes);
   writer.Key("commits").Int(cell.commits);
   writer.Key("kernel_calls").Int(cell.kernel_calls);
   writer.Key("kernel_atoms").Int(cell.kernel_atoms);
+  writer.Key("plane_rows_rebuilt").Int(cell.plane_rows_rebuilt);
   writer.Key("requests").Int(cell.requests);
   writer.Key("picked").Int(
       static_cast<std::int64_t>(cell.result.selection.cleaned.size()));

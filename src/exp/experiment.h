@@ -9,8 +9,9 @@
 // Cells serialize via util/json in the stable `factcheck.bench.v1` schema
 // (one flat object per cell with keys workload / algo / seed / budget /
 // budget_fraction / threads / lazy / repetitions / wall_ms / wall_ms_min /
-// wall_ms_mean / evaluations / cache_hits / probes / commits /
-// kernel_calls / kernel_atoms / requests / picked / cost / objective),
+// wall_ms_mean / evaluations / cache_hits / cache_evictions / probes /
+// commits / kernel_calls / kernel_atoms / plane_rows_rebuilt / requests /
+// picked / cost / objective),
 // which is what
 // the BENCH_*.json perf-trajectory
 // artifacts, the CI bench-smoke job, and the tools/compare_bench.py
@@ -70,10 +71,12 @@ struct ExperimentCell {
   double wall_ms_mean = 0.0;
   std::int64_t evaluations = 0;  // EngineStats of the last repetition
   std::int64_t cache_hits = 0;
+  std::int64_t cache_evictions = 0;  // memo entries downdated by deltas
   std::int64_t probes = 0;   // incremental marginal-gain probes
   std::int64_t commits = 0;  // incremental set extensions committed
   std::int64_t kernel_calls = 0;  // SoA convolution-kernel invocations
   std::int64_t kernel_atoms = 0;  // atoms written by those kernels
+  std::int64_t plane_rows_rebuilt = 0;  // partial plane-rebuild row count
   std::int64_t requests = 0;  // plan requests served (serving workloads)
 
   double objective = 0.0;  // workload metric of the selected set

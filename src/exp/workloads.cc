@@ -14,8 +14,10 @@
 #include "claims/perturbation.h"
 #include "claims/quality.h"
 #include "claims/ratio.h"
+#include "core/engine.h"
 #include "core/greedy.h"
 #include "core/incremental.h"
+#include "core/maxpr.h"
 #include "core/modular.h"
 #include "data/adoptions.h"
 #include "data/cdc.h"
@@ -427,6 +429,138 @@ Workload BuildServiceScaling(const WorkloadOptions& options) {
   return w;
 }
 
+// --- replan_scaling: the streaming-delta warm-replan gate ----------------
+//
+// Measures the delta subsystem end to end: plan once cold on a persistent
+// engine, stream `touched` single-object ReplaceDistribution deltas into
+// the problem, re-plan WARM on the same engine, and compare against a
+// from-scratch plan of the mutated problem.  The warm replan must select
+// the bit-identical set while re-evaluating strictly fewer signatures
+// than the fresh engine (epoch downdating keeps every memo entry whose
+// set avoids the mutated objects — the objective is exact MaxPr, whose
+// value depends only on the cleaned set's own distributions), and the
+// planes cache must repack exactly `touched` rows instead of rebuilding
+// all n.  Every counter is an exact deterministic function of the
+// workload, which is what lets BENCH_replan.json gate evaluations /
+// cache_evictions / plane_rows_rebuilt through tools/compare_bench.py.
+
+Selection RunReplanCell(const CleaningProblem& base,
+                        const LinearQueryFunction& query, double tau,
+                        int touched, bool report_warm,
+                        const PlanContext& ctx) {
+  CleaningProblem working = base;  // private mutable copy per cell
+  const std::vector<double> costs = working.Costs();
+
+  EvalEngine engine(MaxPrObjective(query, working, tau),
+                    OptimizeDirection::kMaximize);
+  engine.BindProblem(&working, CacheDependency::kCleanedSubset);
+
+  // Cold plan: fills the memo, and forces the planes build the deltas
+  // will partially invalidate.
+  (void)working.planes();
+  const Selection cold = engine.PlainGreedy(costs, ctx.request.budget);
+  (void)cold;  // the cell's result is the post-delta replan
+
+  const int n = working.size();
+  for (int k = 0; k < touched; ++k) {
+    const int object = (7 * k + 3) % n;  // distinct for touched <= n/7ish
+    working.Apply(ProblemDelta::ReplaceDistribution(
+        object, working.object(object).dist.Shifted(0.25 * (k + 1))));
+  }
+
+  const EngineStats before = engine.stats();
+  const std::int64_t rows_before = working.plane_rows_rebuilt();
+  (void)working.planes();  // partial repack of exactly the touched rows
+  const Selection warm = engine.PlainGreedy(costs, ctx.request.budget);
+  const EngineStats after = engine.stats();
+  const std::int64_t rows_rebuilt =
+      working.plane_rows_rebuilt() - rows_before;
+
+  // A fresh engine on the mutated problem is the ground truth: the warm
+  // replan must pick the bit-identical selection with strictly fewer
+  // evaluations (the surviving memo answers the rest), and the planes
+  // repack is bounded by the number of objects the deltas touched.
+  EvalEngine fresh(MaxPrObjective(query, working, tau),
+                   OptimizeDirection::kMaximize);
+  const Selection scratch = fresh.PlainGreedy(costs, ctx.request.budget);
+  FC_CHECK(scratch.cleaned == warm.cleaned);
+  FC_CHECK(scratch.order == warm.order);
+  const std::int64_t warm_evaluations =
+      after.evaluations - before.evaluations;
+  FC_CHECK_LT(warm_evaluations, fresh.stats().evaluations);
+  FC_CHECK_LE(rows_rebuilt, touched);
+
+  if (ctx.greedy.stats_out != nullptr) {
+    EngineStats out;
+    if (report_warm) {
+      // The warm-phase deltas: what the replan itself cost.
+      out.evaluations = warm_evaluations;
+      out.cache_hits = after.cache_hits - before.cache_hits;
+      out.cache_evictions = after.cache_evictions - before.cache_evictions;
+      out.probes = after.probes - before.probes;
+      out.commits = after.commits - before.commits;
+      out.plane_rows_rebuilt = rows_rebuilt;
+    } else {
+      // The from-scratch cost of the same replan, for the baseline to
+      // record next to the warm columns.
+      out = fresh.stats();
+      out.plane_rows_rebuilt = 0;
+    }
+    *ctx.greedy.stats_out = out;
+  }
+  return warm;
+}
+
+Workload BuildReplanScaling(const WorkloadOptions& options) {
+  int size = SizeOrDefault(options, 32);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed,
+      {.size = size, .min_support = 2, .max_support = 2}));
+  std::vector<int> refs(size);
+  for (int i = 0; i < size; ++i) refs[i] = i;
+  auto query = std::make_shared<const LinearQueryFunction>(
+      refs, std::vector<double>(size, 1.0));
+  const double tau = GammaOrDefault(options, 25.0);
+
+  Workload w;
+  w.name = "replan_scaling";
+  w.problem = problem;
+  w.query = query;
+  w.linear = query;
+  w.objective = ObjectiveKind::kMaxPr;
+  w.tau = tau;
+  w.default_algorithms = {"replan_cold", "replan_warm_1", "replan_warm_4",
+                          "replan_warm_8"};
+  w.default_budget_fractions = {0.25};
+  w.holders = {problem, query};
+  AlgorithmRegistry& local = w.EnsureLocalRegistry();
+  struct Column {
+    const char* name;
+    const char* summary;
+    int touched;
+    bool warm;
+  };
+  const Column columns[] = {
+      {"replan_cold", "from-scratch replan cost after 1 streamed delta", 1,
+       false},
+      {"replan_warm_1", "warm replan after 1 streamed delta", 1, true},
+      {"replan_warm_4", "warm replan after 4 streamed deltas", 4, true},
+      {"replan_warm_8", "warm replan after 8 streamed deltas", 8, true},
+  };
+  for (const Column& column : columns) {
+    local.Register(
+        {.name = column.name,
+         .summary = column.summary,
+         .objective = ObjectiveKind::kMaxPr,
+         .uses_objective = false,
+         .run = [problem, query, tau, touched = column.touched,
+                 warm = column.warm](const PlanContext& ctx) {
+           return RunReplanCell(*problem, *query, tau, touched, warm, ctx);
+         }});
+  }
+  return w;
+}
+
 // The kernel-layer perf gate behind BENCH_dist.json: overlapping
 // sliding-window fragility claims (width 6, stride 2) on URx, so every
 // greedy step drives both the 1-D per-claim and the 2-D per-pair
@@ -619,6 +753,10 @@ Workload BuildRatioWorkload(const std::string& name,
   w.measure = QualityMeasure::kDuplicity;
   w.reference = claimed;
   w.metric = LockedEvMetric(evaluator);
+  // Disjoint-reference locality through the shared evaluator's term
+  // caches: every engine algorithm now probes ratio claims at O(1) terms
+  // per candidate instead of one full EV (the PR-5 carry-over).
+  w.incremental = [evaluator] { return evaluator->MakeIncremental(); };
   w.default_algorithms = {"greedy_naive", "claims_greedy_minvar"};
   w.default_budget_fractions = kRatioFractions;
   w.holders = {problem, context, evaluator};
@@ -874,6 +1012,9 @@ void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
   add({.name = "service_scaling",
        .summary = "Serving gate: concurrent clients on one warm engine",
        .build = BuildServiceScaling});
+  add({.name = "replan_scaling",
+       .summary = "Delta gate: warm replan latency vs streamed delta size",
+       .build = BuildReplanScaling});
   add({.name = "cdc_dependency",
        .summary =
            "Fig 11: injected covariance on CDC-firearms (--gamma = corr)",

@@ -7,7 +7,8 @@
 // writes responses until the peer closes.  Concurrency therefore comes in
 // two layers: up to pool-size connections are served simultaneously
 // (requests on DISTINCT problems run in parallel), while requests on the
-// same problem serialize on its run mutex inside the service.  A client
+// same problem — plans AND streaming updates (the `update` verb) —
+// serialize on its run mutex inside the service.  A client
 // pipelining multiple lines on one connection gets responses in request
 // order.
 //

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/ev.h"
@@ -67,6 +68,11 @@ bool ReadString(const JsonValue& request, const std::string& key,
   return true;
 }
 
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
 }  // namespace
 
 bool PlanningService::RegisterProblem(const std::string& name,
@@ -113,7 +119,95 @@ bool PlanningService::RegisterProblem(const std::string& name,
     }
     return false;
   }
+  if (store_ != nullptr) {
+    // Persist the initial state as a snapshot at sequence 0, so the
+    // problem survives a restart even before its first update.  A
+    // persistence failure unregisters the problem — a problem the
+    // changelog can't restore must not accept updates it would forget.
+    ProblemEntry* inserted_entry = it->second.get();
+    if (!ChangelogStore::ValidName(name)) {
+      problems_.erase(it);
+      return Fail(error,
+                  "with persistence enabled, problem names must match "
+                  "[A-Za-z0-9_.-] and not start with '.'");
+    }
+    std::string snapshot;
+    {
+      fc::MutexLock run_lock(&inserted_entry->run_mutex);
+      snapshot = EncodeSnapshot(inserted_entry->problem,
+                                inserted_entry->query.References(),
+                                inserted_entry->query.coefficients(),
+                                inserted_entry->last_seq);
+    }
+    std::string store_error;
+    if (!store_->SaveSnapshot(name, snapshot, &store_error)) {
+      problems_.erase(it);
+      return Fail(error, store_error);
+    }
+  }
   return true;
+}
+
+bool PlanningService::EnablePersistence(const std::string& dir,
+                                        std::string* error) {
+  auto store = std::make_unique<ChangelogStore>(dir);
+  if (!store->Init(error)) return false;
+  std::vector<ChangelogStore::LoadedProblem> loaded;
+  if (!store->LoadAll(&loaded, error)) return false;
+  for (ChangelogStore::LoadedProblem& persisted : loaded) {
+    std::string detail;
+    std::int64_t snapshot_seq = 0;
+    std::string csv;
+    std::vector<int> refs;
+    std::vector<double> coeffs;
+    if (!DecodeSnapshot(persisted.snapshot, &snapshot_seq, &csv, &refs,
+                        &coeffs, &detail)) {
+      return Fail(error, persisted.name + ".snapshot: " + detail);
+    }
+    std::optional<CleaningProblem> problem = data::ProblemFromCsv(csv, &detail);
+    if (!problem.has_value()) {
+      return Fail(error, persisted.name + ".snapshot: " + detail);
+    }
+    std::int64_t last_seq = snapshot_seq;
+    if (!ReplayChangelog(persisted.log, snapshot_seq, &*problem, &last_seq,
+                         &detail)) {
+      return Fail(error, persisted.name + ": " + detail);
+    }
+    const int n = problem->size();
+    if (coeffs.size() != refs.size()) {
+      return Fail(error,
+                  persisted.name + ".snapshot: refs/coeffs length mismatch");
+    }
+    for (int ref : refs) {
+      if (ref < 0 || ref >= n) {
+        return Fail(error, persisted.name + ": query ref " +
+                               std::to_string(ref) +
+                               " out of range after replay");
+      }
+    }
+    auto entry = std::make_unique<ProblemEntry>(
+        persisted.name, std::move(*problem), std::move(refs),
+        std::move(coeffs));
+    {
+      fc::MutexLock run_lock(&entry->run_mutex);
+      entry->last_seq = last_seq;
+      entry->log_records = last_seq - snapshot_seq;
+    }
+    fc::MutexLock lock(&registry_mutex_);
+    auto [it, inserted] =
+        problems_.try_emplace(persisted.name, std::move(entry));
+    if (!inserted) {
+      return Fail(error, "problem \"" + persisted.name +
+                             "\" restored twice from " + dir);
+    }
+  }
+  store_ = std::move(store);
+  return true;
+}
+
+bool PlanningService::HasProblem(const std::string& name) const {
+  fc::MutexLock lock(&registry_mutex_);
+  return problems_.count(name) > 0;
 }
 
 PlanningService::ProblemEntry* PlanningService::FindEntry(
@@ -144,6 +238,18 @@ EvalEngine* PlanningService::EngineFor(ProblemEntry* entry, ObjectiveKind kind,
              .emplace(std::move(key), std::make_unique<EvalEngine>(
                                           std::move(objective), direction))
              .first;
+    // Bind exactly once, while the memo is empty: the bind stamps the
+    // problem's current epoch, and from then on every engine call
+    // downdates the memo by the mutations the update verb applied.  The
+    // dependency policy follows the objective's structure — exact MaxPr
+    // value(T) integrates only over T's own distributions, so a dist
+    // change to object i evicts just the signatures containing i; exact
+    // MinVar integrates over every UNCLEANED object too, so any dist
+    // change flushes the memo.
+    it->second->BindProblem(&entry->problem,
+                            kind == ObjectiveKind::kMinVar
+                                ? CacheDependency::kAllObjects
+                                : CacheDependency::kCleanedSubset);
   }
   return it->second.get();
 }
@@ -231,8 +337,6 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
   plan.problem = &entry->problem;
   plan.query = &entry->query;
   plan.linear_query = &entry->query;
-  plan.budget =
-      has_budget ? budget : budget_frac * entry->problem.TotalCost();
 
   // Objective defaulting mirrors the CLI: the algorithm's native kind,
   // minvar when it supports both.
@@ -282,6 +386,11 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
   std::int64_t requests_after = 0;
   {
     fc::MutexLock lock(&entry->run_mutex);
+    // Budget resolution reads TotalCost inside the serialized section so
+    // a concurrent update (which may change costs) can't race the read —
+    // each plan prices against exactly the state it will be planned on.
+    plan.budget =
+        has_budget ? budget : budget_frac * entry->problem.TotalCost();
     plan.session_engine = EngineFor(entry, plan.objective, plan.tau);
     Stopwatch stopwatch;
     result = planner_.TryPlan(plan, algo_name, &error);
@@ -312,6 +421,112 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
   return writer.str();
 }
 
+std::string PlanningService::HandleUpdate(const JsonValue& request) {
+  std::string error;
+  std::string name;
+  if (!ReadString(request, "problem", &name, &error)) {
+    return ErrorResponse(error);
+  }
+  ProblemEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return ErrorResponse("unknown problem \"" + name + "\" (register first)");
+  }
+  const JsonValue* deltas_json = request.Find("deltas");
+  if (deltas_json == nullptr || !deltas_json->is_array() ||
+      deltas_json->array().empty()) {
+    return ErrorResponse("\"deltas\" must be a non-empty array");
+  }
+  std::vector<ProblemDelta> deltas;
+  deltas.reserve(deltas_json->array().size());
+  for (size_t i = 0; i < deltas_json->array().size(); ++i) {
+    ProblemDelta delta;
+    if (!DeltaFromJson(deltas_json->array()[i], &delta, &error)) {
+      return ErrorResponse("deltas[" + std::to_string(i) + "]: " + error);
+    }
+    deltas.push_back(std::move(delta));
+  }
+
+  std::uint64_t epoch = 0;
+  int objects = 0;
+  {
+    fc::MutexLock lock(&entry->run_mutex);
+    // All or nothing: the whole batch must validate against a scratch
+    // copy before the first delta touches the live problem, so a reject
+    // midway never leaves a half-applied state for the next plan.
+    CleaningProblem scratch = entry->problem;
+    const std::vector<int>& refs = entry->query.References();
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      const ProblemDelta& delta = deltas[i];
+      if (delta.kind == DeltaKind::kRemoveObject &&
+          std::binary_search(refs.begin(), refs.end(), delta.object)) {
+        return ErrorResponse(
+            "deltas[" + std::to_string(i) + "]: object " +
+            std::to_string(delta.object) +
+            " is referenced by the registered query and cannot be removed");
+      }
+      if (!ValidateDelta(scratch, delta, &error)) {
+        return ErrorResponse("deltas[" + std::to_string(i) + "]: " + error);
+      }
+      scratch.Apply(delta);
+    }
+    for (const ProblemDelta& delta : deltas) entry->problem.Apply(delta);
+    epoch = entry->problem.epoch();
+    objects = entry->problem.size();
+    if (store_ != nullptr && !PersistDeltas(entry, deltas, &error)) {
+      return ErrorResponse(error);
+    }
+  }
+
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ok")
+      .Bool(true)
+      .Key("op")
+      .String("update")
+      .Key("problem")
+      .String(name)
+      .Key("applied")
+      .Int(static_cast<std::int64_t>(deltas.size()))
+      .Key("epoch")
+      .Int(static_cast<std::int64_t>(epoch))
+      .Key("objects")
+      .Int(objects)
+      .EndObject();
+  return writer.str();
+}
+
+bool PlanningService::PersistDeltas(ProblemEntry* entry,
+                                    const std::vector<ProblemDelta>& deltas,
+                                    std::string* error) {
+  bool append_failed = false;
+  std::string io_error;
+  for (const ProblemDelta& delta : deltas) {
+    ++entry->last_seq;
+    ++entry->log_records;
+    if (!append_failed &&
+        !store_->AppendRecord(entry->name,
+                              EncodeLogRecord(entry->last_seq, delta),
+                              &io_error)) {
+      append_failed = true;
+    }
+  }
+  // Compact on schedule — and immediately after an append failure, since
+  // a fresh snapshot (which truncates the log) reconciles disk with the
+  // already-applied in-memory state.
+  if (append_failed || entry->log_records >= kCompactEvery) {
+    const std::string snapshot =
+        EncodeSnapshot(entry->problem, entry->query.References(),
+                       entry->query.coefficients(), entry->last_seq);
+    if (!store_->SaveSnapshot(entry->name, snapshot, &io_error)) {
+      return Fail(error,
+                  "update applied in memory, but persisting it failed: " +
+                      io_error);
+    }
+    entry->log_records = 0;
+  }
+  return true;
+}
+
 std::string PlanningService::HandleLine(const std::string& line) {
   std::string error;
   std::optional<JsonValue> request = JsonValue::Parse(line, &error);
@@ -323,6 +538,7 @@ std::string PlanningService::HandleLine(const std::string& line) {
   if (!ReadString(*request, "op", &op, &error)) return ErrorResponse(error);
   if (op == "register") return HandleRegister(*request);
   if (op == "plan") return HandlePlan(*request);
+  if (op == "update") return HandleUpdate(*request);
   if (op == "stats") {
     // StatsJson is a complete JSON object; splice it in as the "stats"
     // member value.
@@ -332,7 +548,7 @@ std::string PlanningService::HandleLine(const std::string& line) {
     return "{\"ok\":true,\"op\":\"ping\"}";
   }
   return ErrorResponse("unknown op \"" + op +
-                       "\" (register | plan | stats | ping)");
+                       "\" (register | plan | update | stats | ping)");
 }
 
 std::string PlanningService::StatsJson() const {
@@ -351,6 +567,10 @@ std::string PlanningService::StatsJson() const {
           .String(kv.first)
           .Key("objects")
           .Int(entry->problem.size())
+          .Key("epoch")
+          .Int(static_cast<std::int64_t>(entry->problem.epoch()))
+          .Key("plane_rows_rebuilt")
+          .Int(entry->problem.plane_rows_rebuilt())
           .Key("requests")
           .Int(entry->requests);
       writer.Key("latency")
@@ -376,6 +596,8 @@ std::string PlanningService::StatsJson() const {
             .Int(stats.probes)
             .Key("commits")
             .Int(stats.commits)
+            .Key("cache_evictions")
+            .Int(stats.cache_evictions)
             .EndObject();
       }
       writer.EndArray();

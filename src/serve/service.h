@@ -30,6 +30,22 @@
 //     to the equivalent one-shot `factcheck_cli run --json` — the
 //     equivalence suite in tests/serve_test.cc pins this.
 //
+//   {"op":"update","problem":NAME,"deltas":[{...},...]}
+//       -> {"ok":true,"op":"update","problem":NAME,"applied":k,
+//           "epoch":E,"objects":n}
+//     Applies a batch of typed ProblemDeltas (serve/changelog.h JSON
+//     encoding; core/delta.h semantics) to a registered problem, all or
+//     nothing: every delta is validated against a scratch copy before
+//     the first one touches the live problem, and a delta that would
+//     remove a query-referenced object is rejected.  Runs under the
+//     problem's run mutex, so concurrent plans see either the old or the
+//     new state, never a half-applied batch.  Session engines are NOT
+//     discarded — they downdate their memos via the problem's mutation
+//     epoch (core/engine.h BindProblem), so the next plan re-evaluates
+//     exactly the signatures the change invalidated.  With persistence
+//     enabled the batch is appended to the problem's changelog before
+//     the response is sent.
+//
 //   {"op":"stats"} -> {"ok":true,"op":"stats","stats":{...}}   (StatsJson)
 //   {"op":"ping"}  -> {"ok":true,"op":"ping"}
 //
@@ -58,6 +74,7 @@
 
 #include "core/planner.h"
 #include "core/query_function.h"
+#include "serve/changelog.h"
 #include "serve/stats.h"
 #include "util/annotations.h"
 
@@ -72,6 +89,21 @@ class PlanningService {
   PlanningService(const PlanningService&) = delete;
   PlanningService& operator=(const PlanningService&) = delete;
 
+  // Turns on changelog persistence under `dir` AND restores every problem
+  // persisted there (snapshot + fail-closed log replay, serve/changelog.h).
+  // Must be called before the service accepts traffic.  After this,
+  // register writes an initial snapshot and update appends to the log
+  // (with snapshot compaction every kCompactEvery records), so a
+  // restarted service reconstructs bit-identical problem state.  False +
+  // diagnostic if the directory is unusable or any persisted problem
+  // fails to load — a corrupt changelog refuses to load rather than
+  // serving a half-applied problem.
+  bool EnablePersistence(const std::string& dir, std::string* error);
+
+  // Whether `name` is registered (tool hook: lets --problem preloads skip
+  // names EnablePersistence already restored).
+  bool HasProblem(const std::string& name) const;
+
   // Registers `csv` (data/problem_io.h format) under `name` with a linear
   // query over `refs`/`coeffs` (empty: all objects / all ones).  Returns
   // false and a diagnostic on malformed CSV, bad refs, or a duplicate
@@ -85,10 +117,11 @@ class PlanningService {
   std::string HandleLine(const std::string& line);
 
   // The /stats document:
-  //   {"problems":[{"name":..,"objects":..,"requests":..,
+  //   {"problems":[{"name":..,"objects":..,"epoch":..,
+  //     "plane_rows_rebuilt":..,"requests":..,
   //     "latency":{"count":..,"p50_ms":..,"p99_ms":..},
   //     "engines":[{"objective":..,"evaluations":..,"cache_hits":..,
-  //                 "probes":..,"commits":..}]}],
+  //                 "probes":..,"commits":..,"cache_evictions":..}]}],
   //    "total_requests":..}
   std::string StatsJson() const;
 
@@ -98,23 +131,32 @@ class PlanningService {
  private:
   struct ProblemEntry {
     std::string name;
-    // `problem` and `query` are immutable after registration (the
-    // engines' objectives hold references into them), so they carry no
-    // lock annotation — concurrent const reads are the contract.
+    // `query` is immutable after registration.  `problem` is mutated
+    // ONLY by the update verb, under run_mutex; plan execution holds the
+    // same mutex, so within the serialized sections the engines'
+    // objectives (which hold references into both) always see a fully
+    // applied state, and the mutation epoch tells their caches what
+    // changed.
     CleaningProblem problem;
     LinearQueryFunction query;
-    // Serializes plan execution on this problem: the persistent engines
-    // below are single-writer, and the serialized section is also where
-    // the request counter and latency histogram are updated.
+    // Serializes plan execution and updates on this problem: the
+    // persistent engines below are single-writer, `problem` is
+    // single-mutator, and the serialized section is also where the
+    // request counter and latency histogram are updated.
     fc::Mutex run_mutex;
     // One engine per objective — "minvar", or "maxpr@<tau>" since the
     // MaxPr objective bakes in the threshold.  The engine's retained
     // objective captures `problem` and `query` by reference; entries are
-    // heap-allocated and immutable after registration, so the references
-    // stay valid for the service's lifetime.
+    // heap-allocated and never destroyed while serving, so the
+    // references stay valid for the service's lifetime.
     std::map<std::string, std::unique_ptr<EvalEngine>> engines
         FC_GUARDED_BY(run_mutex);
     std::int64_t requests FC_GUARDED_BY(run_mutex) = 0;
+    // Changelog bookkeeping (meaningful only with persistence enabled):
+    // the last sequence number written for this problem, and how many
+    // records the current log file holds past its snapshot.
+    std::int64_t last_seq FC_GUARDED_BY(run_mutex) = 0;
+    std::int64_t log_records FC_GUARDED_BY(run_mutex) = 0;
     LatencyHistogram latency;  // internally synchronized (serve/stats.h)
 
     ProblemEntry(std::string name_in, CleaningProblem problem_in,
@@ -131,6 +173,18 @@ class PlanningService {
 
   std::string HandleRegister(const JsonValue& request);
   std::string HandlePlan(const JsonValue& request);
+  std::string HandleUpdate(const JsonValue& request);
+
+  // Appends `deltas` (already applied in memory) to the problem's log and
+  // compacts every kCompactEvery records.  False + diagnostic on I/O
+  // failure after attempting a reconciling snapshot.
+  bool PersistDeltas(ProblemEntry* entry,
+                     const std::vector<ProblemDelta>& deltas,
+                     std::string* error) FC_REQUIRES(entry->run_mutex);
+
+  // Compaction threshold: a snapshot replaces the log once it accumulates
+  // this many records past the previous snapshot.
+  static constexpr std::int64_t kCompactEvery = 64;
 
   Planner planner_;
   // Guards problems_ (the map only — entries are stable unique_ptrs, so a
@@ -138,6 +192,8 @@ class PlanningService {
   mutable fc::Mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<ProblemEntry>> problems_
       FC_GUARDED_BY(registry_mutex_);
+  // Non-null once EnablePersistence succeeds; never reset while serving.
+  std::unique_ptr<ChangelogStore> store_;
 };
 
 }  // namespace serve

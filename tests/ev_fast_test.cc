@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "claims/ev_fast.h"
+#include "core/delta.h"
 #include "core/ev.h"
 #include "core/greedy.h"
 #include "data/synthetic.h"
@@ -164,6 +165,53 @@ TEST(EvFastTest, FullBudgetDrivesEvToZero) {
                         s.reference);
   Selection sel = fast.GreedyMinVar(s.problem.TotalCost() + 1);
   EXPECT_NEAR(fast.EV(sel.cleaned), 0.0, 1e-9);
+}
+
+// The stale-EVFast-base bugfix: after ReplaceDistribution the sparse base
+// terms are recomputed on the next call, and the SoA planes path agrees
+// bit-for-bit with the legacy AoS oracle path on the mutated problem.
+TEST(EvFastTest, PlanesOnAndOffAgreeAfterMutation) {
+  for (uint64_t seed : {2u, 8u}) {
+    Instance s = MakeOverlapping(seed);
+    ClaimEvEvaluator planes(&s.problem, &s.context, QualityMeasure::kDuplicity,
+                            s.reference, StrengthDirection::kHigherIsStronger,
+                            /*use_planes=*/true);
+    ClaimEvEvaluator legacy(&s.problem, &s.context, QualityMeasure::kDuplicity,
+                            s.reference, StrengthDirection::kHigherIsStronger,
+                            /*use_planes=*/false);
+    std::vector<std::vector<int>> sets = {{}, {0, 4}, {1, 2, 7}, {3, 5, 6, 8}};
+    // Warm both paths' caches on the pre-mutation state.  The paths agree
+    // to rounding, not bit pattern: planes aggregates EV as base+delta.
+    for (const auto& cleaned : sets) {
+      double expect = legacy.EV(cleaned);
+      EXPECT_NEAR(planes.EV(cleaned), expect, 1e-9 * (1.0 + std::abs(expect)));
+    }
+
+    // Mutate through the delta path: a support change on a claim-shared
+    // object, a Clean (dist + value), and a cost change (no-op for EV).
+    s.problem.Apply(ProblemDelta::ReplaceDistribution(
+        1, DiscreteDistribution({-2.0, 6.0, 40.0}, {0.2, 0.6, 0.2})));
+    s.problem.Apply(
+        ProblemDelta::Clean(4, s.problem.object(4).dist.Mean()));
+    s.problem.Apply(ProblemDelta::SetCost(0, 7.0));
+
+    ClaimEvEvaluator fresh(&s.problem, &s.context, QualityMeasure::kDuplicity,
+                           s.reference);
+    for (const auto& cleaned : sets) {
+      const double want = fresh.EV(cleaned);
+      EXPECT_NEAR(planes.EV(cleaned), want, 1e-9 * (1.0 + std::abs(want)))
+          << "seed " << seed;
+      EXPECT_NEAR(legacy.EV(cleaned), want, 1e-9 * (1.0 + std::abs(want)))
+          << "seed " << seed;
+    }
+    const double budget = s.problem.TotalCost() * 0.4;
+    Selection from_planes = planes.GreedyMinVar(budget);
+    Selection from_legacy = legacy.GreedyMinVar(budget);
+    Selection from_fresh = fresh.GreedyMinVar(budget);
+    EXPECT_EQ(from_planes.cleaned, from_fresh.cleaned);
+    EXPECT_EQ(from_legacy.cleaned, from_fresh.cleaned);
+    EXPECT_EQ(from_planes.order, from_fresh.order);
+  }
 }
 
 TEST(EvFastTest, PointMassObjectsContributeNothing) {

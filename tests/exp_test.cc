@@ -57,6 +57,8 @@ TEST(WorkloadRegistry, GoldenListWorkloads) {
       "greedy (--size)\n"
       "lnx_uniqueness             Fig 4: window-sum uniqueness on LNx "
       "(--gamma sweeps)\n"
+      "replan_scaling             Delta gate: warm replan latency vs "
+      "streamed delta size\n"
       "service_scaling            Serving gate: concurrent clients on one "
       "warm engine\n"
       "smx_uniqueness             Fig 5: window-sum uniqueness on SMx "
@@ -199,8 +201,9 @@ TEST(ExperimentJson, SchemaKeys) {
        {"\"workload\":", "\"algo\":", "\"budget\":", "\"budget_fraction\":",
         "\"seed\":", "\"threads\":", "\"lazy\":", "\"repetitions\":",
         "\"wall_ms\":", "\"wall_ms_min\":", "\"wall_ms_mean\":",
-        "\"evaluations\":", "\"cache_hits\":", "\"probes\":",
-        "\"commits\":", "\"kernel_calls\":", "\"kernel_atoms\":",
+        "\"evaluations\":", "\"cache_hits\":", "\"cache_evictions\":",
+        "\"probes\":", "\"commits\":", "\"kernel_calls\":",
+        "\"kernel_atoms\":", "\"plane_rows_rebuilt\":",
         "\"requests\":", "\"picked\":", "\"cost\":", "\"objective\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }

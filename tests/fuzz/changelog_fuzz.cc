@@ -1,0 +1,97 @@
+// Fuzz harness for the changelog replay path (serve/changelog.h) — the
+// bytes a restarting PlanningService trusts least.  Each input is treated
+// both as a <name>.log file replayed onto a fixed base problem and as a
+// <name>.snapshot document.  Replay must be fail-closed and all-or-
+// nothing: any defect (torn line, malformed JSON, duplicate / out-of-
+// order / gapped sequence numbers, a delta the problem rejects) returns
+// false with a diagnostic and leaves the problem bit-identical to the
+// base — never a crash, never a half-applied suffix.  On success the
+// epoch must equal the number of applied records.
+//
+// Build modes match json_value_fuzz.cc: libFuzzer under Clang with
+// FACTCHECK_FUZZ_LIBFUZZER, otherwise the shared deterministic
+// corpus-replay driver in standalone_driver.h.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "data/problem_io.h"
+#include "dist/discrete.h"
+#include "serve/changelog.h"
+
+namespace {
+
+using factcheck::CleaningProblem;
+using factcheck::DiscreteDistribution;
+using factcheck::UncertainObject;
+
+CleaningProblem MakeBaseProblem() {
+  std::vector<UncertainObject> objects;
+  for (int i = 0; i < 6; ++i) {
+    UncertainObject object;
+    object.label = "o" + std::to_string(i);
+    object.current_value = 10.0 + i;
+    object.cost = 1.0 + 0.25 * (i % 3);
+    double mid = 10.0 + i;
+    object.dist = DiscreteDistribution({mid - 1.0, mid, mid + 2.0 + 0.5 * i},
+                                       {0.25, 0.5, 0.25});
+    objects.push_back(std::move(object));
+  }
+  return CleaningProblem(std::move(objects));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;  // bound record count, not replay logic
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  // The base problem's serialization, for the untouched-on-failure check.
+  static const CleaningProblem* base = new CleaningProblem(MakeBaseProblem());
+  static const std::string* base_csv =
+      new std::string(factcheck::data::ProblemToCsv(*base));
+
+  CleaningProblem problem = *base;
+  std::int64_t last_seq = -1;
+  std::string error;
+  if (factcheck::serve::ReplayChangelog(text, /*base_seq=*/0, &problem,
+                                        &last_seq, &error)) {
+    // Applied count == final sequence number == epoch (base_seq is 0 and
+    // applied records are contiguous from 1).
+    if (last_seq < 0) __builtin_trap();
+    if (problem.epoch() != last_seq) __builtin_trap();
+  } else {
+    if (error.empty()) __builtin_trap();  // rejection must carry a reason
+    if (factcheck::data::ProblemToCsv(problem) != *base_csv) {
+      __builtin_trap();  // fail-closed: nothing half-applied
+    }
+  }
+
+  // The same bytes as a snapshot document: DecodeSnapshot never aborts.
+  std::int64_t seq = 0;
+  std::string csv;
+  std::vector<int> refs;
+  std::vector<double> coeffs;
+  error.clear();
+  if (!factcheck::serve::DecodeSnapshot(text, &seq, &csv, &refs, &coeffs,
+                                        &error) &&
+      error.empty()) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#ifndef FACTCHECK_FUZZ_LIBFUZZER
+
+#include "standalone_driver.h"
+
+int main(int argc, char** argv) {
+  return factcheck_fuzz::StandaloneMain(argc, argv, "changelog_fuzz",
+                                        "{}[]\",:0123456789.-\nseq");
+}
+
+#endif  // FACTCHECK_FUZZ_LIBFUZZER

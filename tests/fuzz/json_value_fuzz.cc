@@ -8,11 +8,10 @@
 // Two build modes (CMakeLists.txt):
 //   * Clang + FACTCHECK_FUZZ_LIBFUZZER: -fsanitize=fuzzer provides main;
 //     run as `json_value_fuzz -runs=N tests/fuzz/corpus`.
-//   * Everything else: the standalone driver below replays each corpus
-//     file plus a fixed set of deterministic mutations per seed — the
-//     bounded fuzz-smoke the sanitizer CI job runs.  Mutation randomness
-//     comes from splitmix64 seeded by file content, never wall clock, so
-//     a CI failure reproduces locally byte for byte.
+//   * Everything else: the shared standalone driver (standalone_driver.h)
+//     replays each corpus file plus a fixed set of deterministic
+//     mutations per seed — the bounded fuzz-smoke the sanitizer CI job
+//     runs.
 
 #include <cstddef>
 #include <cstdint>
@@ -69,116 +68,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
 #ifndef FACTCHECK_FUZZ_LIBFUZZER
 
-// Standalone driver: replay corpus files (arguments are files or
-// directories) and a fixed number of deterministic mutations of each.
-
-#include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <vector>
-
-namespace {
-
-constexpr int kMutationsPerSeed = 64;
-
-std::uint64_t SplitMix64(std::uint64_t* state) {
-  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-void RunOne(const std::string& bytes) {
-  LLVMFuzzerTestOneInput(
-      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
-}
-
-// Byte flips, truncations, duplications, and digit/quote splices — the
-// cheap mutations that historically break recursive-descent parsers.
-void MutateAndRun(const std::string& seed) {
-  std::uint64_t state = 0x5eed5eed5eed5eedULL;
-  for (char c : seed) state = state * 131 + static_cast<unsigned char>(c);
-  for (int m = 0; m < kMutationsPerSeed; ++m) {
-    std::string mutated = seed;
-    switch (SplitMix64(&state) % 4) {
-      case 0:  // flip one byte
-        if (!mutated.empty()) {
-          std::size_t pos = SplitMix64(&state) % mutated.size();
-          mutated[pos] = static_cast<char>(SplitMix64(&state) & 0xff);
-        }
-        break;
-      case 1:  // truncate
-        mutated.resize(mutated.size() -
-                       (mutated.empty()
-                            ? 0
-                            : SplitMix64(&state) % mutated.size()));
-        break;
-      case 2:  // duplicate a chunk in place
-        if (!mutated.empty()) {
-          std::size_t pos = SplitMix64(&state) % mutated.size();
-          mutated.insert(pos, mutated.substr(pos / 2, 16));
-        }
-        break;
-      default: {  // splice in a structural character
-        static constexpr char kSplice[] = "{}[]\",:0.eE+-\\u";
-        std::size_t pos =
-            mutated.empty() ? 0 : SplitMix64(&state) % mutated.size();
-        mutated.insert(pos, 1,
-                       kSplice[SplitMix64(&state) % (sizeof(kSplice) - 1)]);
-        break;
-      }
-    }
-    RunOne(mutated);
-  }
-}
-
-int ReplayPath(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "json_value_fuzz: cannot read %s\n",
-                 path.string().c_str());
-    return 1;
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  RunOne(bytes);
-  MutateAndRun(bytes);
-  return 0;
-}
-
-}  // namespace
+#include "standalone_driver.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: json_value_fuzz CORPUS_FILE_OR_DIR...\n"
-                 "(replays each input plus %d deterministic mutations)\n",
-                 kMutationsPerSeed);
-    return 2;
-  }
-  int inputs = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::filesystem::path path(argv[i]);
-    if (std::filesystem::is_directory(path)) {
-      // Sorted replay so runs are order-deterministic across filesystems.
-      std::vector<std::filesystem::path> files;
-      for (const auto& entry : std::filesystem::directory_iterator(path)) {
-        if (entry.is_regular_file()) files.push_back(entry.path());
-      }
-      std::sort(files.begin(), files.end());
-      for (const auto& file : files) {
-        if (ReplayPath(file) != 0) return 1;
-        ++inputs;
-      }
-    } else {
-      if (ReplayPath(path) != 0) return 1;
-      ++inputs;
-    }
-  }
-  std::printf("json_value_fuzz: %d seed(s) x %d mutations OK\n", inputs,
-              kMutationsPerSeed);
-  return 0;
+  return factcheck_fuzz::StandaloneMain(argc, argv, "json_value_fuzz",
+                                        "{}[]\",:0.eE+-\\u");
 }
 
 #endif  // FACTCHECK_FUZZ_LIBFUZZER

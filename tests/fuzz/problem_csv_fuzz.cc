@@ -1,0 +1,61 @@
+// Fuzz harness for the CSV problem loader (data/problem_io.h) — the
+// other channel through which untrusted bytes become a CleaningProblem
+// (register requests carry the problem as CSV, and restored snapshots
+// re-parse it at startup).  ProblemFromCsv must never crash or trip an
+// FC_CHECK: every malformed row — bad numbers, non-finite values,
+// mismatched support/prob lengths, non-positive costs, negative
+// probabilities — is rejected with a diagnostic BEFORE any
+// DiscreteDistribution is constructed.  On success the parse must be a
+// serialization fixed point: ProblemToCsv re-parses to byte-identical
+// CSV (the %.17g round-trip contract the snapshot codec leans on).
+//
+// Build modes match json_value_fuzz.cc: libFuzzer under Clang with
+// FACTCHECK_FUZZ_LIBFUZZER, otherwise the shared deterministic
+// corpus-replay driver in standalone_driver.h.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/problem_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;  // bound row count, not parser logic
+  std::string csv(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  std::optional<factcheck::CleaningProblem> problem =
+      factcheck::data::ProblemFromCsv(csv, &error);
+  if (!problem) {
+    if (error.empty()) __builtin_trap();  // rejection must carry a reason
+    return 0;
+  }
+  // Walk the parsed objects so latent inconsistencies surface under ASan.
+  double mass = 0.0;
+  for (int i = 0; i < problem->size(); ++i) {
+    const factcheck::DiscreteDistribution& dist = problem->object(i).dist;
+    for (int k = 0; k < dist.support_size(); ++k) mass += dist.prob(k);
+    (void)dist.Mean();
+  }
+  (void)mass;
+  // Round-trip fixed point: serialize, re-parse, serialize again.
+  std::string serialized = factcheck::data::ProblemToCsv(*problem);
+  std::optional<factcheck::CleaningProblem> again =
+      factcheck::data::ProblemFromCsv(serialized, &error);
+  if (!again) __builtin_trap();  // our own output must always parse
+  if (factcheck::data::ProblemToCsv(*again) != serialized) {
+    __builtin_trap();  // %.17g round-trip drifted
+  }
+  return 0;
+}
+
+#ifndef FACTCHECK_FUZZ_LIBFUZZER
+
+#include "standalone_driver.h"
+
+int main(int argc, char** argv) {
+  return factcheck_fuzz::StandaloneMain(argc, argv, "problem_csv_fuzz",
+                                        ",;\"\n-0.eE ");
+}
+
+#endif  // FACTCHECK_FUZZ_LIBFUZZER

@@ -1,0 +1,132 @@
+// Standalone corpus-replay driver shared by the fuzz harnesses.  When a
+// harness is NOT built against libFuzzer (see CMakeLists.txt), its main()
+// delegates here: every corpus file (arguments are files or directories)
+// is replayed verbatim plus a fixed number of deterministic mutations.
+// Mutation randomness comes from splitmix64 seeded by file content, never
+// wall clock, so a CI failure reproduces locally byte for byte.
+//
+// The harness defines LLVMFuzzerTestOneInput and calls StandaloneMain
+// with its tool name and a splice alphabet — the structural characters
+// whose misplacement historically breaks that harness's parser.
+
+#ifndef FACTCHECK_TESTS_FUZZ_STANDALONE_DRIVER_H_
+#define FACTCHECK_TESTS_FUZZ_STANDALONE_DRIVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace factcheck_fuzz {
+
+inline constexpr int kMutationsPerSeed = 64;
+
+inline std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+// Byte flips, truncations, duplications, and splices from the harness's
+// structural alphabet — the cheap mutations that historically break
+// hand-rolled parsers.
+inline void MutateAndRun(const std::string& seed, const char* splice) {
+  const std::size_t splice_len = std::strlen(splice);
+  std::uint64_t state = 0x5eed5eed5eed5eedULL;
+  for (char c : seed) state = state * 131 + static_cast<unsigned char>(c);
+  for (int m = 0; m < kMutationsPerSeed; ++m) {
+    std::string mutated = seed;
+    switch (SplitMix64(&state) % 4) {
+      case 0:  // flip one byte
+        if (!mutated.empty()) {
+          std::size_t pos = SplitMix64(&state) % mutated.size();
+          mutated[pos] = static_cast<char>(SplitMix64(&state) & 0xff);
+        }
+        break;
+      case 1:  // truncate
+        mutated.resize(mutated.size() -
+                       (mutated.empty()
+                            ? 0
+                            : SplitMix64(&state) % mutated.size()));
+        break;
+      case 2:  // duplicate a chunk in place
+        if (!mutated.empty()) {
+          std::size_t pos = SplitMix64(&state) % mutated.size();
+          mutated.insert(pos, mutated.substr(pos / 2, 16));
+        }
+        break;
+      default: {  // splice in a structural character
+        std::size_t pos =
+            mutated.empty() ? 0 : SplitMix64(&state) % mutated.size();
+        mutated.insert(pos, 1, splice[SplitMix64(&state) % splice_len]);
+        break;
+      }
+    }
+    RunOne(mutated);
+  }
+}
+
+inline int ReplayPath(const std::filesystem::path& path, const char* tool,
+                      const char* splice) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read %s\n", tool,
+                 path.string().c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  RunOne(bytes);
+  MutateAndRun(bytes, splice);
+  return 0;
+}
+
+inline int StandaloneMain(int argc, char** argv, const char* tool,
+                          const char* splice) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s CORPUS_FILE_OR_DIR...\n"
+                 "(replays each input plus %d deterministic mutations)\n",
+                 tool, kMutationsPerSeed);
+    return 2;
+  }
+  int inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path path(argv[i]);
+    if (std::filesystem::is_directory(path)) {
+      // Sorted replay so runs are order-deterministic across filesystems.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (ReplayPath(file, tool, splice) != 0) return 1;
+        ++inputs;
+      }
+    } else {
+      if (ReplayPath(path, tool, splice) != 0) return 1;
+      ++inputs;
+    }
+  }
+  std::printf("%s: %d seed(s) x %d mutations OK\n", tool, inputs,
+              kMutationsPerSeed);
+  return 0;
+}
+
+}  // namespace factcheck_fuzz
+
+#endif  // FACTCHECK_TESTS_FUZZ_STANDALONE_DRIVER_H_

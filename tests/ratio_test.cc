@@ -1,7 +1,12 @@
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "claims/ratio.h"
+#include "core/delta.h"
+#include "core/engine.h"
 #include "core/ev.h"
+#include "core/incremental.h"
 #include "data/synthetic.h"
 #include "util/random.h"
 
@@ -117,6 +122,75 @@ TEST(RatioEvEvaluatorDeathTest, OverlappingPerturbationsAbort) {
   EXPECT_DEATH(
       RatioEvEvaluator(&p, &context, QualityMeasure::kBias, 0.0),
       "CHECK failed");
+}
+
+// The engine's incremental greedy driven through MakeIncremental must
+// select bit-identically to the bespoke GreedyMinVar — the satellite that
+// ported RatioEvEvaluator onto the IncrementalObjective protocol.
+TEST(RatioEvEvaluatorTest, EngineIncrementalMatchesBespokeGreedy) {
+  for (uint64_t seed : {3u, 21u, 77u}) {
+    CleaningProblem p = data::MakeSynthetic(
+        data::SyntheticFamily::kUniformRandom, seed,
+        {.size = 16, .min_support = 2, .max_support = 3});
+    RatioPerturbationSet context =
+        NonOverlappingRatioPerturbations(16, 2, 4, 1.5);
+    for (QualityMeasure measure :
+         {QualityMeasure::kBias, QualityMeasure::kDuplicity}) {
+      RatioEvEvaluator evaluator(&p, &context, measure, 0.1);
+      const double budget = p.TotalCost() * 0.3;
+      Selection bespoke = evaluator.GreedyMinVar(budget);
+
+      EvalEngine engine(
+          [&](const std::vector<int>& cleaned) { return evaluator.EV(cleaned); },
+          OptimizeDirection::kMinimize);
+      std::unique_ptr<IncrementalObjective> incremental =
+          evaluator.MakeIncremental();
+      GreedyOptions options;
+      options.incremental = incremental.get();
+      Selection engine_sel = engine.PlainGreedy(p.Costs(), budget, options);
+
+      EXPECT_EQ(engine_sel.cleaned, bespoke.cleaned)
+          << "seed " << seed << " measure " << static_cast<int>(measure);
+      EXPECT_EQ(engine_sel.order, bespoke.order);
+      EXPECT_EQ(engine_sel.cost, bespoke.cost);  // bit-exact
+      // The incremental protocol actually ran: probes, not batch sweeps.
+      EXPECT_GT(engine.stats().probes, 0);
+      EXPECT_EQ(engine.stats().commits,
+                static_cast<std::int64_t>(engine_sel.cleaned.size()));
+    }
+  }
+}
+
+// A mutation between evaluations is absorbed by RefreshIfStale: the
+// evaluator answers exactly like one constructed fresh on the mutated
+// problem (the stale-term-cache bugfix).
+TEST(RatioEvEvaluatorTest, RefreshAfterMutationMatchesFreshEvaluator) {
+  CleaningProblem p = data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, 9,
+      {.size = 16, .min_support = 2, .max_support = 3});
+  RatioPerturbationSet context =
+      NonOverlappingRatioPerturbations(16, 2, 4, 1.5);
+  RatioEvEvaluator live(&p, &context, QualityMeasure::kDuplicity, 0.1);
+  // Warm the term caches on the pre-mutation state.
+  std::vector<std::vector<int>> sets = {{}, {0, 1}, {4, 5, 10}, {2, 7, 12}};
+  for (const auto& cleaned : sets) live.EV(cleaned);
+
+  // Mutate an object referenced by the first perturbation, plus an
+  // unrelated cost (which must not disturb any term).
+  const int touched = context.perturbations[0].References()[0];
+  p.Apply(ProblemDelta::ReplaceDistribution(
+      touched, DiscreteDistribution({1.0, 3.0, 50.0}, {0.25, 0.5, 0.25})));
+  p.Apply(ProblemDelta::SetCost(15, 9.0));
+
+  RatioEvEvaluator fresh(&p, &context, QualityMeasure::kDuplicity, 0.1);
+  for (const auto& cleaned : sets) {
+    EXPECT_EQ(live.EV(cleaned), fresh.EV(cleaned))  // bit-exact
+        << "cleaned set size " << cleaned.size();
+  }
+  Selection warm = live.GreedyMinVar(p.TotalCost() * 0.3);
+  Selection cold = fresh.GreedyMinVar(p.TotalCost() * 0.3);
+  EXPECT_EQ(warm.cleaned, cold.cleaned);
+  EXPECT_EQ(warm.order, cold.order);
 }
 
 TEST(RatioClaimTest, DenominatorGuardKeepsRatioFinite) {

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include "core/delta.h"
 #include "core/engine.h"
 #include "core/ev.h"
 #include "core/object.h"
@@ -27,6 +30,7 @@
 #include "core/query_function.h"
 #include "data/problem_io.h"
 #include "dist/planes.h"
+#include "serve/changelog.h"
 #include "serve/json_value.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -476,6 +480,269 @@ TEST(PlanningService, DistinctProblemsPlanInParallel) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(service.total_requests(), kProblems * 4);
+}
+
+// --- PlanningService: the update verb + persistence -------------------------
+
+std::string DeltaJson(const ProblemDelta& delta) {
+  JsonWriter writer;
+  WriteDeltaJson(delta, writer);
+  return writer.str();
+}
+
+std::string UpdateLine(const std::string& name,
+                       const std::string& deltas_array) {
+  return "{\"op\":\"update\",\"problem\":\"" + name +
+         "\",\"deltas\":" + deltas_array + "}";
+}
+
+std::int64_t EpochOf(PlanningService& service, const std::string& name) {
+  JsonValue stats = ParseOk(service.HandleLine("{\"op\":\"stats\"}"));
+  for (const JsonValue& problem : stats.Find("stats")->Find("problems")->array()) {
+    if (problem.Find("name")->string() == name) {
+      return static_cast<std::int64_t>(problem.Find("epoch")->number());
+    }
+  }
+  ADD_FAILURE() << "problem " << name << " missing from stats";
+  return -1;
+}
+
+// The stale-cache regression this PR fixes: a problem mutation between
+// two plans on the same session engine must force re-evaluation, and the
+// re-planned selection must be bit-identical to a cold service planning
+// the mutated problem from scratch.
+TEST(PlanningService, MutationBetweenPlansReEvaluates) {
+  CleaningProblem problem = MakeProblem();
+  PlanningService service;
+  ParseOk(service.HandleLine(RegisterLine("p", data::ProblemToCsv(problem))));
+  const std::string line = PlanLine("p", "greedy_minvar", 3.0);
+  JsonValue first = ParseOk(service.HandleLine(line));
+  JsonValue warm = ParseOk(service.HandleLine(line));
+  EXPECT_EQ(StatOf(warm, "evaluations"), StatOf(first, "evaluations"));
+
+  // Blow up object 0's uncertainty; the optimal selection changes.
+  DiscreteDistribution wide({0.0, 60.0}, {0.5, 0.5});
+  JsonValue updated = ParseOk(service.HandleLine(UpdateLine(
+      "p", "[" + DeltaJson(ProblemDelta::ReplaceDistribution(0, wide)) + "]")));
+  EXPECT_EQ(updated.Find("applied")->number(), 1.0);
+  EXPECT_EQ(updated.Find("epoch")->number(), 1.0);
+  EXPECT_EQ(updated.Find("objects")->number(), problem.size());
+
+  JsonValue replanned = ParseOk(service.HandleLine(line));
+  // Before the epoch protocol the warm memo served the pre-mutation
+  // values: evaluations stayed frozen and the selection was stale.
+  EXPECT_GT(StatOf(replanned, "evaluations"), StatOf(warm, "evaluations"));
+  EXPECT_GT(StatOf(replanned, "cache_evictions"), 0);
+
+  CleaningProblem mutated = problem;
+  mutated.ReplaceDistribution(0, wide);
+  PlanningService oracle;
+  ParseOk(oracle.HandleLine(RegisterLine("p", data::ProblemToCsv(mutated))));
+  JsonValue expected = ParseOk(oracle.HandleLine(line));
+  EXPECT_EQ(CleanedOf(replanned), CleanedOf(expected));
+  const std::vector<JsonValue>& trajectory =
+      replanned.Find("result")->Find("trajectory")->array();
+  const std::vector<JsonValue>& oracle_trajectory =
+      expected.Find("result")->Find("trajectory")->array();
+  ASSERT_EQ(trajectory.size(), oracle_trajectory.size());
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    EXPECT_EQ(trajectory[i].number(), oracle_trajectory[i].number());
+  }
+}
+
+TEST(PlanningService, UpdateErrorPathsAreAllOrNothing) {
+  CleaningProblem problem = MakeProblem();
+  PlanningService service;
+  ParseOk(service.HandleLine(RegisterLine("p", data::ProblemToCsv(problem))));
+
+  auto expect_error = [&](const std::string& line, const char* needle) {
+    std::optional<JsonValue> response =
+        JsonValue::Parse(service.HandleLine(line));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(response->Find("ok")->boolean()) << line;
+    EXPECT_NE(response->Find("error")->string().find(needle),
+              std::string::npos)
+        << response->Find("error")->string();
+  };
+  expect_error(UpdateLine("ghost", "[{\"kind\":\"set_cost\",\"object\":0,"
+                                   "\"cost\":1}]"),
+               "unknown problem");
+  expect_error("{\"op\":\"update\",\"problem\":\"p\"}",
+               "\"deltas\" must be a non-empty array");
+  expect_error(UpdateLine("p", "[]"), "non-empty array");
+  expect_error(UpdateLine("p", "7"), "non-empty array");
+  // A defect anywhere in the batch rejects the whole batch: valid first
+  // delta, malformed second — the valid one must NOT have been applied.
+  expect_error(
+      UpdateLine("p", "[" + DeltaJson(ProblemDelta::SetCost(0, 9.0)) +
+                          ",{\"kind\":\"bogus\"}]"),
+      "deltas[1]");
+  EXPECT_EQ(EpochOf(service, "p"), 0);
+  // Same for a structurally invalid delta (index out of range).
+  expect_error(
+      UpdateLine("p", "[" + DeltaJson(ProblemDelta::SetCost(0, 9.0)) + "," +
+                          DeltaJson(ProblemDelta::SetCost(99, 1.0)) + "]"),
+      "deltas[1]");
+  EXPECT_EQ(EpochOf(service, "p"), 0);
+  // Errors leave the service usable.
+  ParseOk(service.HandleLine(
+      UpdateLine("p", "[" + DeltaJson(ProblemDelta::SetCost(0, 9.0)) + "]")));
+  EXPECT_EQ(EpochOf(service, "p"), 1);
+}
+
+TEST(PlanningService, UpdateRejectsRemovingQueryReferencedObjects) {
+  CleaningProblem problem = MakeProblem(6);
+  const std::string csv = data::ProblemToCsv(problem);
+  PlanningService service;
+  std::string error;
+  // "head" only references objects 0 and 1; "tail" references the last.
+  ASSERT_TRUE(service.RegisterProblem("head", csv, {0, 1}, {1.0, 1.0}, &error))
+      << error;
+  ASSERT_TRUE(service.RegisterProblem("tail", csv, {0, 5}, {1.0, 1.0}, &error))
+      << error;
+
+  const std::string removal =
+      "[" + DeltaJson(ProblemDelta::RemoveObject(5)) + "]";
+  JsonValue ok = ParseOk(service.HandleLine(UpdateLine("head", removal)));
+  EXPECT_EQ(ok.Find("objects")->number(), 5.0);
+
+  std::optional<JsonValue> rejected =
+      JsonValue::Parse(service.HandleLine(UpdateLine("tail", removal)));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_FALSE(rejected->Find("ok")->boolean());
+  EXPECT_NE(rejected->Find("error")->string().find("cannot be removed"),
+            std::string::npos)
+      << rejected->Find("error")->string();
+  EXPECT_EQ(EpochOf(service, "tail"), 0);
+}
+
+std::string TestChangelogDir(const char* tag) {
+  return "/tmp/fc_serve_chlog_" + std::string(tag) + "_" +
+         std::to_string(::getpid());
+}
+
+// A restarted service replays the changelog and serves plans bit-identical
+// to the never-restarted one — the tentpole's durability contract.
+TEST(PlanningService, RestartFromChangelogIsBitIdentical) {
+  const std::string dir = TestChangelogDir("restart");
+  std::filesystem::remove_all(dir);
+  CleaningProblem problem = MakeProblem();
+  const std::string line = PlanLine("p", "greedy_minvar", 3.0);
+  std::vector<int> live_cleaned;
+  std::vector<double> live_trajectory;
+  {
+    PlanningService service;
+    std::string error;
+    ASSERT_TRUE(service.EnablePersistence(dir, &error)) << error;
+    ParseOk(service.HandleLine(RegisterLine("p", data::ProblemToCsv(problem))));
+    ParseOk(service.HandleLine(UpdateLine(
+        "p", "[" +
+                 DeltaJson(ProblemDelta::ReplaceDistribution(
+                     1, DiscreteDistribution({5.0, 25.0}, {0.5, 0.5}))) +
+                 "," + DeltaJson(ProblemDelta::SetCost(2, 0.5)) + "]")));
+    ParseOk(service.HandleLine(
+        UpdateLine("p", "[" + DeltaJson(ProblemDelta::Clean(3, 13.0)) + "]")));
+    JsonValue live = ParseOk(service.HandleLine(line));
+    live_cleaned = CleanedOf(live);
+    for (const JsonValue& v :
+         live.Find("result")->Find("trajectory")->array()) {
+      live_trajectory.push_back(v.number());
+    }
+  }
+
+  PlanningService restarted;
+  std::string error;
+  ASSERT_TRUE(restarted.EnablePersistence(dir, &error)) << error;
+  EXPECT_TRUE(restarted.HasProblem("p"));
+  // Re-registering the restored name is still a duplicate.
+  std::optional<JsonValue> dup = JsonValue::Parse(restarted.HandleLine(
+      RegisterLine("p", data::ProblemToCsv(problem))));
+  EXPECT_FALSE(dup->Find("ok")->boolean());
+
+  JsonValue replayed = ParseOk(restarted.HandleLine(line));
+  EXPECT_EQ(CleanedOf(replayed), live_cleaned);
+  const std::vector<JsonValue>& trajectory =
+      replayed.Find("result")->Find("trajectory")->array();
+  ASSERT_EQ(trajectory.size(), live_trajectory.size());
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    EXPECT_EQ(trajectory[i].number(), live_trajectory[i]);  // bit-exact
+  }
+
+  // Updates keep appending at the restored sequence: a second restart
+  // replays them too.
+  ParseOk(restarted.HandleLine(
+      UpdateLine("p", "[" + DeltaJson(ProblemDelta::SetCost(0, 3.0)) + "]")));
+  std::vector<int> after_update =
+      CleanedOf(ParseOk(restarted.HandleLine(line)));
+  PlanningService third;
+  ASSERT_TRUE(third.EnablePersistence(dir, &error)) << error;
+  EXPECT_EQ(CleanedOf(ParseOk(third.HandleLine(line))), after_update);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanningService, ChangelogCompactionKeepsRestartsWorking) {
+  const std::string dir = TestChangelogDir("compact");
+  std::filesystem::remove_all(dir);
+  CleaningProblem problem = MakeProblem();
+  const std::string line = PlanLine("p", "greedy_minvar", 3.0);
+  std::vector<int> live_cleaned;
+  {
+    PlanningService service;
+    std::string error;
+    ASSERT_TRUE(service.EnablePersistence(dir, &error)) << error;
+    ParseOk(service.HandleLine(RegisterLine("p", data::ProblemToCsv(problem))));
+    // Enough single-delta updates to cross the compaction threshold (64).
+    for (int i = 0; i < 70; ++i) {
+      ParseOk(service.HandleLine(UpdateLine(
+          "p", "[" +
+                   DeltaJson(ProblemDelta::SetCost(i % 6, 1.0 + 0.01 * i)) +
+                   "]")));
+    }
+    ParseOk(service.HandleLine(UpdateLine(
+        "p", "[" +
+                 DeltaJson(ProblemDelta::ReplaceDistribution(
+                     0, DiscreteDistribution({2.0, 30.0}, {0.5, 0.5}))) +
+                 "]")));
+    live_cleaned = CleanedOf(ParseOk(service.HandleLine(line)));
+    EXPECT_EQ(EpochOf(service, "p"), 71);
+  }
+  // The log was compacted into the snapshot: far fewer than 71 records.
+  {
+    std::ifstream log(dir + "/p.log");
+    ASSERT_TRUE(log.good());
+    int lines = 0;
+    std::string unused;
+    while (std::getline(log, unused)) ++lines;
+    EXPECT_LT(lines, 64);
+  }
+  PlanningService restarted;
+  std::string error;
+  ASSERT_TRUE(restarted.EnablePersistence(dir, &error)) << error;
+  EXPECT_EQ(CleanedOf(ParseOk(restarted.HandleLine(line))), live_cleaned);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanningService, PersistenceRefusesACorruptChangelog) {
+  const std::string dir = TestChangelogDir("corrupt");
+  std::filesystem::remove_all(dir);
+  {
+    PlanningService service;
+    std::string error;
+    ASSERT_TRUE(service.EnablePersistence(dir, &error)) << error;
+    ParseOk(service.HandleLine(
+        RegisterLine("p", data::ProblemToCsv(MakeProblem()))));
+    ParseOk(service.HandleLine(
+        UpdateLine("p", "[" + DeltaJson(ProblemDelta::SetCost(0, 2.0)) + "]")));
+  }
+  {
+    std::ofstream log(dir + "/p.log", std::ios::app);
+    log << "{torn";  // no newline: a crash mid-append
+  }
+  PlanningService restarted;
+  std::string error;
+  EXPECT_FALSE(restarted.EnablePersistence(dir, &error));
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove_all(dir);
 }
 
 // --- CleaningProblem: planes thread-safety contract ------------------------

@@ -16,8 +16,9 @@ SCHEMA = "factcheck.bench.v1"
 CELL_KEYS = {
     "workload", "algo", "seed", "budget", "budget_fraction", "threads",
     "lazy", "repetitions", "wall_ms", "wall_ms_min", "wall_ms_mean",
-    "evaluations", "cache_hits", "probes", "commits", "kernel_calls",
-    "kernel_atoms", "requests", "picked", "cost", "objective",
+    "evaluations", "cache_hits", "cache_evictions", "probes", "commits",
+    "kernel_calls", "kernel_atoms", "plane_rows_rebuilt", "requests",
+    "picked", "cost", "objective",
 }
 SPEC_KEYS = {
     "workload", "size", "gamma", "algorithms", "budget_fractions",

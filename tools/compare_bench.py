@@ -17,7 +17,14 @@ Improvements and new cells are reported but pass.
 baseline cell records a nonzero value: fewer cache hits means lost
 cross-request reuse (the serving regression this gate exists to catch)
 and MORE cache hits under identical evaluations means the workload
-changed shape, so any drift fails rather than just increases.
+changed shape, so any drift fails rather than just increases.  The
+delta-subsystem counters `cache_evictions` and `plane_rows_rebuilt` are
+exact the same way: evictions drifting up means epoch downdating got
+coarser (stale-cache safety margin turning into rebuild cost), drifting
+down means entries survive that should have been invalidated, and
+`plane_rows_rebuilt` must stay at exactly the number of mutated rows
+(the O(changed objects) warm-replan contract of the replan_scaling
+gate).
 
 Regenerate the checked-in baseline with the spec documented in README.md
 ("Perf baselines") whenever an intentional algorithmic change shifts the
@@ -33,8 +40,9 @@ COUNTERS = ("evaluations", "probes")
 OPTIONAL_COUNTERS = ("kernel_calls", "kernel_atoms")
 # Must match the baseline exactly (both directions are regressions), and
 # only gated when the baseline records a nonzero value — a zero means the
-# cell never exercised the serving/memo path.
-EXACT_COUNTERS = ("cache_hits", "requests")
+# cell never exercised the serving/memo/delta path.
+EXACT_COUNTERS = ("cache_hits", "requests", "cache_evictions",
+                  "plane_rows_rebuilt")
 
 
 def cell_key(cell):

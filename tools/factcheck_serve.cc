@@ -23,8 +23,9 @@ namespace {
 constexpr char kUsage[] =
     "usage:\n"
     "  factcheck_serve --socket PATH [--threads N]\n"
-    "                  [--problem NAME=FILE.csv ...]\n"
-    "      run the daemon until SIGINT/SIGTERM\n"
+    "                  [--problem NAME=FILE.csv ...] [--changelog DIR]\n"
+    "      run the daemon until SIGINT/SIGTERM; --changelog persists\n"
+    "      problems + streaming updates to DIR and restores them on start\n"
     "  factcheck_serve call --socket PATH REQUEST_JSON [...]\n"
     "      send one request line per argument, print one response line "
     "each\n";
@@ -81,6 +82,7 @@ int CallMain(int argc, char** argv) {
 
 int ServeMain(int argc, char** argv) {
   factcheck::serve::ServerOptions options;
+  std::string changelog_dir;
   std::vector<std::pair<std::string, std::string>> preload;  // name -> path
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -108,6 +110,8 @@ int ServeMain(int argc, char** argv) {
         return 1;
       }
       preload.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (arg == "--changelog") {
+      if (!next(&changelog_dir)) return 1;
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -124,7 +128,25 @@ int ServeMain(int argc, char** argv) {
   }
 
   factcheck::serve::PlanningService service;
+  if (!changelog_dir.empty()) {
+    std::string error;
+    if (!service.EnablePersistence(changelog_dir, &error)) {
+      Fail("--changelog " + changelog_dir + ": " + error);
+      return 1;
+    }
+    std::fprintf(stderr, "factcheck_serve: changelog at %s\n",
+                 changelog_dir.c_str());
+  }
   for (const auto& [name, path] : preload) {
+    if (service.HasProblem(name)) {
+      // Restored from the changelog, which has the authoritative state
+      // (the CSV on disk predates any streamed updates).
+      std::fprintf(stderr,
+                   "factcheck_serve: \"%s\" restored from changelog, "
+                   "skipping %s\n",
+                   name.c_str(), path.c_str());
+      continue;
+    }
     std::string csv, error;
     if (!ReadFile(path, &csv)) {
       Fail("cannot open " + path);
