@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "core/problem.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace factcheck {
@@ -131,7 +132,10 @@ void EvalEngine::SyncEpoch() {
   CleaningProblem::ProblemChanges changes;
   if (!bound_problem_->ChangesSince(seen_epoch_, &changes)) {
     // The journal no longer reaches our stamp (too many mutations, or the
-    // instance was replaced wholesale): everything is suspect.
+    // instance was replaced wholesale): everything is suspect.  Counted
+    // as a full rebuild — the serving layer's journal-overrun
+    // degradation path, distinct from the selective downdates below.
+    ++stats_.full_rebuilds;
     InvalidateAll();
   } else if (changes.structure_changed || changes.values_changed) {
     // Both policies read every current value (MaxPr's threshold and
@@ -176,6 +180,50 @@ void EvalEngine::InvalidateAll() {
       static_cast<std::int64_t>(cache_.size() + overflow_.size());
   cache_.clear();
   overflow_.clear();
+}
+
+bool EvalEngine::CheckMemoInvariants(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  // Const re-derivation of the signature (HashElement mutates stats).
+  auto signature_of = [this](const std::vector<int>& key) {
+    std::uint64_t sig = 0;
+    for (int x : key) {
+      sig += degenerate_signature_
+                 ? 0
+                 : SplitMix64(static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(x)));
+    }
+    return sig;
+  };
+  auto canonical = [](const std::vector<int>& key) {
+    return std::is_sorted(key.begin(), key.end()) &&
+           std::adjacent_find(key.begin(), key.end()) == key.end();
+  };
+  for (const auto& [sig, entry] : cache_) {
+    if (!canonical(entry.key)) {
+      return fail("memo: primary entry key is not canonical");
+    }
+    if (signature_of(entry.key) != sig) {
+      return fail("memo: primary entry filed under a foreign signature");
+    }
+  }
+  for (const auto& [key, value] : overflow_) {
+    (void)value;
+    if (!canonical(key)) {
+      return fail("memo: overflow key is not canonical");
+    }
+    auto it = cache_.find(signature_of(key));
+    if (it == cache_.end()) {
+      return fail("memo: overflow entry without a colliding primary entry");
+    }
+    if (it->second.key == key) {
+      return fail("memo: overflow entry duplicates its primary entry");
+    }
+  }
+  return true;
 }
 
 std::uint64_t EvalEngine::HashElement(int x) {
@@ -386,6 +434,17 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
   const bool stop_when_no_gain = direction_ == OptimizeDirection::kMaximize;
   Selection sel;
   std::vector<bool> taken(n, false);
+  // Cooperative cancellation: polled before the initial empty-set
+  // evaluation and at each round boundary.  Cancellation can only land
+  // BETWEEN engine batches, so the memo never holds a half-committed
+  // batch; the (partial) selection is returned for the caller to discard
+  // and the final check is skipped.
+  bool cancelled = options.cancel != nullptr && options.cancel->Cancelled();
+  if (cancelled) {
+    FinishSelection(sel);
+    if (options.stats_out != nullptr) *options.stats_out = stats_;
+    return sel;
+  }
   double current = Evaluate({});
 
   auto score_of = [&](double value, int i) {
@@ -412,6 +471,10 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     // Full rescan every round, exactly the Algorithm-1 adaptive loop; the
     // round's candidates go through the engine as one extension batch.
     while (true) {
+      if (options.cancel != nullptr && options.cancel->Cancelled()) {
+        cancelled = true;
+        break;
+      }
       cand.clear();
       for (int i = 0; i < n; ++i) {
         if (!taken[i] && sel.cost + costs[i] <= budget) cand.push_back(i);
@@ -462,6 +525,10 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     }
     int gen = 0;
     while (true) {
+      if (options.cancel != nullptr && options.cancel->Cancelled()) {
+        cancelled = true;
+        break;
+      }
       int pick = -1;
       double pick_value = 0.0;
       while (!heap.empty()) {
@@ -487,7 +554,7 @@ Selection EvalEngine::Greedy(const std::vector<double>& costs, double budget,
     }
   }
 
-  if (options.final_check && !sel.cleaned.empty()) {
+  if (options.final_check && !cancelled && !sel.cleaned.empty()) {
     // Lines 5-8 of Algorithm 1: if some affordable single object alone
     // beats the accumulated set, take it instead.  The singletons were
     // evaluated in round one, so this batch is all cache hits.
@@ -526,6 +593,13 @@ Selection EvalEngine::GreedyIncremental(const std::vector<double>& costs,
   Selection sel;
   std::vector<bool> taken(n, false);
 
+  bool cancelled = options.cancel != nullptr && options.cancel->Cancelled();
+  if (cancelled) {
+    FinishSelection(sel);
+    if (options.stats_out != nullptr) *options.stats_out = stats_;
+    return sel;
+  }
+
   inc->Reset({});
   ++stats_.evaluations;  // one full-objective build
   const double value0 = inc->Value();
@@ -559,6 +633,10 @@ Selection EvalEngine::GreedyIncremental(const std::vector<double>& costs,
   if (!lazy) {
     bool first_round = true;
     while (true) {
+      if (options.cancel != nullptr && options.cancel->Cancelled()) {
+        cancelled = true;
+        break;
+      }
       int best = -1;
       double best_score = 0.0, best_gain = 0.0;
       for (int i = 0; i < n; ++i) {
@@ -602,6 +680,10 @@ Selection EvalEngine::GreedyIncremental(const std::vector<double>& costs,
     }
     int gen = 0;
     while (true) {
+      if (options.cancel != nullptr && options.cancel->Cancelled()) {
+        cancelled = true;
+        break;
+      }
       int pick = -1;
       double pick_gain = 0.0;
       while (!heap.empty()) {
@@ -623,7 +705,7 @@ Selection EvalEngine::GreedyIncremental(const std::vector<double>& costs,
     }
   }
 
-  if (options.final_check && !sel.cleaned.empty()) {
+  if (options.final_check && !cancelled && !sel.cleaned.empty()) {
     int best = -1;
     double best_value = 0.0;
     for (int i = 0; i < n; ++i) {

@@ -76,6 +76,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -139,6 +140,20 @@ struct EngineStats {
   // against (CleaningProblem::plane_rows_rebuilt; filled by holders, like
   // `requests`) — the partial-rebuild meter of the streaming-delta path.
   std::int64_t plane_rows_rebuilt = 0;
+  // Journal-overrun fallbacks: how many times SyncEpoch found the bound
+  // problem's delta journal no longer reaching this engine's stamp and
+  // fell back to a full memo flush (the degradation path the >256-delta
+  // serving test pins).  Selective downdates do NOT count here.
+  std::int64_t full_rebuilds = 0;
+  // Robustness counters of the serving failure paths (filled by holders,
+  // like `requests` — the engine itself never touches them; the
+  // degraded_scaling bench reports them for BENCH_robust.json):
+  // shed connections, deadline-cancelled requests, client-session
+  // retries, and deterministic injected faults (util/fault.h).
+  std::int64_t sheds = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t retries = 0;
+  std::int64_t faults_injected = 0;
 };
 
 class EvalEngine {
@@ -211,6 +226,16 @@ class EvalEngine {
   // collision-path tests drive the engine through this to prove the memo
   // stays sound under the worst possible hash.
   void UseDegenerateSignatureForTest() { degenerate_signature_ = true; }
+
+  // Structural audit of the memo tables, used by the robustness suite to
+  // prove a cancelled / faulted run left the cache consistent: every
+  // primary entry's stored key must be canonical (sorted, duplicate-free)
+  // and re-hash to exactly the signature it is filed under, and every
+  // overflow key must be canonical and collide with a live primary entry
+  // of the same signature (overflow entries only exist for sets whose
+  // signature slot is taken).  Pure read — no stats, no mutation.
+  // Returns false (with a diagnostic) on the first violation.
+  bool CheckMemoInvariants(std::string* error = nullptr) const;
 
  private:
   // RAII single-writer assertion taken by every public entry point: the

@@ -26,6 +26,7 @@
 namespace factcheck {
 
 class ThreadPool;
+class CancelToken;
 struct EngineStats;
 class EvalEngine;
 class IncrementalObjective;
@@ -84,6 +85,15 @@ struct GreedyOptions {
   // and its benefit probes/picks as `probes`/`commits`; other engine-free
   // algorithms leave it untouched.  Borrowed, must outlive the call.
   EngineStats* stats_out = nullptr;
+  // Optional cooperative cancellation (util/cancel.h), polled by the
+  // engine-backed drivers at round boundaries — before the initial
+  // empty-set evaluation and before each selection round.  A cancelled
+  // run returns early with whatever partial selection it built (callers
+  // discard it — Planner::TryPlan turns a cancelled run into an error)
+  // and skips the final single-item check; the engine memo stays
+  // consistent because no batch is ever abandoned half-committed.
+  // Borrowed, must outlive the call; polled from the calling thread only.
+  const CancelToken* cancel = nullptr;
 };
 
 // Uniformly random selection (skips objects that no longer fit).

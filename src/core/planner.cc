@@ -12,6 +12,7 @@
 #include "core/registry.h"
 #include "montecarlo/mc_greedy.h"
 #include "submodular/issc.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -265,6 +266,13 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
     return std::nullopt;
   }
 
+  // Deadline check before any work: a request that arrives already
+  // expired is rejected without building the objective.
+  if (request.cancel != nullptr && request.cancel->Cancelled()) {
+    SetError(error, "deadline exceeded");
+    return std::nullopt;
+  }
+
   PlanResult result;
   result.algorithm = algorithm;
   result.objective = ObjectiveKindName(request.objective);
@@ -306,6 +314,7 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
   ctx.greedy.pool = pool.has_value() ? &*pool : nullptr;
   ctx.greedy.incremental = incremental.get();
   ctx.greedy.stats_out = &result.stats;
+  ctx.greedy.cancel = request.cancel;
   // Persistent engine: same uses_objective gate as the incremental factory
   // — the engine's retained objective mirrors PlanContext::objective, so
   // only algorithms that greedy-drive it may run on the shared memo.
@@ -318,6 +327,14 @@ std::optional<PlanResult> Planner::TryPlan(const PlanRequest& request,
   Stopwatch stopwatch;
   result.selection = algo->run(ctx);
   result.wall_seconds = stopwatch.ElapsedSeconds();
+
+  // A run the token stopped mid-way produced a partial selection; discard
+  // it rather than hand back a silently worse plan.  The engine memo is
+  // untouched by the discard — cancellation only ever skips work.
+  if (request.cancel != nullptr && request.cancel->Cancelled()) {
+    SetError(error, "deadline exceeded");
+    return std::nullopt;
+  }
 
   result.labels.reserve(result.selection.cleaned.size());
   for (int i : result.selection.cleaned) {

@@ -28,6 +28,7 @@
 namespace factcheck {
 
 class AlgorithmRegistry;
+class CancelToken;
 
 // Which paper objective the plan optimizes (Section 2.2).
 enum class ObjectiveKind {
@@ -97,6 +98,15 @@ struct PlanRequest {
   // direct-call defaults; the equivalence suite relies on that).
   double fptas_eps = 0.1;     // knapsack_fptas_* accuracy
   double cost_scale = 10.0;   // knapsack_dp_* cost-rounding resolution
+
+  // Optional cooperative deadline (util/cancel.h).  Checked on entry,
+  // threaded to the engine-backed drivers through GreedyOptions::cancel
+  // (polled at round boundaries), and checked again after the run: a
+  // cancelled plan returns nullopt with error "deadline exceeded" and its
+  // partial selection is discarded — the session engine's memo stays
+  // consistent, so the next request on the same engine plans as if the
+  // cancelled one never happened.  Borrowed, polled from this thread only.
+  const CancelToken* cancel = nullptr;
 
   EngineOptions engine;
   // Re-evaluate the objective on every pick prefix for

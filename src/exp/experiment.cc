@@ -107,6 +107,10 @@ std::optional<ExperimentCell> ExperimentRunner::TryRunCell(
   cell.kernel_atoms = cell.result.stats.kernel_atoms;
   cell.plane_rows_rebuilt = cell.result.stats.plane_rows_rebuilt;
   cell.requests = cell.result.stats.requests;
+  cell.sheds = cell.result.stats.sheds;
+  cell.deadline_exceeded = cell.result.stats.deadline_exceeded;
+  cell.retries = cell.result.stats.retries;
+  cell.faults_injected = cell.result.stats.faults_injected;
 
   if (with_objective) {
     if (workload.metric != nullptr) {
@@ -237,6 +241,10 @@ void WriteCellJson(const ExperimentCell& cell, JsonWriter& writer) {
   writer.Key("kernel_atoms").Int(cell.kernel_atoms);
   writer.Key("plane_rows_rebuilt").Int(cell.plane_rows_rebuilt);
   writer.Key("requests").Int(cell.requests);
+  writer.Key("sheds").Int(cell.sheds);
+  writer.Key("deadline_exceeded").Int(cell.deadline_exceeded);
+  writer.Key("retries").Int(cell.retries);
+  writer.Key("faults_injected").Int(cell.faults_injected);
   writer.Key("picked").Int(
       static_cast<std::int64_t>(cell.result.selection.cleaned.size()));
   writer.Key("cost").Number(cell.result.selection.cost);

@@ -11,6 +11,7 @@
 // budget_fraction / threads / lazy / repetitions / wall_ms / wall_ms_min /
 // wall_ms_mean / evaluations / cache_hits / cache_evictions / probes /
 // commits / kernel_calls / kernel_atoms / plane_rows_rebuilt / requests /
+// sheds / deadline_exceeded / retries / faults_injected /
 // picked / cost / objective),
 // which is what
 // the BENCH_*.json perf-trajectory
@@ -78,6 +79,13 @@ struct ExperimentCell {
   std::int64_t kernel_atoms = 0;  // atoms written by those kernels
   std::int64_t plane_rows_rebuilt = 0;  // partial plane-rebuild row count
   std::int64_t requests = 0;  // plan requests served (serving workloads)
+  // Robustness counters (serve/counters.h), filled by the degraded
+  // serving workloads; 0 elsewhere.  Deterministic for a fixed fault
+  // schedule — compare_bench.py pins them exactly.
+  std::int64_t sheds = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t retries = 0;
+  std::int64_t faults_injected = 0;
 
   double objective = 0.0;  // workload metric of the selected set
   bool has_objective = false;

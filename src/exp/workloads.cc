@@ -1,6 +1,9 @@
 #include "exp/workloads.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <mutex>
@@ -24,9 +27,12 @@
 #include "data/dependency.h"
 #include "data/problem_io.h"
 #include "data/synthetic.h"
+#include "serve/client.h"
 #include "serve/json_value.h"
+#include "serve/server.h"
 #include "serve/service.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/json.h"
 
 namespace factcheck {
@@ -425,6 +431,234 @@ Workload BuildServiceScaling(const WorkloadOptions& options) {
        .uses_objective = true,
        .run = [csv](const PlanContext& ctx) {
          return RunServeLoop(*csv, ctx);
+       }});
+  return w;
+}
+
+// --- degraded_scaling: the robustness gate behind BENCH_robust.json ------
+//
+// Drives a REAL SocketServer (Unix socket, bounded admission) through a
+// scripted degradation sequence with the fault registry armed on the
+// server's response-write path: transient EINTR and short writes the
+// write-all loop must absorb without the client noticing, mid-line peer
+// disconnects the RequestSession must reconnect and retry through,
+// born-expired deadlines the planner must reject without touching the
+// memo, and an overloaded accept loop that sheds the session while two
+// helper connections hold every admission slot.  Every fault schedule is
+// periodic over the point's hit counter and the session's retry jitter
+// is seeded, so the failure counters — sheds / deadline_exceeded /
+// retries / faults_injected — are exact deterministic functions of the
+// workload; BENCH_robust.json pins them through tools/compare_bench.py
+// in the fault-injection CI job.  In builds without
+// FACTCHECK_FAULT_INJECTION the armed schedules are inert and the loop
+// still runs (deadlines and shedding do not depend on injection), just
+// with zero injected faults and no fault-driven retries.
+Selection RunDegradedLoop(const std::string& csv, const PlanContext& ctx) {
+  fault::DisarmAll();
+
+  serve::PlanningService service;
+  std::string error;
+  bool registered = service.RegisterProblem("bench", csv, {}, {}, &error);
+  FC_CHECK(registered);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path =
+      "/tmp/factcheck_degraded_" + std::to_string(::getpid()) + ".sock";
+  server_options.threads = 2;
+  // Capacity 2: the overload phase fills both slots with helpers, and a
+  // post-disconnect reconnect can briefly overlap the connection the
+  // server is still tearing down without being shed itself.
+  server_options.max_connections = 2;
+  serve::SocketServer server(&service, server_options);
+  FC_CHECK(server.Start(&error));
+
+  serve::SessionOptions session_options;
+  session_options.socket_path = server_options.socket_path;
+  session_options.max_attempts = 4;
+  session_options.backoff_initial_ms = 0.05;
+  session_options.backoff_cap_ms = 0.5;
+  session_options.counters = &service.robustness();
+  serve::RequestSession session(session_options);
+
+  JsonWriter plan_request;
+  plan_request.BeginObject()
+      .Key("op")
+      .String("plan")
+      .Key("problem")
+      .String("bench")
+      .Key("algo")
+      .String("greedy_minvar")
+      .Key("budget")
+      .Number(ctx.request.budget)
+      .EndObject();
+  const std::string plan_line = plan_request.str();
+
+  auto call_ok = [&](const std::string& line) {
+    std::string response;
+    bool ok = session.Call(line, &response, &error);
+    FC_CHECK(ok);
+    std::optional<serve::JsonValue> parsed =
+        serve::JsonValue::Parse(response, &error);
+    FC_CHECK(parsed.has_value());
+    FC_CHECK(parsed->Find("ok")->boolean());
+    return std::move(*parsed);
+  };
+  auto wait_connections = [&](int want) {
+    for (int waited = 0; waited < 2000; ++waited) {
+      if (server.live_connections() == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  };
+
+  // Healthy baseline: every later successful plan must select exactly
+  // this set — faults may cost retries, never answers.
+  serve::JsonValue warm = call_ok(plan_line);
+  const Selection oracle = SelectionFromResponse(*warm.Find("result"));
+
+  // Recovered faults: EINTR (hits 0 and 2) and halved short writes
+  // (hits 0..2 after re-arming) on the response path complete inside the
+  // server's write-all loop — the session never sees a failure.
+  fault::Arm("serve.write", {.kind = fault::FaultKind::kEintr,
+                             .first = 0,
+                             .period = 2,
+                             .max_count = 2});
+  for (int i = 0; i < 4; ++i) {
+    Selection got = SelectionFromResponse(*call_ok(plan_line).Find("result"));
+    FC_CHECK(got.cleaned == oracle.cleaned);
+  }
+  fault::Arm("serve.write", {.kind = fault::FaultKind::kShortWrite,
+                             .first = 0,
+                             .period = 1,
+                             .max_count = 3});
+  for (int i = 0; i < 3; ++i) {
+    Selection got = SelectionFromResponse(*call_ok(plan_line).Find("result"));
+    FC_CHECK(got.cleaned == oracle.cleaned);
+  }
+
+  // Mid-line disconnects: the server drops the peer halfway through the
+  // response (hits 0 and 2); the session reconnects and the resent plan
+  // is answered bit-identically from the warm memo.
+  fault::Arm("serve.write", {.kind = fault::FaultKind::kDisconnect,
+                             .first = 0,
+                             .period = 2,
+                             .max_count = 2});
+  for (int i = 0; i < 2; ++i) {
+    Selection got = SelectionFromResponse(*call_ok(plan_line).Find("result"));
+    FC_CHECK(got.cleaned == oracle.cleaned);
+    FC_CHECK(got.order == oracle.order);
+  }
+  fault::Disarm("serve.write");
+
+  // Born-expired deadlines: rejected at the planner's entry check before
+  // any greedy work; the memo must stay untouched (the final plan below
+  // re-verifies against the oracle).
+  JsonWriter expired_request;
+  expired_request.BeginObject()
+      .Key("op")
+      .String("plan")
+      .Key("problem")
+      .String("bench")
+      .Key("algo")
+      .String("greedy_minvar")
+      .Key("budget")
+      .Number(ctx.request.budget)
+      .Key("deadline_ms")
+      .Number(0)
+      .EndObject();
+  for (int i = 0; i < 2; ++i) {
+    std::string response;
+    bool delivered = session.Call(expired_request.str(), &response, &error);
+    FC_CHECK(delivered);  // a deadline rejection is a response, not a loss
+    std::optional<serve::JsonValue> parsed =
+        serve::JsonValue::Parse(response, &error);
+    FC_CHECK(parsed.has_value());
+    FC_CHECK(!parsed->Find("ok")->boolean());
+  }
+
+  // Overload: two helper connections hold both admission slots (the ping
+  // round-trips prove the server registered them), so every one of the
+  // session's four attempts is shed with one overload line — four sheds,
+  // three retries, and a clean "overloaded" failure surfaced to the
+  // caller.
+  session.Close();
+  FC_CHECK(wait_connections(0));
+  {
+    serve::LineClient hold_a, hold_b;
+    FC_CHECK(hold_a.Connect(server_options.socket_path, &error));
+    FC_CHECK(hold_b.Connect(server_options.socket_path, &error));
+    std::string pong;
+    FC_CHECK(hold_a.Call("{\"op\":\"ping\"}", &pong, &error));
+    FC_CHECK(hold_b.Call("{\"op\":\"ping\"}", &pong, &error));
+    std::string response;
+    bool shed = !session.Call(plan_line, &response, &error);
+    FC_CHECK(shed);
+    FC_CHECK(error == "overloaded");
+  }
+  FC_CHECK(wait_connections(0));
+
+  // Recovery: capacity is back, and the degraded phases must not have
+  // perturbed the engine — the final plan is bit-identical to the warm
+  // baseline.
+  serve::JsonValue final_response = call_ok(plan_line);
+  Selection selection = SelectionFromResponse(*final_response.Find("result"));
+  FC_CHECK(selection.cleaned == oracle.cleaned);
+  FC_CHECK(selection.order == oracle.order);
+
+  const std::int64_t injected = fault::InjectedCount();
+  if (ctx.greedy.stats_out != nullptr) {
+    const serve::JsonValue* stats =
+        final_response.Find("result")->Find("stats");
+    EngineStats out;
+    out.evaluations =
+        static_cast<std::int64_t>(stats->Find("evaluations")->number());
+    out.cache_hits =
+        static_cast<std::int64_t>(stats->Find("cache_hits")->number());
+    out.probes = static_cast<std::int64_t>(stats->Find("probes")->number());
+    out.commits = static_cast<std::int64_t>(stats->Find("commits")->number());
+    out.requests =
+        static_cast<std::int64_t>(stats->Find("requests")->number());
+    out.sheds = service.robustness().sheds.load();
+    out.deadline_exceeded = service.robustness().deadline_exceeded.load();
+    out.retries = session.stats().retries;
+    out.faults_injected = injected;
+    *ctx.greedy.stats_out = out;
+  }
+  server.Stop();
+  fault::DisarmAll();
+  return selection;
+}
+
+// A small exact-enumeration problem like service_scaling's, sized so the
+// thirteen-plus plan round-trips stay cheap: the point of the cell is
+// the failure counters, not the selection cost.
+Workload BuildDegradedScaling(const WorkloadOptions& options) {
+  int size = SizeOrDefault(options, 10);
+  auto problem = std::make_shared<const CleaningProblem>(data::MakeSynthetic(
+      data::SyntheticFamily::kUniformRandom, options.seed,
+      {.size = size, .min_support = 2, .max_support = 2}));
+  std::vector<int> refs(size);
+  for (int i = 0; i < size; ++i) refs[i] = i;
+  auto query = std::make_shared<const LinearQueryFunction>(
+      refs, std::vector<double>(size, 1.0));
+  auto csv = std::make_shared<const std::string>(data::ProblemToCsv(*problem));
+
+  Workload w;
+  w.name = "degraded_scaling";
+  w.problem = problem;
+  w.query = query;
+  w.linear = query;
+  w.default_algorithms = {"degraded_loop"};
+  w.default_budget_fractions = {0.25};
+  w.holders = {problem, query, csv};
+  w.EnsureLocalRegistry().Register(
+      {.name = "degraded_loop",
+       .summary = "scripted faults, deadlines, and shedding against a "
+                  "live socket server",
+       .objective = ObjectiveKind::kMinVar,
+       .uses_objective = true,
+       .run = [csv](const PlanContext& ctx) {
+         return RunDegradedLoop(*csv, ctx);
        }});
   return w;
 }
@@ -997,6 +1231,10 @@ void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
   add({.name = "cdc_firearms_robustness",
        .summary = "Fig 7a: claim robustness (fragility) on CDC-firearms",
        .build = BuildCdcFirearmsRobustness});
+  add({.name = "degraded_scaling",
+       .summary =
+           "Robustness gate: faults, deadlines, shedding on a live server",
+       .build = BuildDegradedScaling});
   add({.name = "urx_robustness",
        .summary = "Fig 7b: claim robustness on URx n=100, Gamma' = 100",
        .build = BuildUrxRobustness});

@@ -1,7 +1,12 @@
 #include "serve/changelog.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,6 +14,7 @@
 
 #include "data/problem_io.h"
 #include "serve/json_value.h"
+#include "util/fault.h"
 
 namespace factcheck {
 namespace serve {
@@ -92,7 +98,78 @@ void WriteDoubleArray(JsonWriter& writer, const std::vector<double>& values) {
   writer.EndArray();
 }
 
+// write(2) all of `data` to `fd`; EINTR-safe.  Fault injection at
+// `fault_point` (util/fault.h): kEintr and kShortWrite are recovered by
+// the loop (the call still completes — they only exercise the retry
+// path); kEnospc fails before a byte lands; kTornWrite persists exactly
+// the decision's byte count and then fails — the on-disk suffix is torn
+// precisely as a crash mid-append would leave it.
+bool WriteAllFd(int fd, const std::string& data,
+                [[maybe_unused]] const char* fault_point,
+                const std::string& path, std::string* error) {
+  fault::Decision injected = FC_FAULT_POINT(fault_point, data.size());
+  if (injected.kind == fault::FaultKind::kEnospc) {
+    return Fail(error, path + ": injected ENOSPC");
+  }
+  if (injected.kind == fault::FaultKind::kTornWrite) {
+    const size_t torn = injected.bytes < data.size() ? injected.bytes
+                                                     : data.size();
+    size_t sent = 0;
+    while (sent < torn) {
+      ssize_t n = ::write(fd, data.data() + sent, torn - sent);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Fail(error, path + ": injected torn write after " +
+                           std::to_string(sent) + " bytes");
+  }
+  bool simulate_eintr = injected.kind == fault::FaultKind::kEintr;
+  const size_t first_chunk =
+      injected.kind == fault::FaultKind::kShortWrite && injected.bytes > 0
+          ? injected.bytes
+          : data.size();
+  size_t sent = 0;
+  while (sent < data.size()) {
+    if (simulate_eintr) {
+      // One spurious "interrupted" pass, exactly what a real EINTR does.
+      simulate_eintr = false;
+      continue;
+    }
+    size_t want = data.size() - sent;
+    if (sent == 0 && first_chunk < want) want = first_chunk;
+    ssize_t n = ::write(fd, data.data() + sent, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(error, path + ": " + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "batch";
+}
+
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "off") return FsyncPolicy::kOff;
+  return std::nullopt;
+}
 
 void WriteDeltaJson(const ProblemDelta& delta, JsonWriter& writer) {
   writer.BeginObject();
@@ -372,40 +449,103 @@ std::string ChangelogStore::LogPath(const std::string& name) const {
   return dir_ + "/" + name + ".log";
 }
 
+bool ChangelogStore::SyncFd(int fd, const std::string& path,
+                            std::string* error) {
+  if (::fsync(fd) != 0) {
+    return Fail(error, "fsync " + path + ": " + std::strerror(errno));
+  }
+  ++fsyncs_;
+  return true;
+}
+
 bool ChangelogStore::SaveSnapshot(const std::string& name,
                                   const std::string& snapshot,
                                   std::string* error) {
   if (!ValidName(name)) return Fail(error, "invalid problem name for disk");
   const std::string path = SnapshotPath(name);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return Fail(error, "cannot write " + tmp);
-    out << snapshot << '\n';
-    out.flush();
-    if (!out) return Fail(error, "write failed: " + tmp);
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Fail(error, "cannot write " + tmp + ": " + std::strerror(errno));
+  }
+  bool ok = WriteAllFd(fd, snapshot + "\n", "changelog.snapshot", tmp, error);
+  // The tmp file must be durable BEFORE the rename publishes it, or a
+  // crash after the rename could leave the published name pointing at
+  // unwritten data.
+  if (ok && fsync_policy_ != FsyncPolicy::kOff) ok = SyncFd(fd, tmp, error);
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) return Fail(error, "cannot rename " + tmp + ": " + ec.message());
+  // The rename itself lives in the directory entry; sync that too so the
+  // publish survives a crash.
+  if (fsync_policy_ != FsyncPolicy::kOff) {
+    int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd < 0) {
+      return Fail(error, "cannot open " + dir_ + ": " + std::strerror(errno));
+    }
+    bool dir_ok = SyncFd(dir_fd, dir_, error);
+    ::close(dir_fd);
+    if (!dir_ok) return false;
+  }
   // Truncating after the rename keeps the crash window on the tolerated
   // side: a leftover log only ever holds records the snapshot already
   // contains, which replay skips by sequence number.
-  std::ofstream log(LogPath(name), std::ios::trunc);
-  if (!log) return Fail(error, "cannot truncate " + LogPath(name));
-  return true;
+  const std::string log_path = LogPath(name);
+  int log_fd = ::open(log_path.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (log_fd < 0) {
+    return Fail(error,
+                "cannot truncate " + log_path + ": " + std::strerror(errno));
+  }
+  bool log_ok = fsync_policy_ == FsyncPolicy::kOff ||
+                SyncFd(log_fd, log_path, error);
+  ::close(log_fd);
+  return log_ok;
+}
+
+bool ChangelogStore::AppendRecords(const std::string& name,
+                                   const std::vector<std::string>& lines,
+                                   std::string* error) {
+  if (!ValidName(name)) return Fail(error, "invalid problem name for disk");
+  if (lines.empty()) return true;
+  const std::string path = LogPath(name);
+  int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Fail(error, "cannot open " + path + ": " + std::strerror(errno));
+  }
+  bool ok = true;
+  for (const std::string& line : lines) {
+    if (!WriteAllFd(fd, line + "\n", "changelog.append", path, error)) {
+      ok = false;
+      break;
+    }
+    // kAlways: the record is durable before the next one is written (and
+    // before the batch is acknowledged).
+    if (fsync_policy_ == FsyncPolicy::kAlways && !SyncFd(fd, path, error)) {
+      ok = false;
+      break;
+    }
+  }
+  // kBatch group commit: the whole batch rides one fsync.
+  if (ok && fsync_policy_ == FsyncPolicy::kBatch &&
+      !SyncFd(fd, path, error)) {
+    ok = false;
+  }
+  ::close(fd);
+  return ok;
 }
 
 bool ChangelogStore::AppendRecord(const std::string& name,
                                   const std::string& line,
                                   std::string* error) {
-  if (!ValidName(name)) return Fail(error, "invalid problem name for disk");
-  std::ofstream out(LogPath(name), std::ios::app);
-  if (!out) return Fail(error, "cannot open " + LogPath(name));
-  out << line << '\n';
-  out.flush();
-  if (!out) return Fail(error, "append failed: " + LogPath(name));
-  return true;
+  return AppendRecords(name, {line}, error);
 }
 
 bool ChangelogStore::LoadAll(std::vector<LoadedProblem>* out,

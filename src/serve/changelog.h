@@ -32,7 +32,9 @@
 #ifndef FACTCHECK_SERVE_CHANGELOG_H_
 #define FACTCHECK_SERVE_CHANGELOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -106,10 +108,29 @@ bool ReplayChangelog(const std::string& log, std::int64_t base_seq,
 
 // --- Store ----------------------------------------------------------------
 
+// How durably the store flushes (factcheck_serve --fsync=...):
+//   kAlways — fsync after EVERY log record: an acknowledged update is on
+//             disk even if the process dies the next instant.
+//   kBatch  — group commit: one fsync per AppendRecords batch.  A crash
+//             can lose at most the final un-synced batch; whatever
+//             survives replays fail-closed and all-or-nothing.
+//   kOff    — no fsync anywhere; the OS page cache decides.  Torn final
+//             records after a crash are still detected (and refuse to
+//             load) — only durability is traded away, never integrity.
+// Snapshots under kAlways/kBatch additionally fsync the tmp file before
+// the rename and the directory after it, so a published snapshot can
+// never be a zero-length ghost.
+enum class FsyncPolicy { kAlways, kBatch, kOff };
+
+// "always" / "batch" / "off".
+const char* FsyncPolicyName(FsyncPolicy policy);
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
 // Filesystem half of the changelog: owns the directory, never interprets
 // record contents.  Not internally synchronized — PlanningService calls
 // it under each problem's run mutex (per-problem files are disjoint, and
-// Init/LoadAll happen before the server accepts connections).
+// Init/LoadAll happen before the server accepts connections); the fsync
+// policy/counter accessors are the exception and are safe from anywhere.
 class ChangelogStore {
  public:
   explicit ChangelogStore(std::string dir) : dir_(std::move(dir)) {}
@@ -127,10 +148,26 @@ class ChangelogStore {
   bool SaveSnapshot(const std::string& name, const std::string& snapshot,
                     std::string* error);
 
-  // Appends one record line (newline added here) to <name>.log and
-  // flushes.
+  // Appends record lines (newlines added here) to <name>.log as one
+  // group-committed batch: records are written in order, fsynced per the
+  // policy above, and a failure mid-batch leaves the earlier records on
+  // disk (the reconciling snapshot in PlanningService::PersistDeltas
+  // cleans up).  An empty batch is a no-op.
+  bool AppendRecords(const std::string& name,
+                     const std::vector<std::string>& lines,
+                     std::string* error);
+
+  // One-record convenience over AppendRecords.
   bool AppendRecord(const std::string& name, const std::string& line,
                     std::string* error);
+
+  void set_fsync_policy(FsyncPolicy policy) { fsync_policy_ = policy; }
+  FsyncPolicy fsync_policy() const { return fsync_policy_; }
+
+  // fsync(2) calls issued since construction (log + snapshot + directory
+  // syncs) — exported through /stats so the degraded_scaling bench can
+  // pin the durability work a fixed request sequence performs.
+  std::int64_t fsyncs() const { return fsyncs_.load(); }
 
   struct LoadedProblem {
     std::string name;
@@ -149,8 +186,12 @@ class ChangelogStore {
  private:
   std::string SnapshotPath(const std::string& name) const;
   std::string LogPath(const std::string& name) const;
+  // fsync(fd) + count; false + diagnostic on failure.
+  bool SyncFd(int fd, const std::string& path, std::string* error);
 
   std::string dir_;
+  FsyncPolicy fsync_policy_ = FsyncPolicy::kBatch;
+  std::atomic<std::int64_t> fsyncs_{0};
 };
 
 }  // namespace serve

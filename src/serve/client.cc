@@ -1,0 +1,116 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "serve/json_value.h"
+#include "util/check.h"
+
+namespace factcheck {
+namespace serve {
+namespace {
+
+// SplitMix64 finalizer (same mixer as util/fault.cc) — drives the
+// deterministic jitter stream.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Whether `request` may be sent more than once.  Malformed JSON is
+// conservatively non-retryable (the server will reject it identically
+// every time anyway — one attempt tells the caller everything).
+bool IsRetryable(const std::string& request) {
+  std::string error;
+  std::optional<JsonValue> json = JsonValue::Parse(request, &error);
+  if (!json.has_value() || !json->is_object()) return false;
+  const JsonValue* op = json->Find("op");
+  if (op == nullptr || !op->is_string()) return false;
+  const std::string& name = op->string();
+  if (name == "plan" || name == "stats" || name == "ping") return true;
+  if (name == "update") {
+    const JsonValue* seq = json->Find("idempotency_seq");
+    return seq != nullptr && seq->is_number();
+  }
+  return false;
+}
+
+// Whether `response` is the bounded-admission overload line.
+bool IsOverloaded(const std::string& response) {
+  std::string error;
+  std::optional<JsonValue> json = JsonValue::Parse(response, &error);
+  if (!json.has_value() || !json->is_object()) return false;
+  const JsonValue* ok = json->Find("ok");
+  if (ok == nullptr || !ok->is_bool() || ok->boolean()) return false;
+  const JsonValue* what = json->Find("error");
+  return what != nullptr && what->is_string() &&
+         what->string() == "overloaded";
+}
+
+}  // namespace
+
+RequestSession::RequestSession(SessionOptions options)
+    : options_(std::move(options)) {
+  FC_CHECK_GE(options_.max_attempts, 1);
+}
+
+void RequestSession::Close() { client_.Close(); }
+
+void RequestSession::SleepBackoff(int attempt) {
+  double base = options_.backoff_initial_ms;
+  for (int i = 1; i < attempt && base < options_.backoff_cap_ms; ++i) {
+    base *= 2.0;
+  }
+  base = std::min(base, options_.backoff_cap_ms);
+  // Jitter in [0.5, 1.0): decorrelates a fleet of retrying clients while
+  // staying a pure function of (seed, attempt index).
+  const std::uint64_t draw =
+      SplitMix64(options_.jitter_seed ^ attempt_counter_++);
+  const double fraction =
+      0.5 + 0.5 * (static_cast<double>(draw >> 11) / 9007199254740992.0);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(base * fraction));
+}
+
+bool RequestSession::Call(const std::string& request, std::string* response,
+                          std::string* error) {
+  const int attempts = IsRetryable(request) ? options_.max_attempts : 1;
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      if (options_.counters != nullptr) ++options_.counters->retries;
+      SleepBackoff(attempt);
+    }
+    if (!client_.connected()) {
+      if (!client_.Connect(options_.socket_path, &last_error)) continue;
+      if (ever_connected_) {
+        ++stats_.reconnects;
+        if (options_.counters != nullptr) ++options_.counters->reconnects;
+      }
+      ever_connected_ = true;
+    }
+    if (!client_.Call(request, response, &last_error)) {
+      // Transport failure — the stream may hold a half-written response,
+      // so the connection is unusable; reconnect on the next attempt.
+      client_.Close();
+      continue;
+    }
+    if (IsOverloaded(*response)) {
+      // The server closed this connection right after the overload line.
+      client_.Close();
+      last_error = "overloaded";
+      continue;
+    }
+    return true;
+  }
+  if (error != nullptr) *error = last_error;
+  return false;
+}
+
+}  // namespace serve
+}  // namespace factcheck

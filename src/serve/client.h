@@ -1,0 +1,95 @@
+// RequestSession: a retrying, reconnecting wrapper over LineClient — the
+// client half of the robustness contract.
+//
+// A bare LineClient fails a Call on the first transport hiccup: a peer
+// that vanished mid-response, a server that shed the connection under
+// overload, a restart between requests.  RequestSession absorbs those by
+// retrying with capped exponential backoff and DETERMINISTIC seeded
+// jitter (no wall clock, no global RNG — the delay sequence is a pure
+// function of jitter_seed and the attempt index, so the degraded_scaling
+// bench reproduces the exact same retry trace on every run).
+//
+// Retries are restricted to verbs that are safe to repeat:
+//   plan / stats / ping    — read-only, always idempotent.
+//   update                 — ONLY when the request carries
+//                            "idempotency_seq": the service dedupes the
+//                            resent batch against its changelog cursor,
+//                            so a retry whose original actually landed is
+//                            acknowledged without re-applying
+//                            (serve/service.h).
+//   register / everything else — never retried: one attempt, the
+//                            transport error surfaces to the caller.
+//
+// A response of {"ok":false,"error":"overloaded"} (bounded admission,
+// serve/server.h) also triggers a retry: the server closed that
+// connection after the one-line response, so the session drops it and
+// reconnects on the next attempt.
+//
+// Single-threaded like LineClient.  When `counters` is set (an
+// in-process service's RobustnessCounters), retry/reconnect increments
+// are mirrored there so /stats tells the whole story from one document.
+
+#ifndef FACTCHECK_SERVE_CLIENT_H_
+#define FACTCHECK_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/counters.h"
+#include "serve/server.h"
+
+namespace factcheck {
+namespace serve {
+
+struct SessionOptions {
+  std::string socket_path;  // required
+  // Total attempts for a retryable request (first try included); 1
+  // disables retrying entirely.  Non-retryable verbs always get exactly
+  // one attempt.
+  int max_attempts = 4;
+  // Backoff before attempt k (k >= 1): min(cap, initial * 2^(k-1)),
+  // scaled by a jitter factor in [0.5, 1.0) drawn from SplitMix64
+  // (jitter_seed ^ attempt_counter).
+  double backoff_initial_ms = 1.0;
+  double backoff_cap_ms = 50.0;
+  std::uint64_t jitter_seed = 2019;
+  // Optional mirror for retry/reconnect counts (borrowed, may be null).
+  RobustnessCounters* counters = nullptr;
+};
+
+class RequestSession {
+ public:
+  explicit RequestSession(SessionOptions options);
+  RequestSession(const RequestSession&) = delete;
+  RequestSession& operator=(const RequestSession&) = delete;
+
+  // Sends `request` (one-line JSON) and blocks for the one-line
+  // response, retrying per the policy above.  True once a non-overload
+  // response arrives; false with the LAST failure's diagnostic after the
+  // attempt budget is spent (or immediately for a non-retryable verb).
+  // Lazily connects on first use.
+  bool Call(const std::string& request, std::string* response,
+            std::string* error);
+
+  struct Stats {
+    std::int64_t retries = 0;     // attempts beyond each request's first
+    std::int64_t reconnects = 0;  // successful re-Connects after a loss
+  };
+  const Stats& stats() const { return stats_; }
+
+  void Close();  // drops the connection; the next Call reconnects
+
+ private:
+  void SleepBackoff(int attempt);
+
+  SessionOptions options_;
+  LineClient client_;
+  Stats stats_;
+  std::uint64_t attempt_counter_ = 0;  // jitter stream index
+  bool ever_connected_ = false;
+};
+
+}  // namespace serve
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SERVE_CLIENT_H_

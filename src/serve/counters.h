@@ -1,0 +1,44 @@
+// RobustnessCounters: the failure-path telemetry of the serving stack.
+//
+// Every degraded outcome the robustness layer can produce increments
+// exactly one counter here, so the /stats document (and the
+// degraded_scaling bench that gates on it) can pin the failure behaviour
+// as precisely as the happy path: a fixed fault schedule must produce the
+// exact same counter values on every run.
+//
+// The counters are plain atomics because they are written from three
+// sides at once — the accept thread (sheds), handler threads (deadline /
+// replay outcomes), and an in-process RequestSession mirroring its
+// client-side retry bookkeeping (serve/client.h) — while /stats reads
+// them without any problem-level lock.
+
+#ifndef FACTCHECK_SERVE_COUNTERS_H_
+#define FACTCHECK_SERVE_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace factcheck {
+namespace serve {
+
+struct RobustnessCounters {
+  // Connections refused by bounded admission (ServerOptions::
+  // max_connections): accepted, answered with the one-line overload
+  // response, and closed without reaching the handler pool.
+  std::atomic<std::int64_t> sheds{0};
+  // Requests rejected because their deadline_ms expired before or during
+  // the plan/update (the partial work was discarded).
+  std::atomic<std::int64_t> deadline_exceeded{0};
+  // Update batches acknowledged without re-applying because their
+  // idempotency_seq showed the changelog already holds them.
+  std::atomic<std::int64_t> idempotent_replays{0};
+  // Client-side (RequestSession): request attempts beyond the first, and
+  // re-Connect()s after a lost connection.
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> reconnects{0};
+};
+
+}  // namespace serve
+}  // namespace factcheck
+
+#endif  // FACTCHECK_SERVE_COUNTERS_H_

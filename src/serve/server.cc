@@ -5,10 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "serve/service.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace factcheck {
 namespace serve {
@@ -34,12 +37,41 @@ std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-// write(2) until done; EINTR-safe.  False on any hard error (including
-// EPIPE when the peer vanished — the caller just drops the connection).
-bool WriteAll(int fd, const std::string& data) {
+// send(2) until done; EINTR-safe.  MSG_NOSIGNAL turns a vanished peer
+// into a plain EPIPE error instead of a process-killing SIGPIPE — the
+// caller just drops the connection.  `fault_point` is the deterministic
+// fault-injection site consulted once per call (util/fault.h): EINTR and
+// short writes are recovered by the loop (they only prove the retry path
+// works), a disconnect kills the socket mid-write, ENOSPC fails hard.
+bool WriteAll(int fd, const std::string& data, const char* fault_point) {
+  fault::Decision injected =
+      fault_point != nullptr ? FC_FAULT_POINT(fault_point, data.size())
+                             : fault::Decision{};
+  if (injected.kind == fault::FaultKind::kDisconnect) {
+    // Simulate the peer tearing the stream down mid-response: deliver a
+    // prefix, then hard-close both directions so the remainder is lost.
+    if (injected.bytes > 0) {
+      ::send(fd, data.data(), injected.bytes, MSG_NOSIGNAL);
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  if (injected.kind == fault::FaultKind::kEnospc) return false;
   size_t sent = 0;
+  bool simulate_eintr = injected.kind == fault::FaultKind::kEintr;
+  size_t first_chunk = injected.kind == fault::FaultKind::kShortWrite &&
+                               injected.bytes > 0
+                           ? injected.bytes
+                           : data.size();
   while (sent < data.size()) {
-    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (simulate_eintr) {
+      // One spurious "interrupted" pass, exactly what a real EINTR does.
+      simulate_eintr = false;
+      continue;
+    }
+    size_t want = data.size() - sent;
+    if (sent == 0 && first_chunk < want) want = first_chunk;
+    ssize_t n = ::send(fd, data.data() + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -120,13 +152,30 @@ void SocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop(), or a hard error
     }
+    bool shed = false;
     {
       fc::MutexLock lock(&connections_mutex_);
       if (stopping_.load()) {
         ::close(fd);
         break;
       }
-      connections_.insert(fd);
+      shed = options_.max_connections > 0 &&
+             static_cast<int>(connections_.size()) >= options_.max_connections;
+      if (!shed) connections_.insert(fd);
+    }
+    if (shed) {
+      // Bounded admission: beyond capacity the connection gets one
+      // overload line and an immediate close — it never touches the
+      // handler pool, so a stalled pool cannot grow an unbounded queue.
+      std::string response =
+          "{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":" +
+          std::to_string(options_.retry_after_ms) + "}\n";
+      // Counted before the response goes out: a client that has read the
+      // overload line must already see it in the /stats sheds counter.
+      service_->CountShed();
+      WriteAll(fd, response, nullptr);
+      ::close(fd);
+      continue;
     }
     // The handler task owns fd from here; futures are dropped on purpose
     // (Stop() tears connections down via shutdown + pool join).
@@ -140,7 +189,7 @@ void SocketServer::ServeConnection(int fd) {
     if (line.empty()) continue;  // blank keep-alives are fine
     std::string response = service_->HandleLine(line);
     response.push_back('\n');
-    if (!WriteAll(fd, response)) break;
+    if (!WriteAll(fd, response, "serve.write")) break;
   }
   {
     fc::MutexLock lock(&connections_mutex_);
@@ -149,17 +198,40 @@ void SocketServer::ServeConnection(int fd) {
   ::close(fd);
 }
 
+int SocketServer::live_connections() {
+  fc::MutexLock lock(&connections_mutex_);
+  return static_cast<int>(connections_.size());
+}
+
 void SocketServer::Stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true);
-  // Unblock accept(), then unblock every in-flight read.
+  // Unblock accept() and refuse new connections first.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Half-close every connection: an idle handler blocked in read sees
+  // EOF and exits; a handler mid-HandleLine keeps its write side and
+  // finishes its response intact.
   {
+    fc::MutexLock lock(&connections_mutex_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  // Bounded drain: poll until every handler unregistered itself or the
+  // budget runs out (fc::CondVar has no timed wait, so this is a 1ms
+  // poll loop rather than a wait).
+  for (int waited = 0; waited < options_.drain_ms; ++waited) {
+    {
+      fc::MutexLock lock(&connections_mutex_);
+      if (connections_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    // Stragglers past the drain budget lose their write side too.
     fc::MutexLock lock(&connections_mutex_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   pool_.reset();  // joins the handler tasks (they close their own fds)
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
@@ -212,7 +284,12 @@ bool LineClient::Call(const std::string& request, std::string* response,
     if (error != nullptr) *error = "not connected";
     return false;
   }
-  if (!WriteAll(fd_, request + "\n")) {
+  if (!WriteAll(fd_, request + "\n", "client.write")) {
+    // The peer may have answered-and-closed before reading the request
+    // (bounded-admission shed, early protocol reject).  AF_UNIX keeps
+    // data the peer wrote before its close readable, so deliver that
+    // response rather than reporting the EPIPE race to the caller.
+    if (ReadLine(fd_, &buffer_, response)) return true;
     if (error != nullptr) *error = Errno("write");
     return false;
   }

@@ -36,6 +36,15 @@ class PlanningService;
 struct ServerOptions {
   std::string socket_path;  // required; unlinked and rebound on Start
   int threads = 4;          // connection-handler pool size
+  // Bounded admission: with a positive cap, a connection accepted while
+  // `max_connections` others are live is shed — it gets one line,
+  // {"ok":false,"error":"overloaded","retry_after_ms":N}, and is closed
+  // without ever reaching the handler pool.  0 = unlimited.
+  int max_connections = 0;
+  int retry_after_ms = 50;  // hint echoed in the overload response
+  // Stop() drain bound: in-flight handlers get up to this long to finish
+  // writing their current response before the hard SHUT_RDWR sweep.
+  int drain_ms = 1000;
 };
 
 class SocketServer {
@@ -51,11 +60,20 @@ class SocketServer {
   // socket errors (path too long for sockaddr_un, bind failure, ...).
   bool Start(std::string* error);
 
-  // Shuts down the listener and every open connection, then joins the
-  // accept thread and the handler pool.  Idempotent.
+  // Graceful shutdown: closes the listener, joins the accept thread, then
+  // half-closes (SHUT_RD) every open connection so in-flight handlers
+  // finish writing their current response while idle readers see EOF.
+  // Connections still live after options_.drain_ms get the hard SHUT_RDWR
+  // sweep; finally the handler pool is joined.  No response line is ever
+  // torn mid-write by a clean Stop.  Idempotent.
   void Stop();
 
   const std::string& socket_path() const { return options_.socket_path; }
+
+  // Number of connections currently owned by handler tasks (shed
+  // connections are never counted).  Tests and the degraded_scaling bench
+  // poll this to sequence overload phases deterministically.
+  int live_connections() FC_EXCLUDES(connections_mutex_);
 
  private:
   void AcceptLoop() FC_EXCLUDES(connections_mutex_);

@@ -9,6 +9,8 @@
 #include "core/registry.h"
 #include "data/problem_io.h"
 #include "serve/json_value.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
 
@@ -71,6 +73,20 @@ bool ReadString(const JsonValue& request, const std::string& key,
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
+}
+
+// Optional "deadline_ms" -> a DeadlineToken born at parse time (so the
+// budget covers queueing on the run mutex too).  False on a wrong-typed
+// member.
+bool ReadDeadline(const JsonValue& request,
+                  std::optional<DeadlineToken>* token, std::string* error) {
+  bool found = false;
+  double deadline_ms = 0.0;
+  if (!ReadNumber(request, "deadline_ms", &found, &deadline_ms, error)) {
+    return false;
+  }
+  if (found) token->emplace(deadline_ms);
+  return true;
 }
 
 }  // namespace
@@ -377,6 +393,9 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
                 &error)) {
     return ErrorResponse(error);
   }
+  std::optional<DeadlineToken> deadline;
+  if (!ReadDeadline(request, &deadline, &error)) return ErrorResponse(error);
+  if (deadline.has_value()) plan.cancel = &*deadline;
 
   // The serialized section: one plan at a time per problem, because the
   // session engine is single-writer.  Everything inside is deterministic
@@ -403,7 +422,12 @@ std::string PlanningService::HandlePlan(const JsonValue& request) {
       result->stats.requests = requests_after;
     }
   }
-  if (!result.has_value()) return ErrorResponse(error);
+  if (!result.has_value()) {
+    if (deadline.has_value() && deadline->Cancelled()) {
+      ++robustness_.deadline_exceeded;
+    }
+    return ErrorResponse(error);
+  }
 
   JsonWriter writer;
   writer.BeginObject()
@@ -445,35 +469,48 @@ std::string PlanningService::HandleUpdate(const JsonValue& request) {
     }
     deltas.push_back(std::move(delta));
   }
+  bool has_idem = false;
+  double idem_seq = 0.0;
+  if (!ReadNumber(request, "idempotency_seq", &has_idem, &idem_seq, &error)) {
+    return ErrorResponse(error);
+  }
+  std::optional<DeadlineToken> deadline;
+  if (!ReadDeadline(request, &deadline, &error)) return ErrorResponse(error);
 
   std::uint64_t epoch = 0;
   int objects = 0;
+  bool replayed = false;
   {
     fc::MutexLock lock(&entry->run_mutex);
-    // All or nothing: the whole batch must validate against a scratch
-    // copy before the first delta touches the live problem, so a reject
-    // midway never leaves a half-applied state for the next plan.
-    CleaningProblem scratch = entry->problem;
-    const std::vector<int>& refs = entry->query.References();
-    for (size_t i = 0; i < deltas.size(); ++i) {
-      const ProblemDelta& delta = deltas[i];
-      if (delta.kind == DeltaKind::kRemoveObject &&
-          std::binary_search(refs.begin(), refs.end(), delta.object)) {
-        return ErrorResponse(
-            "deltas[" + std::to_string(i) + "]: object " +
-            std::to_string(delta.object) +
-            " is referenced by the registered query and cannot be removed");
-      }
-      if (!ValidateDelta(scratch, delta, &error)) {
-        return ErrorResponse("deltas[" + std::to_string(i) + "]: " + error);
-      }
-      scratch.Apply(delta);
+    if (deadline.has_value() && deadline->Cancelled()) {
+      // Checked before the batch touches anything, so an expired update
+      // is rejected whole — never applied in memory after the client
+      // already gave up on it.
+      ++robustness_.deadline_exceeded;
+      return ErrorResponse("deadline exceeded");
     }
-    for (const ProblemDelta& delta : deltas) entry->problem.Apply(delta);
-    epoch = entry->problem.epoch();
-    objects = entry->problem.size();
-    if (store_ != nullptr && !PersistDeltas(entry, deltas, &error)) {
-      return ErrorResponse(error);
+    if (has_idem) {
+      // The retry contract: S names the sequence the batch's FIRST
+      // record would take.  Behind the cursor means a retried batch the
+      // changelog already holds — acknowledge without re-applying.
+      const std::int64_t seq = static_cast<std::int64_t>(idem_seq);
+      if (seq <= entry->last_seq) {
+        replayed = true;
+        ++robustness_.idempotent_replays;
+        epoch = entry->problem.epoch();
+        objects = entry->problem.size();
+      } else if (seq != entry->last_seq + 1) {
+        return ErrorResponse(
+            "idempotency_seq " + std::to_string(seq) +
+            " is ahead of the changelog (next is " +
+            std::to_string(entry->last_seq + 1) + ")");
+      }
+    }
+    if (!replayed) {
+      ApplyOutcome outcome = ApplyValidated(entry, deltas, &error);
+      if (!outcome.ok) return ErrorResponse(error);
+      epoch = outcome.epoch;
+      objects = outcome.objects;
     }
   }
 
@@ -486,8 +523,10 @@ std::string PlanningService::HandleUpdate(const JsonValue& request) {
       .Key("problem")
       .String(name)
       .Key("applied")
-      .Int(static_cast<std::int64_t>(deltas.size()))
-      .Key("epoch")
+      .Int(replayed ? 0
+                    : static_cast<std::int64_t>(deltas.size()));
+  if (replayed) writer.Key("replayed").Bool(true);
+  writer.Key("epoch")
       .Int(static_cast<std::int64_t>(epoch))
       .Key("objects")
       .Int(objects)
@@ -495,21 +534,65 @@ std::string PlanningService::HandleUpdate(const JsonValue& request) {
   return writer.str();
 }
 
-bool PlanningService::PersistDeltas(ProblemEntry* entry,
-                                    const std::vector<ProblemDelta>& deltas,
-                                    std::string* error) {
-  bool append_failed = false;
-  std::string io_error;
-  for (const ProblemDelta& delta : deltas) {
-    ++entry->last_seq;
-    ++entry->log_records;
-    if (!append_failed &&
-        !store_->AppendRecord(entry->name,
-                              EncodeLogRecord(entry->last_seq, delta),
-                              &io_error)) {
-      append_failed = true;
+PlanningService::ApplyOutcome PlanningService::ApplyValidated(
+    ProblemEntry* entry, const std::vector<ProblemDelta>& deltas,
+    std::string* error) {
+  ApplyOutcome outcome;
+  {
+    // All or nothing: the whole batch must validate against a scratch
+    // copy before the first delta touches the live problem, so a reject
+    // midway never leaves a half-applied state for the next plan.
+    CleaningProblem scratch = entry->problem;
+    const std::vector<int>& refs = entry->query.References();
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      const ProblemDelta& delta = deltas[i];
+      if (delta.kind == DeltaKind::kRemoveObject &&
+          std::binary_search(refs.begin(), refs.end(), delta.object)) {
+        Fail(error, "deltas[" + std::to_string(i) + "]: object " +
+                        std::to_string(delta.object) +
+                        " is referenced by the registered query and cannot "
+                        "be removed");
+        return outcome;
+      }
+      std::string detail;
+      if (!ValidateDelta(scratch, delta, &detail)) {
+        Fail(error, "deltas[" + std::to_string(i) + "]: " + detail);
+        return outcome;
+      }
+      scratch.Apply(delta);
     }
   }
+  for (const ProblemDelta& delta : deltas) entry->problem.Apply(delta);
+  // Sequence numbers are assigned at apply time, store or not: last_seq
+  // is the idempotency cursor retried batches dedupe against, so it must
+  // advance even when nothing is persisted.
+  const std::int64_t first_seq = entry->last_seq + 1;
+  entry->last_seq += static_cast<std::int64_t>(deltas.size());
+  outcome.epoch = entry->problem.epoch();
+  outcome.objects = entry->problem.size();
+  if (store_ != nullptr && !PersistDeltas(entry, deltas, first_seq, error)) {
+    return outcome;  // applied in memory; `error` explains the disk state
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+bool PlanningService::PersistDeltas(ProblemEntry* entry,
+                                    const std::vector<ProblemDelta>& deltas,
+                                    std::int64_t first_seq,
+                                    std::string* error) {
+  std::vector<std::string> records;
+  records.reserve(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    records.push_back(
+        EncodeLogRecord(first_seq + static_cast<std::int64_t>(i), deltas[i]));
+  }
+  entry->log_records += static_cast<std::int64_t>(deltas.size());
+  std::string io_error;
+  // Group commit: one AppendRecords call writes the whole batch and — on
+  // the batch fsync policy — pays one fsync for it instead of one per
+  // record.
+  bool append_failed = !store_->AppendRecords(entry->name, records, &io_error);
   // Compact on schedule — and immediately after an append failure, since
   // a fresh snapshot (which truncates the log) reconciles disk with the
   // already-applied in-memory state.
@@ -598,6 +681,8 @@ std::string PlanningService::StatsJson() const {
             .Int(stats.commits)
             .Key("cache_evictions")
             .Int(stats.cache_evictions)
+            .Key("full_rebuilds")
+            .Int(stats.full_rebuilds)
             .EndObject();
       }
       writer.EndArray();
@@ -605,7 +690,25 @@ std::string PlanningService::StatsJson() const {
     }
   }
   writer.EndArray();
-  writer.Key("total_requests").Int(total).EndObject();
+  writer.Key("total_requests").Int(total);
+  writer.Key("robustness")
+      .BeginObject()
+      .Key("sheds")
+      .Int(robustness_.sheds.load())
+      .Key("deadline_exceeded")
+      .Int(robustness_.deadline_exceeded.load())
+      .Key("idempotent_replays")
+      .Int(robustness_.idempotent_replays.load())
+      .Key("retries")
+      .Int(robustness_.retries.load())
+      .Key("reconnects")
+      .Int(robustness_.reconnects.load())
+      .Key("faults_injected")
+      .Int(fault::InjectedCount())
+      .Key("fsyncs")
+      .Int(store_ != nullptr ? store_->fsyncs() : 0)
+      .EndObject();
+  writer.EndObject();
   return writer.str();
 }
 

@@ -22,15 +22,23 @@
 //   {"op":"plan","problem":NAME,"algo":ALGO,
 //    "budget":B | "budget_frac":F,
 //    "objective":"minvar"|"maxpr"?, "tau":T?, "lazy":BOOL?,
-//    "seed":N?, "mc_samples":N?, "with_trajectory":BOOL?}
+//    "seed":N?, "mc_samples":N?, "with_trajectory":BOOL?,
+//    "deadline_ms":D?}
 //       -> {"ok":true,"op":"plan","problem":NAME,"requests":N,
 //           "result":{...PlanResult JSON...}}
 //     Defaults mirror the CLI (`objective` falls back to the algorithm's
 //     native kind, trajectory on), so a plan response is bit-identical
 //     to the equivalent one-shot `factcheck_cli run --json` — the
-//     equivalence suite in tests/serve_test.cc pins this.
+//     equivalence suite in tests/serve_test.cc pins this.  A positive
+//     deadline_ms is a cooperative wall-clock budget: it is polled at
+//     greedy-round boundaries, an expired request comes back as
+//     {"ok":false,"error":"deadline exceeded"}, its partial selection is
+//     discarded, and the session engine's memo stays consistent — the
+//     next plan is bit-identical to one on a never-deadlined service.
+//     deadline_ms <= 0 is born expired (deterministic shed knob).
 //
-//   {"op":"update","problem":NAME,"deltas":[{...},...]}
+//   {"op":"update","problem":NAME,"deltas":[{...},...],
+//    "idempotency_seq":S?, "deadline_ms":D?}
 //       -> {"ok":true,"op":"update","problem":NAME,"applied":k,
 //           "epoch":E,"objects":n}
 //     Applies a batch of typed ProblemDeltas (serve/changelog.h JSON
@@ -45,6 +53,15 @@
 //     exactly the signatures the change invalidated.  With persistence
 //     enabled the batch is appended to the problem's changelog before
 //     the response is sent.
+//
+//     idempotency_seq is the retry-safety contract for updates (the
+//     non-idempotent verb): a client that never learned whether its
+//     batch landed resends it with S = last_seq_before + 1.  S ==
+//     last_seq+1 applies normally; S <= last_seq means the changelog
+//     already holds the batch — the service acknowledges with
+//     "replayed":true and the CURRENT epoch/objects without re-applying;
+//     S > last_seq+1 is a sequence gap and is rejected.  Updates without
+//     the field are applied unconditionally (and are unsafe to retry).
 //
 //   {"op":"stats"} -> {"ok":true,"op":"stats","stats":{...}}   (StatsJson)
 //   {"op":"ping"}  -> {"ok":true,"op":"ping"}
@@ -75,6 +92,7 @@
 #include "core/planner.h"
 #include "core/query_function.h"
 #include "serve/changelog.h"
+#include "serve/counters.h"
 #include "serve/stats.h"
 #include "util/annotations.h"
 
@@ -121,12 +139,27 @@ class PlanningService {
   //     "plane_rows_rebuilt":..,"requests":..,
   //     "latency":{"count":..,"p50_ms":..,"p99_ms":..},
   //     "engines":[{"objective":..,"evaluations":..,"cache_hits":..,
-  //                 "probes":..,"commits":..,"cache_evictions":..}]}],
-  //    "total_requests":..}
+  //                 "probes":..,"commits":..,"cache_evictions":..,
+  //                 "full_rebuilds":..}]}],
+  //    "total_requests":..,
+  //    "robustness":{"sheds":..,"deadline_exceeded":..,
+  //      "idempotent_replays":..,"retries":..,"reconnects":..,
+  //      "faults_injected":..,"fsyncs":..}}
   std::string StatsJson() const;
 
   // Total successful plan requests across all problems (test hook).
   std::int64_t total_requests() const;
+
+  // Failure-path telemetry (serve/counters.h).  The transport calls
+  // CountShed per refused connection; an in-process RequestSession can
+  // mirror its retry/reconnect counts into robustness() so the bench
+  // reads one document.
+  void CountShed() { ++robustness_.sheds; }
+  RobustnessCounters& robustness() { return robustness_; }
+
+  // The changelog store once EnablePersistence succeeded (tool hook:
+  // factcheck_serve points --fsync at it); null otherwise.
+  ChangelogStore* store() { return store_.get(); }
 
  private:
   struct ProblemEntry {
@@ -152,9 +185,11 @@ class PlanningService {
     std::map<std::string, std::unique_ptr<EvalEngine>> engines
         FC_GUARDED_BY(run_mutex);
     std::int64_t requests FC_GUARDED_BY(run_mutex) = 0;
-    // Changelog bookkeeping (meaningful only with persistence enabled):
-    // the last sequence number written for this problem, and how many
-    // records the current log file holds past its snapshot.
+    // Sequence bookkeeping: last_seq advances by one per applied delta
+    // whether or not persistence is on — it is also the idempotency
+    // cursor the update verb dedupes retried batches against.
+    // log_records (how many records the current log file holds past its
+    // snapshot) is meaningful only with persistence enabled.
     std::int64_t last_seq FC_GUARDED_BY(run_mutex) = 0;
     std::int64_t log_records FC_GUARDED_BY(run_mutex) = 0;
     LatencyHistogram latency;  // internally synchronized (serve/stats.h)
@@ -175,12 +210,30 @@ class PlanningService {
   std::string HandlePlan(const JsonValue& request);
   std::string HandleUpdate(const JsonValue& request);
 
-  // Appends `deltas` (already applied in memory) to the problem's log and
-  // compacts every kCompactEvery records.  False + diagnostic on I/O
-  // failure after attempting a reconciling snapshot.
+  struct ApplyOutcome {
+    bool ok = false;
+    std::uint64_t epoch = 0;
+    int objects = 0;
+  };
+  // Validates `deltas` all-or-nothing against a scratch copy, applies
+  // them to the live problem, advances the sequence cursor, and persists
+  // when a store is attached.  ok=false + diagnostic on a validation
+  // reject (nothing applied) or a persistence failure (applied in
+  // memory; the diagnostic says so).
+  ApplyOutcome ApplyValidated(ProblemEntry* entry,
+                              const std::vector<ProblemDelta>& deltas,
+                              std::string* error)
+      FC_REQUIRES(entry->run_mutex);
+
+  // Appends `deltas` (already applied in memory, already assigned
+  // sequence numbers first_seq..first_seq+k-1 by the caller) to the
+  // problem's log as one group-committed batch and compacts every
+  // kCompactEvery records.  False + diagnostic on I/O failure after
+  // attempting a reconciling snapshot.
   bool PersistDeltas(ProblemEntry* entry,
                      const std::vector<ProblemDelta>& deltas,
-                     std::string* error) FC_REQUIRES(entry->run_mutex);
+                     std::int64_t first_seq, std::string* error)
+      FC_REQUIRES(entry->run_mutex);
 
   // Compaction threshold: a snapshot replaces the log once it accumulates
   // this many records past the previous snapshot.
@@ -194,6 +247,7 @@ class PlanningService {
       FC_GUARDED_BY(registry_mutex_);
   // Non-null once EnablePersistence succeeds; never reset while serving.
   std::unique_ptr<ChangelogStore> store_;
+  RobustnessCounters robustness_;
 };
 
 }  // namespace serve

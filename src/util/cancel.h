@@ -1,0 +1,67 @@
+// Cooperative cancellation for long-running selections.
+//
+// A CancelToken is polled — never signalled — at safe points: the greedy
+// drivers check it at round boundaries (core/engine.cc), so a cancelled
+// run stops between engine batches and the memo is never left with a
+// half-committed batch (every EvaluateExtensions call completes or never
+// starts).  The serving layer builds a DeadlineToken per request from the
+// protocol's `deadline_ms` field; tests use CountdownToken to cancel at
+// an exact, reproducible point in the run.
+//
+// Tokens are polled from the request thread only (the engine never hands
+// the token to its pool tasks), so implementations need no
+// synchronization beyond what their own state requires.
+
+#ifndef FACTCHECK_UTIL_CANCEL_H_
+#define FACTCHECK_UTIL_CANCEL_H_
+
+#include <cstdint>
+
+#include "util/stopwatch.h"
+
+namespace factcheck {
+
+class CancelToken {
+ public:
+  virtual ~CancelToken() = default;
+  // True once the work should stop; must stay true on later polls.
+  virtual bool Cancelled() const = 0;
+};
+
+// Wall-clock deadline over the steady clock: cancelled once `budget_ms`
+// milliseconds have elapsed since construction.  A non-positive budget is
+// born expired — the deterministic "shed immediately" knob the
+// degraded_scaling bench uses (no clock read involved).
+class DeadlineToken : public CancelToken {
+ public:
+  explicit DeadlineToken(double budget_ms) : budget_ms_(budget_ms) {}
+  bool Cancelled() const override {
+    if (budget_ms_ <= 0.0) return true;
+    return watch_.ElapsedMillis() >= budget_ms_;
+  }
+
+ private:
+  double budget_ms_;
+  Stopwatch watch_;
+};
+
+// Cancels after a fixed number of polls: the first `allowed` calls to
+// Cancelled() return false, every later one returns true.  Deterministic
+// mid-run cancellation for the engine-consistency tests.
+class CountdownToken : public CancelToken {
+ public:
+  explicit CountdownToken(std::int64_t allowed) : allowed_(allowed) {}
+  bool Cancelled() const override {
+    if (allowed_ <= 0) return true;
+    --allowed_;
+    return false;
+  }
+  std::int64_t remaining() const { return allowed_; }
+
+ private:
+  mutable std::int64_t allowed_;
+};
+
+}  // namespace factcheck
+
+#endif  // FACTCHECK_UTIL_CANCEL_H_

@@ -1,0 +1,96 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <map>
+
+#include "util/annotations.h"
+
+namespace factcheck {
+namespace fault {
+namespace {
+
+// SplitMix64 finalizer — the same mixer the engine's set signatures use,
+// here driving the seeded schedule so fault sequences are a pure function
+// of (seed, hit index).
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct PointState {
+  Schedule schedule;
+  std::int64_t hits = 0;   // consultations since Arm
+  std::int64_t fired = 0;  // faults delivered since Arm
+};
+
+// Registry state: file-scope globals (internal linkage via the anonymous
+// namespace), guarded by one mutex.  The map is heap-allocated on first
+// Arm and intentionally leaked, so Hit from late-running server threads
+// never races static destruction.
+fc::Mutex g_mutex;
+std::map<std::string, PointState>* g_points FC_GUARDED_BY(g_mutex) = nullptr;
+std::atomic<std::int64_t> g_injected{0};
+
+}  // namespace
+
+void Arm(const std::string& point, const Schedule& schedule) {
+  fc::MutexLock lock(&g_mutex);
+  if (g_points == nullptr) g_points = new std::map<std::string, PointState>();
+  PointState& state = (*g_points)[point];
+  state.schedule = schedule;
+  state.hits = 0;
+  state.fired = 0;
+}
+
+void Disarm(const std::string& point) {
+  fc::MutexLock lock(&g_mutex);
+  if (g_points != nullptr) g_points->erase(point);
+}
+
+void DisarmAll() {
+  {
+    fc::MutexLock lock(&g_mutex);
+    if (g_points != nullptr) g_points->clear();
+  }
+  g_injected.store(0);
+}
+
+std::int64_t InjectedCount() { return g_injected.load(); }
+
+std::int64_t HitCount(const std::string& point) {
+  fc::MutexLock lock(&g_mutex);
+  if (g_points == nullptr) return 0;
+  auto it = g_points->find(point);
+  return it == g_points->end() ? 0 : it->second.hits;
+}
+
+Decision Hit(const char* point, std::size_t io_size) {
+  fc::MutexLock lock(&g_mutex);
+  if (g_points == nullptr) return {};
+  auto it = g_points->find(point);
+  if (it == g_points->end()) return {};
+  PointState& state = it->second;
+  const Schedule& s = state.schedule;
+  const std::int64_t h = state.hits++;
+  if (s.kind == FaultKind::kNone) return {};
+  if (s.max_count >= 0 && state.fired >= s.max_count) return {};
+  bool fire = false;
+  if (s.prob_num > 0) {
+    fire = SplitMix64(s.seed ^ static_cast<std::uint64_t>(h)) % s.prob_den <
+           s.prob_num;
+  } else {
+    fire = h >= s.first && s.period > 0 && (h - s.first) % s.period == 0;
+  }
+  if (!fire) return {};
+  ++state.fired;
+  g_injected.fetch_add(1);
+  Decision decision;
+  decision.kind = s.kind;
+  decision.bytes = s.bytes_den == 0 ? 0 : io_size * s.bytes_num / s.bytes_den;
+  return decision;
+}
+
+}  // namespace fault
+}  // namespace factcheck

@@ -1,0 +1,116 @@
+// Deterministic fault injection for the I/O boundaries of the serving
+// stack (serve/server.cc, serve/changelog.cc).
+//
+// A fault POINT is a named site in production code — FC_FAULT_POINT
+// ("serve.write", io_size) — that asks the registry, once per I/O call,
+// whether this call should misbehave and how.  A fault SCHEDULE is armed
+// per point by tests/workloads and is a pure function of the point's hit
+// counter: either periodic (fire on hits first, first+period, ... up to
+// max_count times) or seeded (fire when SplitMix64(seed ^ hit_index)
+// lands under probability num/den) — no wall clock, no global RNG, so an
+// armed schedule reproduces the exact same fault sequence on every run
+// (the degraded_scaling bench gates on the resulting counters).
+//
+// What fires is a Decision the site interprets:
+//   kEintr      — behave as if the syscall returned EINTR once (the
+//                 recovery loop retries; the call still completes)
+//   kShortWrite — deliver only `bytes` bytes on the first write, then
+//                 continue (recovered by the write-all loop)
+//   kEnospc     — fail the call outright as if the disk were full
+//   kTornWrite  — persist only `bytes` bytes, then fail the call: the
+//                 on-disk record is torn exactly as a crash mid-append
+//                 would leave it
+//   kDisconnect — drop the peer mid-line (server write path)
+//
+// Compiled OUT unless the build sets FACTCHECK_FAULT_INJECTION: the
+// FC_FAULT_POINT macro then expands to an empty Decision with no registry
+// lookup, so the hot path carries no branch cost.  Arm/Disarm/counters
+// stay linkable in every build (tests GTEST_SKIP on !Enabled()).
+
+#ifndef FACTCHECK_UTIL_FAULT_H_
+#define FACTCHECK_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace factcheck {
+namespace fault {
+
+enum class FaultKind {
+  kNone,
+  kEintr,
+  kShortWrite,
+  kEnospc,
+  kTornWrite,
+  kDisconnect,
+};
+
+// What one I/O call should do.  `bytes` is meaningful for kShortWrite /
+// kTornWrite: how many bytes to let through before the fault lands.
+struct Decision {
+  FaultKind kind = FaultKind::kNone;
+  std::size_t bytes = 0;
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+// A deterministic firing schedule over a point's 0-based hit counter.
+// Periodic mode (prob_num == 0): fire on hit indices first, first+period,
+// first+2*period, ..., at most max_count times (max_count < 0 =
+// unlimited).  Seeded mode (prob_num > 0): fire on hit index h when
+// SplitMix64(seed ^ h) % prob_den < prob_num — a reproducible
+// pseudo-random schedule with rate prob_num/prob_den.  On short/torn
+// faults the call lets through floor(io_size * bytes_num / bytes_den)
+// bytes.
+struct Schedule {
+  FaultKind kind = FaultKind::kNone;
+  std::int64_t first = 0;
+  std::int64_t period = 1;
+  std::int64_t max_count = -1;
+  std::uint64_t seed = 0;
+  std::uint32_t prob_num = 0;
+  std::uint32_t prob_den = 1;
+  std::uint32_t bytes_num = 1;
+  std::uint32_t bytes_den = 2;
+};
+
+// Arms `schedule` on `point`, resetting the point's hit/fired counters.
+// Linkable in every build; a no-op branch at the fault sites when
+// injection is compiled out.
+void Arm(const std::string& point, const Schedule& schedule);
+
+// Disarms one point / every point (and zeroes the global injected count).
+void Disarm(const std::string& point);
+void DisarmAll();
+
+// Total faults injected process-wide since the last DisarmAll.
+std::int64_t InjectedCount();
+
+// How many times `point` was consulted since it was armed (0 if never
+// armed).  Test hook.
+std::int64_t HitCount(const std::string& point);
+
+// Whether this build compiled the fault sites in.
+constexpr bool Enabled() {
+#if defined(FACTCHECK_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// The registry consultation behind FC_FAULT_POINT.  Call through the
+// macro, not directly: the macro removes the lookup entirely when
+// injection is compiled out.
+Decision Hit(const char* point, std::size_t io_size);
+
+}  // namespace fault
+}  // namespace factcheck
+
+#if defined(FACTCHECK_FAULT_INJECTION)
+#define FC_FAULT_POINT(point, io_size) ::factcheck::fault::Hit(point, io_size)
+#else
+#define FC_FAULT_POINT(point, io_size) (::factcheck::fault::Decision{})
+#endif
+
+#endif  // FACTCHECK_UTIL_FAULT_H_

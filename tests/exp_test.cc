@@ -51,6 +51,8 @@ TEST(WorkloadRegistry, GoldenListWorkloads) {
       "CDC-firearms\n"
       "cdc_firearms_uniqueness    Fig 2a: claim uniqueness (duplicity) on "
       "CDC-firearms\n"
+      "degraded_scaling           Robustness gate: faults, deadlines, "
+      "shedding on a live server\n"
       "dist_kernels               Perf gate: SoA kernels vs AoS on "
       "overlapping claims\n"
       "engine_scaling             Perf gate: incremental vs batch engine "
@@ -204,7 +206,9 @@ TEST(ExperimentJson, SchemaKeys) {
         "\"evaluations\":", "\"cache_hits\":", "\"cache_evictions\":",
         "\"probes\":", "\"commits\":", "\"kernel_calls\":",
         "\"kernel_atoms\":", "\"plane_rows_rebuilt\":",
-        "\"requests\":", "\"picked\":", "\"cost\":", "\"objective\":"}) {
+        "\"requests\":", "\"sheds\":", "\"deadline_exceeded\":",
+        "\"retries\":", "\"faults_injected\":",
+        "\"picked\":", "\"cost\":", "\"objective\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   EXPECT_NE(json.find("\"workload\":\"urx_uniqueness\""), std::string::npos);

@@ -18,6 +18,7 @@ CELL_KEYS = {
     "lazy", "repetitions", "wall_ms", "wall_ms_min", "wall_ms_mean",
     "evaluations", "cache_hits", "cache_evictions", "probes", "commits",
     "kernel_calls", "kernel_atoms", "plane_rows_rebuilt", "requests",
+    "sheds", "deadline_exceeded", "retries", "faults_injected",
     "picked", "cost", "objective",
 }
 SPEC_KEYS = {

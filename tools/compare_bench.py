@@ -24,7 +24,10 @@ coarser (stale-cache safety margin turning into rebuild cost), drifting
 down means entries survive that should have been invalidated, and
 `plane_rows_rebuilt` must stay at exactly the number of mutated rows
 (the O(changed objects) warm-replan contract of the replan_scaling
-gate).
+gate).  The robustness counters `sheds` / `deadline_exceeded` /
+`retries` / `faults_injected` are exact too: the degraded_scaling
+workload arms a fixed fault schedule, so any drift means the
+failure-handling paths changed behaviour, not just timing.
 
 Regenerate the checked-in baseline with the spec documented in README.md
 ("Perf baselines") whenever an intentional algorithmic change shifts the
@@ -42,7 +45,8 @@ OPTIONAL_COUNTERS = ("kernel_calls", "kernel_atoms")
 # only gated when the baseline records a nonzero value — a zero means the
 # cell never exercised the serving/memo/delta path.
 EXACT_COUNTERS = ("cache_hits", "requests", "cache_evictions",
-                  "plane_rows_rebuilt")
+                  "plane_rows_rebuilt", "sheds", "deadline_exceeded",
+                  "retries", "faults_injected")
 
 
 def cell_key(cell):

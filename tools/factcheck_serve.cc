@@ -24,8 +24,13 @@ constexpr char kUsage[] =
     "usage:\n"
     "  factcheck_serve --socket PATH [--threads N]\n"
     "                  [--problem NAME=FILE.csv ...] [--changelog DIR]\n"
+    "                  [--fsync always|batch|off] [--max-connections N]\n"
     "      run the daemon until SIGINT/SIGTERM; --changelog persists\n"
-    "      problems + streaming updates to DIR and restores them on start\n"
+    "      problems + streaming updates to DIR and restores them on start;\n"
+    "      --fsync sets its durability (default batch = one fsync per\n"
+    "      update batch); --max-connections sheds connections beyond N\n"
+    "      with an immediate {\"error\":\"overloaded\"} line (0 = "
+    "unlimited)\n"
     "  factcheck_serve call --socket PATH REQUEST_JSON [...]\n"
     "      send one request line per argument, print one response line "
     "each\n";
@@ -83,6 +88,8 @@ int CallMain(int argc, char** argv) {
 int ServeMain(int argc, char** argv) {
   factcheck::serve::ServerOptions options;
   std::string changelog_dir;
+  factcheck::serve::FsyncPolicy fsync_policy =
+      factcheck::serve::FsyncPolicy::kBatch;
   std::vector<std::pair<std::string, std::string>> preload;  // name -> path
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -112,6 +119,22 @@ int ServeMain(int argc, char** argv) {
       preload.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (arg == "--changelog") {
       if (!next(&changelog_dir)) return 1;
+    } else if (arg == "--fsync") {
+      if (!next(&value)) return 1;
+      auto parsed = factcheck::serve::ParseFsyncPolicy(value);
+      if (!parsed.has_value()) {
+        Fail("--fsync needs always, batch, or off");
+        return 1;
+      }
+      fsync_policy = *parsed;
+    } else if (arg == "--max-connections") {
+      std::int64_t cap;
+      if (!next(&value) || !factcheck::ParseInt64(value, &cap) || cap < 0 ||
+          cap > 100000) {
+        Fail("--max-connections needs an integer in 0..100000");
+        return 1;
+      }
+      options.max_connections = static_cast<int>(cap);
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -134,8 +157,10 @@ int ServeMain(int argc, char** argv) {
       Fail("--changelog " + changelog_dir + ": " + error);
       return 1;
     }
-    std::fprintf(stderr, "factcheck_serve: changelog at %s\n",
-                 changelog_dir.c_str());
+    service.store()->set_fsync_policy(fsync_policy);
+    std::fprintf(stderr, "factcheck_serve: changelog at %s (fsync=%s)\n",
+                 changelog_dir.c_str(),
+                 factcheck::serve::FsyncPolicyName(fsync_policy));
   }
   for (const auto& [name, path] : preload) {
     if (service.HasProblem(name)) {
